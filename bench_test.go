@@ -1,0 +1,556 @@
+package smartbench
+
+// One testing.B benchmark per paper table/figure, plus kernel
+// micro-benchmarks. Each benchmark exercises the same code path as the
+// corresponding cmd/smbench experiment at a reduced, fixed size so the
+// whole suite completes in minutes. See EXPERIMENTS.md for the mapping
+// to the paper's evaluation.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/smartmeter/smartbench/internal/benchmark"
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/distsim"
+	"github.com/smartmeter/smartbench/internal/engine/colstore"
+	"github.com/smartmeter/smartbench/internal/engine/dfs"
+	"github.com/smartmeter/smartbench/internal/engine/filestore"
+	"github.com/smartmeter/smartbench/internal/engine/mapreduce"
+	"github.com/smartmeter/smartbench/internal/engine/rdd"
+	"github.com/smartmeter/smartbench/internal/engine/rowstore"
+	"github.com/smartmeter/smartbench/internal/generator"
+	"github.com/smartmeter/smartbench/internal/histogram"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/par"
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/similarity"
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/stream"
+	"github.com/smartmeter/smartbench/internal/threeline"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+const (
+	benchConsumers = 16
+	benchDays      = 60
+)
+
+// benchDataset caches one dataset for all kernel benchmarks.
+var benchDataset *timeseries.Dataset
+
+func getDataset(b *testing.B) *timeseries.Dataset {
+	b.Helper()
+	if benchDataset == nil {
+		ds, err := seed.Generate(seed.Config{Consumers: benchConsumers, Days: benchDays, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDataset = ds
+	}
+	return benchDataset
+}
+
+func writeSources(b *testing.B, format meterdata.Format, partitioned bool) *meterdata.Source {
+	b.Helper()
+	ds := getDataset(b)
+	dir := b.TempDir()
+	var src *meterdata.Source
+	var err error
+	if partitioned {
+		src, err = meterdata.WritePartitioned(dir, ds, format)
+	} else {
+		src, err = meterdata.WriteUnpartitioned(dir, ds, format)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src
+}
+
+// --- Kernel micro-benchmarks -------------------------------------------
+
+func BenchmarkKernelHistogram(b *testing.B) {
+	ds := getDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := histogram.Compute(ds.Series[i%len(ds.Series)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelThreeLine(b *testing.B) {
+	ds := getDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := threeline.Compute(ds.Series[i%len(ds.Series)], ds.Temperature); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelPAR(b *testing.B) {
+	ds := getDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := par.Compute(ds.Series[i%len(ds.Series)], ds.Temperature); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSimilarity(b *testing.B) {
+	ds := getDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := similarity.Compute(ds, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelQuantiles(b *testing.B) {
+	ds := getDataset(b)
+	xs := ds.Series[0].Readings
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Quantiles(xs, 0.1, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	ds := getDataset(b)
+	gen, err := generator.New(ds, generator.Config{Clusters: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.NextSeries(ds.Temperature); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 1 ------------------------------------------------------------
+
+func BenchmarkTable1Capabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchmark.Table1(benchmark.Options{WorkDir: b.TempDir(), Scale: benchmark.SmallScale()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 4 {
+			b.Fatal("table1 shape")
+		}
+	}
+}
+
+// --- Figure 4: load times ------------------------------------------------
+
+func benchLoad(b *testing.B, mk func(i int) core.Engine, src *meterdata.Source) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := mk(i)
+		if _, err := eng.Load(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4LoadColstore(b *testing.B) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	dir := b.TempDir()
+	benchLoad(b, func(i int) core.Engine {
+		return colstore.New(fmt.Sprintf("%s/%d", dir, i))
+	}, src)
+}
+
+func BenchmarkFig4LoadRowstore(b *testing.B) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	dir := b.TempDir()
+	benchLoad(b, func(i int) core.Engine {
+		return rowstore.New(fmt.Sprintf("%s/%d", dir, i))
+	}, src)
+}
+
+func BenchmarkFig4LoadFilestore(b *testing.B) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	dir := b.TempDir()
+	benchLoad(b, func(i int) core.Engine {
+		return filestore.New(filestore.WithSplitDir(fmt.Sprintf("%s/%d", dir, i)))
+	}, src)
+}
+
+// --- Figure 5: partitioning impact on the file engine -------------------
+
+func benchFilestoreThreeLine(b *testing.B, partitioned bool) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, partitioned)
+	eng := filestore.New()
+	if _, err := eng.LoadDirect(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(core.Spec{Task: core.TaskThreeLine}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5PartitioningPartitioned(b *testing.B)   { benchFilestoreThreeLine(b, true) }
+func BenchmarkFig5PartitioningUnpartitioned(b *testing.B) { benchFilestoreThreeLine(b, false) }
+
+// --- Figure 6: cold vs warm ----------------------------------------------
+
+func BenchmarkFig6ColdWarm(b *testing.B) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	eng := colstore.New(b.TempDir())
+	if _, err := eng.Load(src); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := eng.Release(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(core.Spec{Task: core.TaskThreeLine}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if err := eng.Warm(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(core.Spec{Task: core.TaskThreeLine}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Figure 7: single-threaded tasks per engine --------------------------
+
+func BenchmarkFig7SingleThread(b *testing.B) {
+	srcUnpart := writeSources(b, meterdata.FormatReadingPerLine, false)
+	srcPart := writeSources(b, meterdata.FormatReadingPerLine, true)
+
+	engines := []struct {
+		name string
+		mk   func() core.Engine
+		src  *meterdata.Source
+	}{
+		{"filestore", func() core.Engine { return filestore.New() }, srcPart},
+		{"rowstore", func() core.Engine { return rowstore.New(b.TempDir()) }, srcUnpart},
+		{"colstore", func() core.Engine { return colstore.New(b.TempDir()) }, srcUnpart},
+	}
+	for _, e := range engines {
+		eng := e.mk()
+		if _, err := eng.Load(e.src); err != nil {
+			b.Fatal(err)
+		}
+		for _, task := range core.Tasks {
+			b.Run(fmt.Sprintf("%s/%s", e.name, task), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := eng.Release(); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.Run(core.Spec{Task: task, K: 5, Workers: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Figure 8 is a memory measurement; report allocations here ----------
+
+func BenchmarkFig8MemoryProxy(b *testing.B) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	eng := colstore.New(b.TempDir())
+	if _, err := eng.Load(src); err != nil {
+		b.Fatal(err)
+	}
+	for _, task := range core.Tasks {
+		b.Run(task.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(core.Spec{Task: task, K: 5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 9: row vs array layout ---------------------------------------
+
+func BenchmarkFig9Layout(b *testing.B) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	for _, layout := range []rowstore.Layout{rowstore.LayoutRows, rowstore.LayoutArrays} {
+		eng := rowstore.New(b.TempDir(), rowstore.WithLayout(layout))
+		if _, err := eng.Load(src); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(layout.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := eng.Release(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Run(core.Spec{Task: core.TaskThreeLine}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		eng.Close()
+	}
+}
+
+// --- Figure 10: multi-core speedup ---------------------------------------
+
+func BenchmarkFig10Speedup(b *testing.B) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	eng := colstore.New(b.TempDir())
+	if _, err := eng.Load(src); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(core.Spec{Task: core.TaskPAR, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Cluster figures ------------------------------------------------------
+
+func newBenchCluster(b *testing.B, nodes int) *dfs.FS {
+	b.Helper()
+	cluster, err := distsim.New(distsim.Config{
+		Nodes: nodes, SlotsPerNode: 4,
+		TransferLatency: 20 * time.Microsecond, BytesPerSecond: 1 << 31,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fsys, err := dfs.New(cluster, dfs.WithBlockSize(128<<10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fsys
+}
+
+// BenchmarkFig11ClusterVsC compares the column store against the two
+// cluster engines on the same workload (Figure 11 / 12).
+func BenchmarkFig11ClusterVsC(b *testing.B) {
+	srcRPL := writeSources(b, meterdata.FormatReadingPerLine, false)
+	srcSPL := writeSources(b, meterdata.FormatSeriesPerLine, false)
+
+	colE := colstore.New(b.TempDir())
+	if _, err := colE.Load(srcRPL); err != nil {
+		b.Fatal(err)
+	}
+	fsys := newBenchCluster(b, 4)
+	hive := mapreduce.New(fsys)
+	spark := rdd.New(fsys)
+	if _, err := hive.Load(srcSPL); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := spark.Load(srcSPL); err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range []struct {
+		name string
+		eng  core.Engine
+	}{{"colstore", colE}, {"spark", spark}, {"hive", hive}} {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := e.eng.Release(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.eng.Run(core.Spec{Task: core.TaskPAR}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchClusterFormat runs one task on Spark and Hive for a given source.
+func benchClusterFormat(b *testing.B, src *meterdata.Source, hiveOpts ...mapreduce.Option) {
+	b.Helper()
+	fsys := newBenchCluster(b, 4)
+	hive := mapreduce.New(fsys, hiveOpts...)
+	spark := rdd.New(fsys)
+	if _, err := hive.Load(src); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := spark.Load(src); err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range []struct {
+		name string
+		eng  core.Engine
+	}{{"spark", spark}, {"hive", hive}} {
+		b.Run(e.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.eng.Run(core.Spec{Task: core.TaskThreeLine}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig13Format1(b *testing.B) {
+	benchClusterFormat(b, writeSources(b, meterdata.FormatReadingPerLine, false))
+}
+
+func BenchmarkFig16Format2(b *testing.B) {
+	benchClusterFormat(b, writeSources(b, meterdata.FormatSeriesPerLine, false))
+}
+
+func BenchmarkFig18Format3(b *testing.B) {
+	ds := getDataset(b)
+	src, err := meterdata.WriteGrouped(b.TempDir(), ds, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("udtf", func(b *testing.B) {
+		benchClusterFormat(b, src, mapreduce.WithStyle(mapreduce.StyleUDTF))
+	})
+	b.Run("udaf", func(b *testing.B) {
+		benchClusterFormat(b, src, mapreduce.WithStyle(mapreduce.StyleUDAF))
+	})
+}
+
+// BenchmarkFig14NodeSweep measures the same job at two cluster sizes
+// (Figures 14/17/19 regenerate the full sweep via cmd/smbench).
+func BenchmarkFig14NodeSweep(b *testing.B) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	for _, nodes := range []int{2, 4, 8} {
+		fsys := newBenchCluster(b, nodes)
+		hive := mapreduce.New(fsys)
+		if _, err := hive.Load(src); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("nodes-%d", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hive.Run(core.Spec{Task: core.TaskThreeLine}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- §5.3.2 matrix multiplication ----------------------------------------
+
+func benchMatMul(b *testing.B, optimized bool) {
+	const n = 128
+	a := stats.NewMatrix(n, n)
+	c := stats.NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = float64(i % 31)
+		c.Data[i] = float64(i % 29)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if optimized {
+			_, err = a.Mul(c)
+		} else {
+			_, err = a.MulNaive(c)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulOptimized(b *testing.B) { benchMatMul(b, true) }
+func BenchmarkMatMulNaive(b *testing.B)     { benchMatMul(b, false) }
+
+// TestMain keeps the cached dataset across benchmarks and cleans up.
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
+
+// --- Updates (§3 future work) ---------------------------------------------
+
+func BenchmarkUpdatesAppendDay(b *testing.B) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	delta, err := seed.Generate(seed.Config{Consumers: benchConsumers, Days: 1, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("rowstore", func(b *testing.B) {
+		eng := rowstore.New(b.TempDir())
+		defer eng.Close()
+		if _, err := eng.Load(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Append(delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("colstore", func(b *testing.B) {
+		eng := colstore.New(b.TempDir())
+		if _, err := eng.Load(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Append(delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Streaming (§6 future work) --------------------------------------------
+
+func BenchmarkStreamingThroughput(b *testing.B) {
+	ds := getDataset(b)
+	profiles, err := stream.TrainProfiles(ds, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc, err := stream.NewProcessor(stream.NewProfileDetector(profiles), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := make(chan stream.Event, 4096)
+		alerts := make(chan stream.Alert, 4096)
+		go stream.Replay(ds, events)
+		done := make(chan error, 1)
+		go func() { done <- proc.Run(events, alerts) }()
+		for range alerts {
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchConsumers*benchDays*24), "events/op")
+}

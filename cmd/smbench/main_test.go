@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"run"},
+		{"run", "-scale", "bogus", "fig4"},
+		{"run", "unknown-experiment"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestRunOneExperimentSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment run in -short mode")
+	}
+	if err := run([]string{"run", "-scale", "small", "-workdir", t.TempDir(), "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGeneratesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "data")
+	err := run([]string{"-out", out, "-n", "6", "-seed-size", "5", "-days", "10", "-clusters", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 { // data.csv + temperature.csv
+		t.Errorf("entries = %d", len(entries))
+	}
+}
+
+func TestRunGrouped(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g")
+	if err := run([]string{"-out", out, "-n", "6", "-seed-size", "5", "-days", "10", "-group-files", "2", "-clusters", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(out)
+	if len(entries) != 3 { // 2 groups + temperature
+		t.Errorf("entries = %d", len(entries))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := [][]string{
+		{},                       // missing -out
+		{"-out", "x", "-n", "0"}, // bad n
+		{"-out", "x", "-format", "bogus"},
+		{"-out", "x", "-partitioned", "-group-files", "2"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

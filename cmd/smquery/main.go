@@ -1,0 +1,209 @@
+// Command smquery runs one benchmark task on one engine over a data
+// directory and prints a summary of the results — the quickest way to
+// poke at a data set or sanity-check an engine.
+//
+// Usage:
+//
+//	smquery -data DIR -engine colstore -task 3line
+//	smquery -data DIR -engine hive -task similarity -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/distsim"
+	"github.com/smartmeter/smartbench/internal/engine/colstore"
+	"github.com/smartmeter/smartbench/internal/engine/dfs"
+	"github.com/smartmeter/smartbench/internal/engine/filestore"
+	"github.com/smartmeter/smartbench/internal/engine/mapreduce"
+	"github.com/smartmeter/smartbench/internal/engine/rdd"
+	"github.com/smartmeter/smartbench/internal/engine/rowstore"
+	"github.com/smartmeter/smartbench/internal/impute"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "smquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("smquery", flag.ContinueOnError)
+	dataDir := fs.String("data", "", "data directory (required; written by smgen)")
+	engineName := fs.String("engine", "colstore", "engine: filestore, rowstore, rowstore-array, colstore, spark, hive")
+	taskName := fs.String("task", "histogram", "task: histogram, 3line, par, similarity")
+	k := fs.Int("k", 10, "similarity top-k")
+	workers := fs.Int("workers", 1, "intra-engine parallelism")
+	limit := fs.Int("limit", 5, "max consumers to print")
+	imputeGaps := fs.Bool("impute", false, "fill missing readings (hybrid imputation) before running")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		fs.Usage()
+		return fmt.Errorf("-data is required")
+	}
+
+	src, err := meterdata.DiscoverSource(*dataDir)
+	if err != nil {
+		return err
+	}
+	if *imputeGaps {
+		if err := cleanSource(src); err != nil {
+			return err
+		}
+	}
+
+	var task core.Task
+	switch *taskName {
+	case "histogram":
+		task = core.TaskHistogram
+	case "3line", "threeline":
+		task = core.TaskThreeLine
+	case "par":
+		task = core.TaskPAR
+	case "similarity":
+		task = core.TaskSimilarity
+	default:
+		return fmt.Errorf("unknown task %q", *taskName)
+	}
+
+	eng, cleanup, err := makeEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	st, err := eng.Load(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d consumers (%d readings) into %s\n", st.Consumers, st.Readings, eng.Name())
+
+	res, err := eng.Run(core.Spec{Task: task, K: *k, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	printResults(res, *limit)
+	return nil
+}
+
+// cleanSource rewrites the data directory with missing readings filled
+// in (readings parse as NaN only via explicit "NaN" tokens; zero-filled
+// gaps are left alone).
+func cleanSource(src *meterdata.Source) error {
+	ds, err := meterdata.ReadDataset(src)
+	if err != nil {
+		return err
+	}
+	cleaned := 0
+	for _, s := range ds.Series {
+		frac := impute.Fraction(s.Readings)
+		if frac == 0 {
+			continue
+		}
+		if err := impute.CleanSeries(s, 3); err != nil {
+			return err
+		}
+		cleaned++
+	}
+	if cleaned == 0 {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "smquery: imputed gaps in %d series\n", cleaned)
+	if src.Partitioned {
+		_, err = meterdata.WritePartitioned(src.Dir, ds, src.Format)
+	} else {
+		_, err = meterdata.WriteUnpartitioned(src.Dir, ds, src.Format)
+	}
+	return err
+}
+
+func makeEngine(name string) (core.Engine, func(), error) {
+	noop := func() {}
+	switch name {
+	case "filestore":
+		return filestore.New(), noop, nil
+	case "rowstore", "rowstore-array":
+		dir, err := os.MkdirTemp("", "smquery-rowstore-*")
+		if err != nil {
+			return nil, noop, err
+		}
+		layout := rowstore.LayoutRows
+		if name == "rowstore-array" {
+			layout = rowstore.LayoutArrays
+		}
+		e := rowstore.New(dir, rowstore.WithLayout(layout))
+		return e, func() { e.Close(); os.RemoveAll(dir) }, nil
+	case "colstore":
+		dir, err := os.MkdirTemp("", "smquery-colstore-*")
+		if err != nil {
+			return nil, noop, err
+		}
+		return colstore.New(dir), func() { os.RemoveAll(dir) }, nil
+	case "spark", "hive":
+		cluster, err := distsim.New(distsim.DefaultConfig())
+		if err != nil {
+			return nil, noop, err
+		}
+		fsys, err := dfs.New(cluster)
+		if err != nil {
+			return nil, noop, err
+		}
+		if name == "spark" {
+			return rdd.New(fsys), noop, nil
+		}
+		return mapreduce.New(fsys), noop, nil
+	default:
+		return nil, noop, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+func printResults(res *core.Results, limit int) {
+	fmt.Printf("task %s: %d results\n", res.Task, res.Count())
+	switch res.Task {
+	case core.TaskHistogram:
+		for i, h := range res.Histograms {
+			if i >= limit {
+				break
+			}
+			fmt.Printf("  consumer %d: range [%.3f, %.3f] kWh, counts %v\n",
+				h.ID, h.Histogram.Min, h.Histogram.Max, h.Histogram.Counts)
+		}
+	case core.TaskThreeLine:
+		for i, r := range res.ThreeLines {
+			if i >= limit {
+				break
+			}
+			fmt.Printf("  consumer %d: heating %.4f kWh/C, cooling %.4f kWh/C, base load %.3f kWh, breaks (%.1f, %.1f)\n",
+				r.ID, r.HeatingGradient, r.CoolingGradient, r.BaseLoad, r.High.Break1, r.High.Break2)
+		}
+	case core.TaskPAR:
+		for i, r := range res.Profiles {
+			if i >= limit {
+				break
+			}
+			fmt.Printf("  consumer %d profile:", r.ID)
+			for _, v := range r.Profile {
+				fmt.Printf(" %.2f", v)
+			}
+			fmt.Println()
+		}
+	case core.TaskSimilarity:
+		for i, r := range res.Similar {
+			if i >= limit {
+				break
+			}
+			fmt.Printf("  consumer %d top matches:", r.ID)
+			for _, m := range r.Matches {
+				fmt.Printf(" %d(%.4f)", m.ID, m.Score)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/seed"
+)
+
+// genData writes a small dataset for the CLI smoke tests.
+func genData(dir string) error {
+	ds, err := seed.Generate(seed.Config{Consumers: 4, Days: 10, Seed: 3})
+	if err != nil {
+		return err
+	}
+	_, err = meterdata.WriteUnpartitioned(dir, ds, meterdata.FormatReadingPerLine)
+	return err
+}

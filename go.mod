@@ -1,0 +1,3 @@
+module github.com/smartmeter/smartbench
+
+go 1.22

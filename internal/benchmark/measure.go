@@ -1,0 +1,95 @@
+package benchmark
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Timed runs fn and returns its wall-clock duration alongside fn's
+// error.
+func Timed(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// MemUsage summarizes heap usage observed while a measured function
+// ran, the harness's stand-in for the paper's "free -m every five
+// seconds" sampling (Figure 8, 15).
+type MemUsage struct {
+	// PeakBytes is the highest sampled heap allocation delta.
+	PeakBytes int64
+	// AvgBytes is the mean sampled heap allocation delta.
+	AvgBytes int64
+	// Samples is the number of samples taken.
+	Samples int
+}
+
+// MeasureMem runs fn while sampling the heap every interval and returns
+// the duration, memory summary and fn's error. Heap deltas are relative
+// to a GC-settled baseline taken before fn starts.
+func MeasureMem(interval time.Duration, fn func() error) (time.Duration, MemUsage, error) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	// Two collections settle floating garbage from earlier work so the
+	// baseline is a stable live-heap figure.
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := int64(ms.HeapAlloc)
+
+	stop := make(chan struct{})
+	done := make(chan MemUsage, 1)
+	var running atomic.Bool
+	running.Store(true)
+	go func() {
+		var usage MemUsage
+		var sum int64
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for running.Load() {
+			select {
+			case <-tick.C:
+				var s runtime.MemStats
+				runtime.ReadMemStats(&s)
+				delta := int64(s.HeapAlloc) - base
+				if delta < 0 {
+					delta = 0
+				}
+				if delta > usage.PeakBytes {
+					usage.PeakBytes = delta
+				}
+				sum += delta
+				usage.Samples++
+			case <-stop:
+			}
+		}
+		if usage.Samples > 0 {
+			usage.AvgBytes = sum / int64(usage.Samples)
+		}
+		done <- usage
+	}()
+
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+
+	// One final sample to catch short-lived runs.
+	var s runtime.MemStats
+	runtime.ReadMemStats(&s)
+	finalDelta := int64(s.HeapAlloc) - base
+	running.Store(false)
+	close(stop)
+	usage := <-done
+	if finalDelta > usage.PeakBytes {
+		usage.PeakBytes = finalDelta
+	}
+	if usage.Samples == 0 {
+		usage.AvgBytes = usage.PeakBytes
+		usage.Samples = 1
+	}
+	return elapsed, usage, err
+}

@@ -1,0 +1,108 @@
+// Package benchmark is the experiment harness: it regenerates every
+// table and figure of the paper's evaluation (§5) against the Go engine
+// analogues, at laptop scale, and prints paper-style result tables.
+//
+// Each Fig*/Table* function provisions its own data, runs the relevant
+// engines, and returns a Report whose rows mirror the series the paper
+// plots. EXPERIMENTS.md records how each report's shape compares with
+// the published figure.
+package benchmark
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the experiment identifier, e.g. "fig7" or "table1".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the table headers.
+	Columns []string
+	// Rows hold the table body.
+	Rows [][]string
+	// Notes list caveats (scaling, substitutions).
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range r.Rows {
+		printRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtDur renders a duration with millisecond precision.
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}
+
+// fmtMB renders a byte count in MiB.
+func fmtMB(b int64) string {
+	return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+}
+
+// fmtRate renders a households-per-second rate.
+func fmtRate(households int, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", float64(households)/d.Seconds())
+}
+
+// fmtSpeedup renders a relative speedup factor.
+func fmtSpeedup(base, cur time.Duration) string {
+	if cur <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(cur))
+}

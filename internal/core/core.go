@@ -1,0 +1,318 @@
+// Package core defines the smart meter analytics benchmark itself: the
+// four analysis tasks (paper §3), the contract every candidate platform
+// ("engine") implements, and the capability matrix the paper reports as
+// Table 1.
+//
+// An engine models one of the paper's five platforms. The benchmark
+// driver uses the same protocol the paper describes:
+//
+//	cold start:  NewEngine -> Load(source) -> Run(spec)
+//	warm start:  ... -> Run(spec) again with data resident in memory
+//
+// Load ingests raw text files into the engine's native storage (heap
+// pages, columnar segments, or nothing at all for the file-based
+// engine); Run executes one task against that storage.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/smartmeter/smartbench/internal/histogram"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/par"
+	"github.com/smartmeter/smartbench/internal/similarity"
+	"github.com/smartmeter/smartbench/internal/threeline"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Task identifies one of the four benchmark tasks.
+type Task int
+
+const (
+	// TaskHistogram is the per-consumer consumption histogram (§3.1).
+	TaskHistogram Task = iota
+	// TaskThreeLine is the 3-line thermal sensitivity model (§3.2).
+	TaskThreeLine
+	// TaskPAR is the periodic auto-regression daily profile (§3.3).
+	TaskPAR
+	// TaskSimilarity is the top-k cosine similarity search (§3.4).
+	TaskSimilarity
+)
+
+// Tasks lists all benchmark tasks in paper order.
+var Tasks = []Task{TaskHistogram, TaskThreeLine, TaskPAR, TaskSimilarity}
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	switch t {
+	case TaskHistogram:
+		return "histogram"
+	case TaskThreeLine:
+		return "3-line"
+	case TaskPAR:
+		return "PAR"
+	case TaskSimilarity:
+		return "similarity"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Spec parameterizes a task execution.
+type Spec struct {
+	Task Task
+	// Buckets is the histogram bucket count (default 10).
+	Buckets int
+	// K is the similarity-search result size (default 10).
+	K int
+	// Order is the PAR auto-regressive order (default 3).
+	Order int
+	// Workers is the intra-engine parallelism degree; 0 or 1 means
+	// single-threaded (paper §5.3.3 vs §5.3.4).
+	Workers int
+}
+
+// WithDefaults returns the spec with unset parameters filled in.
+func (s Spec) WithDefaults() Spec {
+	if s.Buckets <= 0 {
+		s.Buckets = histogram.DefaultBuckets
+	}
+	if s.K <= 0 {
+		s.K = similarity.DefaultK
+	}
+	if s.Order <= 0 {
+		s.Order = par.DefaultOrder
+	}
+	if s.Workers <= 0 {
+		s.Workers = 1
+	}
+	return s
+}
+
+// Results carries the output of one task execution; exactly one field is
+// populated, matching the Spec's Task.
+type Results struct {
+	Task       Task
+	Histograms []*histogram.Result
+	ThreeLines []*threeline.Result
+	Profiles   []*par.Result
+	Similar    []*similarity.Result
+}
+
+// Count returns the number of per-consumer results produced.
+func (r *Results) Count() int {
+	switch r.Task {
+	case TaskHistogram:
+		return len(r.Histograms)
+	case TaskThreeLine:
+		return len(r.ThreeLines)
+	case TaskPAR:
+		return len(r.Profiles)
+	case TaskSimilarity:
+		return len(r.Similar)
+	default:
+		return 0
+	}
+}
+
+// LoadStats describes a completed Load.
+type LoadStats struct {
+	// Consumers is the number of series ingested.
+	Consumers int
+	// Readings is the total number of readings ingested.
+	Readings int64
+	// StorageBytes is the engine-native storage footprint, when the
+	// engine materializes one (0 for engines that read raw files).
+	StorageBytes int64
+}
+
+// Engine is the contract each platform analogue implements. Engines are
+// not safe for concurrent use by multiple goroutines; intra-task
+// parallelism is requested via Spec.Workers.
+type Engine interface {
+	// Name returns the platform name used in reports.
+	Name() string
+	// Capabilities reports which statistical functions the platform has
+	// built in (Table 1).
+	Capabilities() Capabilities
+	// Load ingests a raw data source into engine-native storage. It
+	// replaces any previously loaded data.
+	Load(src *meterdata.Source) (*LoadStats, error)
+	// Run executes one benchmark task against the loaded data.
+	Run(spec Spec) (*Results, error)
+	// Release drops all in-memory state, returning the engine to a cold
+	// state (native on-disk storage, if any, is kept).
+	Release() error
+}
+
+// ErrNotLoaded is returned by Run when no data has been loaded.
+var ErrNotLoaded = errors.New("core: no data loaded")
+
+// FunctionSupport says how a platform obtains one statistical function,
+// mirroring the paper's Table 1 ("yes" / "third party" / "no").
+type FunctionSupport int
+
+const (
+	// SupportNone means the benchmark implementation had to hand-write
+	// the operator inside the platform.
+	SupportNone FunctionSupport = iota
+	// SupportThirdParty means an external library supplies it.
+	SupportThirdParty
+	// SupportBuiltin means the platform ships the function natively.
+	SupportBuiltin
+)
+
+// String implements fmt.Stringer using the paper's Table 1 vocabulary.
+func (f FunctionSupport) String() string {
+	switch f {
+	case SupportBuiltin:
+		return "yes"
+	case SupportThirdParty:
+		return "third party"
+	case SupportNone:
+		return "no"
+	default:
+		return fmt.Sprintf("FunctionSupport(%d)", int(f))
+	}
+}
+
+// Capabilities is one platform's row set of Table 1.
+type Capabilities struct {
+	Histogram        FunctionSupport
+	Quantiles        FunctionSupport
+	Regression       FunctionSupport
+	CosineSimilarity FunctionSupport
+}
+
+// RunReference executes a spec against an in-memory dataset using the
+// reference (library-level) implementations. Engines delegate to this
+// once they have materialized the dataset, and tests use it as the
+// correctness oracle for every engine.
+func RunReference(d *timeseries.Dataset, spec Spec) (*Results, error) {
+	spec = spec.WithDefaults()
+	out := &Results{Task: spec.Task}
+	switch spec.Task {
+	case TaskHistogram:
+		for _, s := range d.Series {
+			r, err := histogram.ComputeBuckets(s, spec.Buckets)
+			if err != nil {
+				return nil, err
+			}
+			out.Histograms = append(out.Histograms, r)
+		}
+	case TaskThreeLine:
+		for _, s := range d.Series {
+			r, err := threeline.Compute(s, d.Temperature)
+			if err != nil {
+				return nil, err
+			}
+			out.ThreeLines = append(out.ThreeLines, r)
+		}
+	case TaskPAR:
+		for _, s := range d.Series {
+			r, err := par.ComputeOrder(s, d.Temperature, spec.Order)
+			if err != nil {
+				return nil, err
+			}
+			out.Profiles = append(out.Profiles, r)
+		}
+	case TaskSimilarity:
+		rs, err := similarity.ComputeParallel(d, spec.K, spec.Workers)
+		if err != nil {
+			return nil, err
+		}
+		out.Similar = rs
+	default:
+		return nil, fmt.Errorf("core: unknown task %v", spec.Task)
+	}
+	return out, nil
+}
+
+// RunParallel is RunReference with the per-consumer tasks fanned out
+// over spec.Workers goroutines (the similarity task already honours
+// Workers internally). Result order matches d.Series order.
+func RunParallel(d *timeseries.Dataset, spec Spec) (*Results, error) {
+	spec = spec.WithDefaults()
+	if spec.Workers <= 1 || spec.Task == TaskSimilarity {
+		return RunReference(d, spec)
+	}
+	n := len(d.Series)
+	out := &Results{Task: spec.Task}
+	errs := make([]error, spec.Workers)
+
+	switch spec.Task {
+	case TaskHistogram:
+		out.Histograms = make([]*histogram.Result, n)
+	case TaskThreeLine:
+		out.ThreeLines = make([]*threeline.Result, n)
+	case TaskPAR:
+		out.Profiles = make([]*par.Result, n)
+	default:
+		return nil, fmt.Errorf("core: unknown task %v", spec.Task)
+	}
+
+	done := make(chan int, spec.Workers)
+	per := (n + spec.Workers - 1) / spec.Workers
+	launched := 0
+	for w := 0; w < spec.Workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		launched++
+		go func(w, lo, hi int) {
+			defer func() { done <- w }()
+			for i := lo; i < hi; i++ {
+				s := d.Series[i]
+				switch spec.Task {
+				case TaskHistogram:
+					r, err := histogram.ComputeBuckets(s, spec.Buckets)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					out.Histograms[i] = r
+				case TaskThreeLine:
+					r, err := threeline.Compute(s, d.Temperature)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					out.ThreeLines[i] = r
+				case TaskPAR:
+					r, err := par.ComputeOrder(s, d.Temperature, spec.Order)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					out.Profiles[i] = r
+				}
+			}
+		}(w, lo, hi)
+	}
+	for i := 0; i < launched; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Appender is the optional engine interface for the paper's future-work
+// update workload (§3): appending new hourly readings (e.g. a day's
+// worth) to every stored series. Read-optimized engines may pay a high
+// price here — measuring that price is the point of the "updates"
+// experiment.
+type Appender interface {
+	// Append extends every stored household with the delta dataset's
+	// readings; the delta must cover exactly the stored households and
+	// include the matching new temperature values.
+	Append(delta *timeseries.Dataset) error
+}

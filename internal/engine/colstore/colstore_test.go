@@ -1,0 +1,252 @@
+package colstore
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func writeSource(t *testing.T, consumers, days int) (*meterdata.Source, *timeseries.Dataset) {
+	t.Helper()
+	ds, err := seed.Generate(seed.Config{Consumers: consumers, Days: days, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, ds
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	_, ds := writeSource(t, 5, 20)
+	img, err := encodeSegments(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSegments(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != len(ds.Series) {
+		t.Fatalf("series = %d", len(got.Series))
+	}
+	for i, s := range ds.Series {
+		if got.Series[i].ID != s.ID {
+			t.Fatalf("series %d id %d vs %d", i, got.Series[i].ID, s.ID)
+		}
+		for j := range s.Readings {
+			if got.Series[i].Readings[j] != s.Readings[j] {
+				t.Fatalf("series %d reading %d mismatch", i, j)
+			}
+		}
+	}
+	for j := range ds.Temperature.Values {
+		if got.Temperature.Values[j] != ds.Temperature.Values[j] {
+			t.Fatalf("temperature %d mismatch", j)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	_, ds := writeSource(t, 2, 2)
+	img, _ := encodeSegments(ds)
+	if _, err := decodeSegments(img[:10]); err == nil {
+		t.Error("short image: want error")
+	}
+	if _, err := decodeSegments(img[:len(img)-8]); err == nil {
+		t.Error("truncated image: want error")
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] = 'X'
+	if _, err := decodeSegments(bad); err == nil {
+		t.Error("bad magic: want error")
+	}
+}
+
+func TestEngineLoadRunRelease(t *testing.T) {
+	src, ds := writeSource(t, 4, 30)
+	e := New(t.TempDir())
+	st, err := e.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Consumers != 4 || st.StorageBytes <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	for _, task := range core.Tasks {
+		spec := core.Spec{Task: task, K: 2}
+		got, err := e.Run(spec)
+		if err != nil {
+			t.Fatalf("%v: %v", task, err)
+		}
+		want, err := core.RunReference(ds, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count() != want.Count() {
+			t.Fatalf("%v: count %d vs %d", task, got.Count(), want.Count())
+		}
+	}
+	// Release then cold-run again via Remap.
+	if err := e.Release(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(core.Spec{Task: core.TaskHistogram})
+	if err != nil || r.Count() != 4 {
+		t.Fatalf("cold rerun: %d, %v", r.Count(), err)
+	}
+}
+
+func TestEngineResultsMatchReferenceExactly(t *testing.T) {
+	src, ds := writeSource(t, 3, 40)
+	e := New(t.TempDir())
+	if _, err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Run(core.Spec{Task: core.TaskThreeLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine parses the same CSV, so values match the reference to
+	// CSV precision.
+	ref, err := meterdata.ReadDataset(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.RunReference(ref, core.Spec{Task: core.TaskThreeLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.ThreeLines {
+		g, w := got.ThreeLines[i], want.ThreeLines[i]
+		if g.ID != w.ID || math.Abs(g.HeatingGradient-w.HeatingGradient) > 1e-9 {
+			t.Fatalf("3-line %d: %+v vs %+v", i, g, w)
+		}
+	}
+	_ = ds
+}
+
+func TestEngineWarm(t *testing.T) {
+	src, _ := writeSource(t, 2, 10)
+	e := New(t.TempDir())
+	if _, err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if e.decoded == nil {
+		t.Error("warm did not decode")
+	}
+	// Warm after release remaps from disk.
+	e.Release()
+	if err := e.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if e.decoded == nil {
+		t.Error("warm after release failed")
+	}
+}
+
+func TestEngineRunWithoutLoad(t *testing.T) {
+	e := New(t.TempDir())
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != core.ErrNotLoaded {
+		t.Errorf("err = %v, want ErrNotLoaded", err)
+	}
+}
+
+func TestSegmentFilePersistsAcrossEngines(t *testing.T) {
+	src, _ := writeSource(t, 3, 10)
+	dir := t.TempDir()
+	e1 := New(dir)
+	if _, err := e1.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	// A second engine over the same dir can run from the segment file
+	// alone (no Load).
+	e2 := New(dir)
+	r, err := e2.Run(core.Spec{Task: core.TaskHistogram})
+	if err != nil || r.Count() != 3 {
+		t.Fatalf("second engine: %d, %v", r.Count(), err)
+	}
+}
+
+func TestRemapMissingFile(t *testing.T) {
+	e := New(t.TempDir())
+	if err := e.Remap(); err == nil {
+		t.Error("remap without file: want error")
+	}
+	// Corrupt file on disk surfaces as a decode error at Run.
+	os.WriteFile(e.path, []byte("garbage"), 0o644)
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err == nil {
+		t.Error("corrupt file: want error")
+	}
+}
+
+func TestAppendRewritesSegments(t *testing.T) {
+	src, ds := writeSource(t, 3, 10)
+	e := New(t.TempDir())
+	if _, err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := seed.Generate(seed.Config{Consumers: 3, Days: 1, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append(delta); err != nil {
+		t.Fatal(err)
+	}
+	// New data visible immediately and after a cold remap.
+	res, err := e.Run(core.Spec{Task: core.TaskHistogram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(11 * 24)
+	for _, h := range res.Histograms {
+		if h.Histogram.Total() != want {
+			t.Fatalf("consumer %d total = %d, want %d", h.ID, h.Histogram.Total(), want)
+		}
+	}
+	e.Release()
+	res, err = e.Run(core.Spec{Task: core.TaskHistogram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histograms[0].Histogram.Total() != want {
+		t.Error("append lost after remap")
+	}
+	_ = ds
+}
+
+func TestAppendValidation(t *testing.T) {
+	e := New(t.TempDir())
+	if err := e.Append(&timeseries.Dataset{}); err != core.ErrNotLoaded {
+		t.Errorf("append before load: %v", err)
+	}
+	src, _ := writeSource(t, 2, 5)
+	if _, err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := seed.Generate(seed.Config{Consumers: 3, Days: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append(wrong); err == nil {
+		t.Error("wrong household count: want error")
+	}
+	// Missing household IDs (right count, wrong IDs).
+	bad, err := seed.Generate(seed.Config{Consumers: 2, Days: 1, Seed: 1, FirstID: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append(bad); err == nil {
+		t.Error("unknown households: want error")
+	}
+}

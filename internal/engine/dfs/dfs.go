@@ -1,0 +1,286 @@
+// Package dfs is the benchmark's HDFS analogue: files split into
+// fixed-size blocks, each block replicated on a subset of the simulated
+// cluster's nodes. The distributed engines read inputs through splits,
+// which carry the replica locations so the scheduler can place tasks
+// data-locally — and so the paper's third data format can be modelled
+// faithfully by marking files non-splittable (isSplitable() == false,
+// §5.4.2), forcing each file to be "processed in a self-contained manner
+// by a single mapper".
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/smartmeter/smartbench/internal/distsim"
+)
+
+// DefaultBlockSize mirrors HDFS's classic 64 MiB default, scaled down so
+// benchmark-sized files still produce multiple blocks.
+const DefaultBlockSize = 1 << 20 // 1 MiB
+
+// DefaultReplication is the HDFS default replica count.
+const DefaultReplication = 3
+
+// FS is an in-memory distributed file system over a simulated cluster.
+// It is safe for concurrent use.
+type FS struct {
+	mu          sync.RWMutex
+	cluster     *distsim.Cluster
+	blockSize   int
+	replication int
+	files       map[string]*file
+	nextNode    int
+	dead        map[int]bool
+}
+
+type file struct {
+	name   string
+	blocks []Block
+	size   int64
+}
+
+// Block is one stored chunk of a file.
+type Block struct {
+	// Index is the block's position within its file.
+	Index int
+	// Data is the block's contents.
+	Data []byte
+	// Nodes lists the nodes holding replicas.
+	Nodes []int
+}
+
+// Option configures the file system.
+type Option func(*FS)
+
+// WithBlockSize overrides the block size.
+func WithBlockSize(n int) Option { return func(f *FS) { f.blockSize = n } }
+
+// WithReplication overrides the replica count.
+func WithReplication(n int) Option { return func(f *FS) { f.replication = n } }
+
+// New creates a file system over the cluster.
+func New(cluster *distsim.Cluster, opts ...Option) (*FS, error) {
+	fs := &FS{
+		cluster:     cluster,
+		blockSize:   DefaultBlockSize,
+		replication: DefaultReplication,
+		files:       make(map[string]*file),
+		dead:        make(map[int]bool),
+	}
+	for _, o := range opts {
+		o(fs)
+	}
+	if fs.blockSize <= 0 {
+		return nil, fmt.Errorf("dfs: block size must be positive, got %d", fs.blockSize)
+	}
+	if fs.replication <= 0 {
+		return nil, fmt.Errorf("dfs: replication must be positive, got %d", fs.replication)
+	}
+	if fs.replication > cluster.Nodes() {
+		fs.replication = cluster.Nodes()
+	}
+	return fs, nil
+}
+
+// Write stores data as a new file, splitting into blocks on line
+// boundaries (so text records never straddle blocks, like HDFS text
+// input splits after record alignment). Overwrites any existing file.
+func (fs *FS) Write(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("dfs: empty file name")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &file{name: name, size: int64(len(data))}
+	for off := 0; off < len(data); {
+		end := off + fs.blockSize
+		if end >= len(data) {
+			end = len(data)
+		} else {
+			// Extend to the end of the current line.
+			for end < len(data) && data[end-1] != '\n' {
+				end++
+			}
+		}
+		blk := Block{
+			Index: len(f.blocks),
+			Data:  append([]byte(nil), data[off:end]...),
+			Nodes: fs.placeReplicas(),
+		}
+		f.blocks = append(f.blocks, blk)
+		off = end
+	}
+	if len(data) == 0 {
+		f.blocks = append(f.blocks, Block{Index: 0, Nodes: fs.placeReplicas()})
+	}
+	fs.files[name] = f
+	return nil
+}
+
+// placeReplicas picks replica nodes round-robin (caller holds the lock).
+func (fs *FS) placeReplicas() []int {
+	nodes := make([]int, 0, fs.replication)
+	for i := 0; i < fs.replication; i++ {
+		nodes = append(nodes, (fs.nextNode+i)%fs.cluster.Nodes())
+	}
+	fs.nextNode = (fs.nextNode + 1) % fs.cluster.Nodes()
+	return nodes
+}
+
+// Read returns a file's full contents (driver-side, no transfer cost).
+func (fs *FS) Read(name string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", name)
+	}
+	out := make([]byte, 0, f.size)
+	for _, b := range f.blocks {
+		out = append(out, b.Data...)
+	}
+	return out, nil
+}
+
+// Delete removes a file. Deleting a missing file is not an error.
+func (fs *FS) Delete(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, name)
+}
+
+// List returns all file names in sorted order.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns a file's length in bytes.
+func (fs *FS) Size(name string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("dfs: file %q not found", name)
+	}
+	return f.size, nil
+}
+
+// Split is one unit of input handed to a map task.
+type Split struct {
+	// File is the source file name.
+	File string
+	// Blocks holds the split's data blocks in order.
+	Blocks []Block
+	// PreferredNodes are nodes holding replicas of the split's data.
+	PreferredNodes []int
+}
+
+// Bytes returns the split's total payload size.
+func (s *Split) Bytes() int64 {
+	var n int64
+	for _, b := range s.Blocks {
+		n += int64(len(b.Data))
+	}
+	return n
+}
+
+// Data concatenates the split's blocks.
+func (s *Split) Data() []byte {
+	out := make([]byte, 0, s.Bytes())
+	for _, b := range s.Blocks {
+		out = append(out, b.Data...)
+	}
+	return out
+}
+
+// KillNode marks a node's replicas as lost, like a DataNode crash. A
+// block whose replicas are all on dead nodes becomes unreadable until
+// the node is revived. Placement of new blocks also avoids dead nodes.
+func (fs *FS) KillNode(node int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.dead[node] = true
+}
+
+// ReviveNode brings a dead node's replicas back.
+func (fs *FS) ReviveNode(node int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.dead, node)
+}
+
+// liveReplicas filters a block's replica set to live nodes (caller
+// holds at least the read lock).
+func (fs *FS) liveReplicas(nodes []int) []int {
+	out := make([]int, 0, len(nodes))
+	for _, n := range nodes {
+		if !fs.dead[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ErrBlockLost reports a block with no surviving replicas.
+var ErrBlockLost = errors.New("dfs: block lost (no live replicas)")
+
+// Splits computes the input splits for a set of files. When splittable,
+// each block becomes one split (HDFS text input); otherwise each file is
+// one split whose preferred nodes are those holding its first block —
+// the paper's custom isSplitable()==false input format for data format 3.
+// Splits fails with ErrBlockLost if any needed block has no surviving
+// replica.
+func (fs *FS) Splits(names []string, splittable bool) ([]Split, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []Split
+	for _, name := range names {
+		f, ok := fs.files[name]
+		if !ok {
+			return nil, fmt.Errorf("dfs: file %q not found", name)
+		}
+		if splittable {
+			for _, b := range f.blocks {
+				live := fs.liveReplicas(b.Nodes)
+				if len(live) == 0 {
+					return nil, fmt.Errorf("%w: %s block %d", ErrBlockLost, name, b.Index)
+				}
+				b.Nodes = live
+				out = append(out, Split{
+					File:           name,
+					Blocks:         []Block{b},
+					PreferredNodes: live,
+				})
+			}
+		} else {
+			blocks := make([]Block, len(f.blocks))
+			for i, b := range f.blocks {
+				live := fs.liveReplicas(b.Nodes)
+				if len(live) == 0 {
+					return nil, fmt.Errorf("%w: %s block %d", ErrBlockLost, name, b.Index)
+				}
+				b.Nodes = live
+				blocks[i] = b
+			}
+			var pref []int
+			if len(blocks) > 0 {
+				pref = blocks[0].Nodes
+			}
+			out = append(out, Split{File: name, Blocks: blocks, PreferredNodes: pref})
+		}
+	}
+	return out, nil
+}
+
+// Cluster returns the underlying simulated cluster.
+func (fs *FS) Cluster() *distsim.Cluster { return fs.cluster }

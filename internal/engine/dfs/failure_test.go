@@ -1,0 +1,56 @@
+package dfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestKillNodeSurvivesWithReplicas(t *testing.T) {
+	fs := testFS(t, 5, WithReplication(3), WithBlockSize(16))
+	data := []byte("a,b,c\nd,e,f\ng,h,i\nj,k,l\n")
+	if err := fs.Write("f", data); err != nil {
+		t.Fatal(err)
+	}
+	fs.KillNode(0)
+	splits, err := fs.Splits([]string{"f"}, true)
+	if err != nil {
+		t.Fatalf("one dead node with 3 replicas: %v", err)
+	}
+	for _, s := range splits {
+		for _, n := range s.PreferredNodes {
+			if n == 0 {
+				t.Fatal("dead node still listed as replica")
+			}
+		}
+	}
+	// Content is intact through the surviving replicas.
+	var all []byte
+	for _, s := range splits {
+		all = append(all, s.Data()...)
+	}
+	if string(all) != string(data) {
+		t.Error("data corrupted after node loss")
+	}
+}
+
+func TestAllReplicasLost(t *testing.T) {
+	fs := testFS(t, 3, WithReplication(2))
+	fs.Write("f", []byte("x\n"))
+	fs.KillNode(0)
+	fs.KillNode(1)
+	fs.KillNode(2)
+	_, err := fs.Splits([]string{"f"}, true)
+	if !errors.Is(err, ErrBlockLost) {
+		t.Errorf("err = %v, want ErrBlockLost", err)
+	}
+	// Non-splittable path hits the same error.
+	_, err = fs.Splits([]string{"f"}, false)
+	if !errors.Is(err, ErrBlockLost) {
+		t.Errorf("non-splittable err = %v", err)
+	}
+	// Revival restores access.
+	fs.ReviveNode(1)
+	if _, err := fs.Splits([]string{"f"}, true); err != nil {
+		t.Errorf("after revive: %v", err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package filestore implements the benchmark's Matlab analogue: a
+// numeric-computing engine that works directly from text files with no
+// database storage layer.
+//
+// It reproduces the traits the paper measures for Matlab:
+//
+//   - "Load" does not ingest anything; at most it splits an unpartitioned
+//     file into one file per consumer, which is exactly the ~4.5 minute
+//     Matlab bar in Figure 4 (§5.3.1).
+//   - Analytics on a partitioned source stream one consumer file at a
+//     time, while an unpartitioned source must first be read whole into
+//     an in-memory index before consumers can be extracted — the paper's
+//     explanation for Figure 5's partitioning gap.
+//   - An explicit Warm step materializes everything into memory arrays,
+//     separating cold-start from warm-start runs (Figure 6).
+//
+// All four statistical operators come "built in" (the shared analytics
+// libraries), matching Table 1's Matlab column except cosine similarity,
+// which Matlab lacked and the paper hand-wrote — as we do via the
+// similarity package's simple loop.
+package filestore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Engine is the Matlab analogue. The zero value is not usable; call New.
+type Engine struct {
+	// splitDir receives per-consumer files when Load splits an
+	// unpartitioned source.
+	splitDir string
+	src      *meterdata.Source
+	cache    *timeseries.Dataset
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithSplitDir sets the scratch directory used when Load must split an
+// unpartitioned file into per-consumer files. Defaults to a sibling
+// "<dir>-split" of the source directory.
+func WithSplitDir(dir string) Option {
+	return func(e *Engine) { e.splitDir = dir }
+}
+
+// New returns a file-based engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "filestore (Matlab analogue)" }
+
+// Capabilities implements core.Engine (Table 1, Matlab column).
+func (e *Engine) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		Histogram:        core.SupportBuiltin,
+		Quantiles:        core.SupportBuiltin,
+		Regression:       core.SupportBuiltin,
+		CosineSimilarity: core.SupportNone,
+	}
+}
+
+// Load implements core.Engine. The engine reads from raw files, so Load
+// only records the source — except for an unpartitioned source, which it
+// splits into one file per consumer (the preparation step the paper
+// timed for Matlab in Figure 4).
+func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
+	e.cache = nil
+	if src.Partitioned {
+		e.src = src
+		return e.countStats(src)
+	}
+	// Split into per-consumer files.
+	dir := e.splitDir
+	if dir == "" {
+		dir = src.Dir + "-split"
+	}
+	ds, err := meterdata.ReadDataset(src)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: split: %w", err)
+	}
+	split, err := meterdata.WritePartitioned(dir, ds, meterdata.FormatReadingPerLine)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: split: %w", err)
+	}
+	e.src = split
+	var readings int64
+	for _, s := range ds.Series {
+		readings += int64(len(s.Readings))
+	}
+	return &core.LoadStats{Consumers: len(ds.Series), Readings: readings}, nil
+}
+
+// LoadDirect records the source without splitting, for experiments that
+// compare partitioned against unpartitioned access (Figure 5).
+func (e *Engine) LoadDirect(src *meterdata.Source) (*core.LoadStats, error) {
+	e.cache = nil
+	e.src = src
+	return e.countStats(src)
+}
+
+func (e *Engine) countStats(src *meterdata.Source) (*core.LoadStats, error) {
+	ds, err := meterdata.ReadDataset(src)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	var readings int64
+	for _, s := range ds.Series {
+		readings += int64(len(s.Readings))
+	}
+	return &core.LoadStats{Consumers: len(ds.Series), Readings: readings}, nil
+}
+
+// Warm reads all data into in-memory arrays, like loading Matlab
+// matrices before timing an algorithm (Figure 6's warm start).
+func (e *Engine) Warm() error {
+	if e.src == nil {
+		return core.ErrNotLoaded
+	}
+	ds, err := meterdata.ReadDataset(e.src)
+	if err != nil {
+		return fmt.Errorf("filestore: warm: %w", err)
+	}
+	e.cache = ds
+	return nil
+}
+
+// Release implements core.Engine.
+func (e *Engine) Release() error {
+	e.cache = nil
+	return nil
+}
+
+// Run implements core.Engine.
+func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
+	if e.src == nil {
+		return nil, core.ErrNotLoaded
+	}
+	spec = spec.WithDefaults()
+
+	// Warm path: everything is already in memory arrays.
+	if e.cache != nil {
+		return core.RunParallel(e.cache, spec)
+	}
+
+	// Cold paths. Similarity always needs every series resident.
+	if spec.Task == core.TaskSimilarity || !e.src.Partitioned {
+		ds, err := e.materializeCold()
+		if err != nil {
+			return nil, err
+		}
+		return core.RunParallel(ds, spec)
+	}
+
+	// Partitioned cold path: stream one consumer file at a time and run
+	// the per-consumer task directly on it, keeping memory flat.
+	temp, err := meterdata.ReadTemperature(e.src.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	out := &core.Results{Task: spec.Task}
+	if spec.Workers <= 1 {
+		for _, path := range e.src.Paths() {
+			if err := e.runFile(path, temp, spec, out); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	return e.runFilesParallel(temp, spec)
+}
+
+// materializeCold builds the full dataset the way the modelled platform
+// would. For an unpartitioned reading-per-line file it reproduces the
+// behaviour the paper observed in Matlab (§5.3.1): "Matlab reads the
+// entire large file into an index which is then used to extract
+// individual consumers' data; this is slower than reading small files
+// one-by-one" — the index is scanned once per consumer, so the big-file
+// path degrades super-linearly with consumer count (Figure 5).
+func (e *Engine) materializeCold() (*timeseries.Dataset, error) {
+	if e.src.Partitioned || e.src.Format != meterdata.FormatReadingPerLine {
+		ds, err := meterdata.ReadDataset(e.src)
+		if err != nil {
+			return nil, fmt.Errorf("filestore: %w", err)
+		}
+		return ds, nil
+	}
+	temp, err := meterdata.ReadTemperature(e.src.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	// Pass 1: the whole-file index.
+	var index []meterdata.Reading
+	var ids []timeseries.ID
+	seen := map[timeseries.ID]bool{}
+	for _, path := range e.src.Paths() {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("filestore: %w", err)
+		}
+		err = meterdata.ScanReadings(f, func(r meterdata.Reading) error {
+			index = append(index, r)
+			if !seen[r.ID] {
+				seen[r.ID] = true
+				ids = append(ids, r.ID)
+			}
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("filestore: %w", err)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Pass 2: extract each consumer by scanning the index.
+	series := make([]*timeseries.Series, 0, len(ids))
+	for _, id := range ids {
+		readings := make([]float64, len(temp.Values))
+		for _, r := range index {
+			if r.ID != id {
+				continue
+			}
+			if r.Hour < 0 || r.Hour >= len(readings) {
+				return nil, fmt.Errorf("filestore: hour %d outside series", r.Hour)
+			}
+			readings[r.Hour] = r.Consumption
+		}
+		series = append(series, &timeseries.Series{ID: id, Readings: readings})
+	}
+	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
+}
+
+func (e *Engine) runFile(path string, temp *timeseries.Temperature, spec core.Spec, out *core.Results) error {
+	series, err := meterdata.ReadSeriesFile(path, e.src.Format)
+	if err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	for _, s := range series {
+		one := &timeseries.Dataset{Series: []*timeseries.Series{s}, Temperature: temp}
+		r, err := core.RunReference(one, spec)
+		if err != nil {
+			return err
+		}
+		out.Histograms = append(out.Histograms, r.Histograms...)
+		out.ThreeLines = append(out.ThreeLines, r.ThreeLines...)
+		out.Profiles = append(out.Profiles, r.Profiles...)
+	}
+	return nil
+}
+
+// runFilesParallel processes per-consumer files with spec.Workers
+// goroutines, like running several Matlab instances side by side
+// (§5.3.4: "we start a single instance... manually run multiple
+// instances of Matlab").
+func (e *Engine) runFilesParallel(temp *timeseries.Temperature, spec core.Spec) (*core.Results, error) {
+	paths := e.src.Paths()
+	parts := make([]*core.Results, spec.Workers)
+	errs := make([]error, spec.Workers)
+	done := make(chan struct{})
+	per := (len(paths) + spec.Workers - 1) / spec.Workers
+	launched := 0
+	for w := 0; w < spec.Workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(paths) {
+			hi = len(paths)
+		}
+		if lo >= hi {
+			break
+		}
+		launched++
+		go func(w, lo, hi int) {
+			defer func() { done <- struct{}{} }()
+			part := &core.Results{Task: spec.Task}
+			for _, p := range paths[lo:hi] {
+				if err := e.runFile(p, temp, spec, part); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			parts[w] = part
+		}(w, lo, hi)
+	}
+	for i := 0; i < launched; i++ {
+		<-done
+	}
+	out := &core.Results{Task: spec.Task}
+	for w, part := range parts {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		if part == nil {
+			continue
+		}
+		out.Histograms = append(out.Histograms, part.Histograms...)
+		out.ThreeLines = append(out.ThreeLines, part.ThreeLines...)
+		out.Profiles = append(out.Profiles, part.Profiles...)
+	}
+	return out, nil
+}
+
+// CleanSplitDir removes the scratch directory created by Load for an
+// unpartitioned source, if any.
+func (e *Engine) CleanSplitDir() error {
+	if e.splitDir == "" {
+		return nil
+	}
+	if filepath.Clean(e.splitDir) == "/" {
+		return fmt.Errorf("filestore: refusing to remove %q", e.splitDir)
+	}
+	return os.RemoveAll(e.splitDir)
+}
+
+var _ core.Engine = (*Engine)(nil)
+
+// Append implements core.Appender by extending the underlying CSV files
+// (cheap row appends for reading-per-line files, a rewrite for
+// series-per-line files).
+func (e *Engine) Append(delta *timeseries.Dataset) error {
+	if e.src == nil {
+		return core.ErrNotLoaded
+	}
+	temp, err := meterdata.ReadTemperature(e.src.Dir)
+	if err != nil {
+		return err
+	}
+	if err := meterdata.AppendToSource(e.src, delta, len(temp.Values)); err != nil {
+		return err
+	}
+	e.cache = nil
+	return nil
+}
+
+var _ core.Appender = (*Engine)(nil)
+
+// Source returns the engine's current data source (nil before Load).
+func (e *Engine) Source() *meterdata.Source { return e.src }

@@ -1,0 +1,553 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/distsim"
+	"github.com/smartmeter/smartbench/internal/engine/dfs"
+	"github.com/smartmeter/smartbench/internal/histogram"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/par"
+	"github.com/smartmeter/smartbench/internal/similarity"
+	"github.com/smartmeter/smartbench/internal/threeline"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Style selects how the Hive analogue expresses a per-consumer task.
+type Style int
+
+const (
+	// StyleAuto picks UDAF for reading-per-line input, UDF for
+	// series-per-line input, and UDTF for grouped non-splittable files.
+	StyleAuto Style = iota
+	// StyleUDAF forces the shuffle-based aggregation plan.
+	StyleUDAF
+	// StyleUDF forces the map-only plan (requires series-per-line).
+	StyleUDF
+	// StyleUDTF forces the map-side-aggregation plan over non-splittable
+	// files (requires each household contained in one file).
+	StyleUDTF
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case StyleAuto:
+		return "auto"
+	case StyleUDAF:
+		return "UDAF"
+	case StyleUDF:
+		return "UDF"
+	case StyleUDTF:
+		return "UDTF"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Engine is the Hive analogue: SQL-like jobs compiled to MapReduce over
+// DFS external tables.
+type Engine struct {
+	fs    *dfs.FS
+	style Style
+
+	inputs  []string
+	format  meterdata.Format
+	grouped bool
+	temp    *timeseries.Temperature
+	// reducers overrides the reduce task count (0 = node count).
+	reducers int
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithStyle forces a UDF style (default StyleAuto).
+func WithStyle(s Style) Option { return func(e *Engine) { e.style = s } }
+
+// WithReducers overrides the reduce task count (the paper's footnote 8:
+// "Hive generally performed better with more MapReduce tasks up to a
+// certain point").
+func WithReducers(n int) Option { return func(e *Engine) { e.reducers = n } }
+
+// New returns a Hive-analogue engine over the given DFS.
+func New(fs *dfs.FS, opts ...Option) *Engine {
+	e := &Engine{fs: fs}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "mapreduce (Hive analogue)" }
+
+// Capabilities implements core.Engine (Table 1, Hive column: histogram
+// built in, regression via a third-party library, the rest hand-written
+// UDFs).
+func (e *Engine) Capabilities() core.Capabilities {
+	return core.Capabilities{
+		Histogram:        core.SupportBuiltin,
+		Quantiles:        core.SupportNone,
+		Regression:       core.SupportThirdParty,
+		CosineSimilarity: core.SupportNone,
+	}
+}
+
+// Load implements core.Engine: it uploads the source files into DFS
+// (external tables) and reads the shared temperature series driver-side.
+func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
+	temp, err := meterdata.ReadTemperature(src.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var inputs []string
+	var total int64
+	consumers := make(map[timeseries.ID]bool)
+	var readings int64
+	for _, rel := range src.DataFiles {
+		path := src.Dir + "/" + rel
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: %w", err)
+		}
+		name := "input/" + rel
+		if err := e.fs.Write(name, data); err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, name)
+		total += int64(len(data))
+		// Count consumers/readings for stats.
+		if err := countConsumers(data, src.Format, consumers, &readings); err != nil {
+			return nil, err
+		}
+	}
+	e.inputs = inputs
+	e.format = src.Format
+	e.grouped = !src.Partitioned && len(src.DataFiles) > 1
+	e.temp = temp
+	return &core.LoadStats{
+		Consumers:    len(consumers),
+		Readings:     readings,
+		StorageBytes: total,
+	}, nil
+}
+
+func countConsumers(data []byte, format meterdata.Format, seen map[timeseries.ID]bool, readings *int64) error {
+	switch format {
+	case meterdata.FormatReadingPerLine:
+		return meterdata.ScanReadings(strings.NewReader(string(data)), func(r meterdata.Reading) error {
+			seen[r.ID] = true
+			*readings++
+			return nil
+		})
+	case meterdata.FormatSeriesPerLine:
+		return meterdata.ScanSeries(strings.NewReader(string(data)), func(s *timeseries.Series) error {
+			seen[s.ID] = true
+			*readings += int64(len(s.Readings))
+			return nil
+		})
+	default:
+		return fmt.Errorf("mapreduce: unknown format %v", format)
+	}
+}
+
+// Release implements core.Engine. The Hive analogue holds no warm state
+// beyond DFS itself.
+func (e *Engine) Release() error { return nil }
+
+// effectiveStyle resolves StyleAuto against the loaded format.
+func (e *Engine) effectiveStyle() (Style, error) {
+	if e.style != StyleAuto {
+		return e.style, nil
+	}
+	switch {
+	case e.format == meterdata.FormatSeriesPerLine:
+		return StyleUDF, nil
+	case e.grouped:
+		return StyleUDTF, nil
+	default:
+		return StyleUDAF, nil
+	}
+}
+
+// Run implements core.Engine.
+func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
+	if len(e.inputs) == 0 {
+		return nil, core.ErrNotLoaded
+	}
+	spec = spec.WithDefaults()
+	// Small-table distribution: every job ships the temperature series to
+	// each node once, like Hive distributing a map-join table.
+	e.broadcastTemperature()
+
+	if spec.Task == core.TaskSimilarity {
+		return e.runSimilarity(spec)
+	}
+	style, err := e.effectiveStyle()
+	if err != nil {
+		return nil, err
+	}
+	var values []interface{}
+	switch style {
+	case StyleUDF:
+		if e.format != meterdata.FormatSeriesPerLine {
+			return nil, fmt.Errorf("mapreduce: UDF style needs series-per-line input, have %v", e.format)
+		}
+		values, err = e.runUDF(spec)
+	case StyleUDTF:
+		values, err = e.runUDTF(spec)
+	case StyleUDAF:
+		if e.format != meterdata.FormatReadingPerLine {
+			return nil, fmt.Errorf("mapreduce: UDAF style needs reading-per-line input, have %v", e.format)
+		}
+		values, err = e.runUDAF(spec)
+	default:
+		return nil, fmt.Errorf("mapreduce: unsupported style %v", style)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return assembleResults(spec, values)
+}
+
+func (e *Engine) broadcastTemperature() {
+	cluster := e.fs.Cluster()
+	bytes := int64(len(e.temp.Values) * 8)
+	moves := make([]distsim.Move, 0, cluster.Nodes())
+	for n := 0; n < cluster.Nodes(); n++ {
+		moves = append(moves, distsim.Move{From: -1, To: n, Bytes: bytes})
+	}
+	cluster.TransferConcurrent(moves)
+}
+
+// computeOne runs the per-consumer analytic for one assembled series.
+func (e *Engine) computeOne(s *timeseries.Series, spec core.Spec) (interface{}, error) {
+	one := &timeseries.Dataset{Series: []*timeseries.Series{s}, Temperature: e.temp}
+	r, err := core.RunReference(one, spec)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Task {
+	case core.TaskHistogram:
+		return r.Histograms[0], nil
+	case core.TaskThreeLine:
+		return r.ThreeLines[0], nil
+	case core.TaskPAR:
+		return r.Profiles[0], nil
+	default:
+		return nil, fmt.Errorf("mapreduce: computeOne cannot run %v", spec.Task)
+	}
+}
+
+// hourValue is the UDAF intermediate value: one reading.
+type hourValue struct {
+	hour int
+	cons float64
+}
+
+// runUDAF is the format-1 plan: map parses rows and emits
+// (household, reading); reduce assembles the series and computes.
+func (e *Engine) runUDAF(spec core.Spec) ([]interface{}, error) {
+	job := &Job{
+		FS:         e.fs,
+		Inputs:     e.inputs,
+		Splittable: true,
+		Reducers:   e.reducers,
+		Map: func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error {
+			return meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
+				return emit(Pair{
+					Key:   int64(r.ID),
+					Value: hourValue{hour: r.Hour, cons: r.Consumption},
+					Bytes: 16,
+				})
+			})
+		},
+		Reduce: func(key int64, values []interface{}, ctx *distsim.TaskCtx, emit func(interface{})) error {
+			readings := make([]float64, len(e.temp.Values))
+			for _, v := range values {
+				hv, ok := v.(hourValue)
+				if !ok {
+					return fmt.Errorf("mapreduce: unexpected UDAF value %T", v)
+				}
+				if hv.hour < 0 || hv.hour >= len(readings) {
+					return fmt.Errorf("mapreduce: hour %d outside series", hv.hour)
+				}
+				readings[hv.hour] = hv.cons
+			}
+			s := &timeseries.Series{ID: timeseries.ID(key), Readings: readings}
+			out, err := e.computeOne(s, spec)
+			if err != nil {
+				return err
+			}
+			emit(out)
+			return nil
+		},
+	}
+	return job.Run()
+}
+
+// runUDF is the format-2 plan: map-only, one series per line.
+func (e *Engine) runUDF(spec core.Spec) ([]interface{}, error) {
+	job := &Job{
+		FS:         e.fs,
+		Inputs:     e.inputs,
+		Splittable: true,
+		Map: func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error {
+			return meterdata.ScanSeries(strings.NewReader(string(split.Data())), func(s *timeseries.Series) error {
+				out, err := e.computeOne(s, spec)
+				if err != nil {
+					return err
+				}
+				return emit(Pair{Key: int64(s.ID), Value: out, Bytes: 64})
+			})
+		},
+	}
+	values, err := job.Run()
+	if err != nil {
+		return nil, err
+	}
+	return values, nil
+}
+
+// runUDTF is the format-3 plan: map-only over non-splittable files with
+// map-side aggregation (each household is whole within one file).
+func (e *Engine) runUDTF(spec core.Spec) ([]interface{}, error) {
+	if e.format != meterdata.FormatReadingPerLine {
+		return nil, fmt.Errorf("mapreduce: UDTF style needs reading-per-line input, have %v", e.format)
+	}
+	job := &Job{
+		FS:         e.fs,
+		Inputs:     e.inputs,
+		Splittable: false, // the customized isSplitable()==false input format
+		Map: func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error {
+			byID := make(map[timeseries.ID][]float64)
+			err := meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
+				readings := byID[r.ID]
+				if readings == nil {
+					readings = make([]float64, len(e.temp.Values))
+				}
+				if r.Hour < 0 || r.Hour >= len(readings) {
+					return fmt.Errorf("mapreduce: hour %d outside series", r.Hour)
+				}
+				readings[r.Hour] = r.Consumption
+				byID[r.ID] = readings
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			ids := make([]timeseries.ID, 0, len(byID))
+			for id := range byID {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				out, err := e.computeOne(&timeseries.Series{ID: id, Readings: byID[id]}, spec)
+				if err != nil {
+					return err
+				}
+				if err := emit(Pair{Key: int64(id), Value: out, Bytes: 64}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	return job.Run()
+}
+
+// runSimilarity implements the paper's Hive similarity plan: a self-join
+// whose query plan does not exploit map-side joins, so the full series
+// table is shuffled to every reduce partition before pairwise scoring.
+func (e *Engine) runSimilarity(spec core.Spec) (*core.Results, error) {
+	series, homeNode, err := e.collectSeries()
+	if err != nil {
+		return nil, err
+	}
+	if len(series) < 2 {
+		return nil, similarity.ErrTooFew
+	}
+	cluster := e.fs.Cluster()
+	reducers := e.reducers
+	if reducers <= 0 {
+		reducers = cluster.Nodes()
+	}
+	var totalBytes int64
+	for _, s := range series {
+		totalBytes += int64(len(s.Readings) * 8)
+	}
+	// Reduce-side join: every partition receives the whole probe table.
+	var moves []distsim.Move
+	for p := 0; p < reducers; p++ {
+		node := p % cluster.Nodes()
+		for i := range series {
+			moves = append(moves, distsim.Move{From: homeNode[i], To: node, Bytes: int64(len(series[i].Readings) * 8)})
+		}
+	}
+	cluster.TransferConcurrent(moves)
+	ds := &timeseries.Dataset{Series: series, Temperature: e.temp}
+	sink := &resultSink{}
+	tasks := make([]distsim.Task, reducers)
+	for p := 0; p < reducers; p++ {
+		p := p
+		tasks[p] = distsim.Task{
+			PreferredNodes: []int{p % cluster.Nodes()},
+			Fn: func(ctx *distsim.TaskCtx) error {
+				ctx.Alloc(totalBytes)
+				defer ctx.Free(totalBytes)
+				// Reduce-side join work: every partition scans the whole
+				// replicated probe table (the cost a map-side join avoids).
+				ctx.Compute(totalBytes)
+				for i, s := range ds.Series {
+					if int(hashKey(int64(s.ID))%uint64(reducers)) != p {
+						continue
+					}
+					tk := timeseries.NewTopK(spec.K)
+					for j, o := range ds.Series {
+						if i == j {
+							continue
+						}
+						score, err := similarity.PairScore(s, o)
+						if err != nil {
+							return err
+						}
+						tk.Add(o.ID, score)
+					}
+					sink.add(&similarity.Result{ID: s.ID, Matches: tk.Results()})
+				}
+				return nil
+			},
+		}
+	}
+	if err := cluster.Run(tasks); err != nil {
+		return nil, err
+	}
+	out := &core.Results{Task: core.TaskSimilarity}
+	for _, v := range sink.out {
+		out.Similar = append(out.Similar, v.(*similarity.Result))
+	}
+	sort.Slice(out.Similar, func(i, j int) bool { return out.Similar[i].ID < out.Similar[j].ID })
+	return out, nil
+}
+
+// collectSeries assembles every series from the loaded DFS files and
+// reports the node where each series was assembled (for shuffle cost).
+func (e *Engine) collectSeries() ([]*timeseries.Series, []int, error) {
+	splits, err := e.fs.Splits(e.inputs, e.format == meterdata.FormatSeriesPerLine || !e.grouped)
+	if err != nil {
+		return nil, nil, err
+	}
+	type located struct {
+		s    *timeseries.Series
+		node int
+	}
+	sink := struct {
+		mu  sync.Mutex
+		all []located
+	}{}
+	partial := struct {
+		mu sync.Mutex
+		m  map[timeseries.ID][]float64
+		n  map[timeseries.ID]int
+	}{m: map[timeseries.ID][]float64{}, n: map[timeseries.ID]int{}}
+
+	tasks := make([]distsim.Task, len(splits))
+	for i := range splits {
+		split := &splits[i]
+		tasks[i] = distsim.Task{
+			PreferredNodes: split.PreferredNodes,
+			Fn: func(ctx *distsim.TaskCtx) error {
+				for _, b := range split.Blocks {
+					ctx.ReadBlock(b.Nodes, int64(len(b.Data)))
+				}
+				ctx.Compute(split.Bytes())
+				switch e.format {
+				case meterdata.FormatSeriesPerLine:
+					return meterdata.ScanSeries(strings.NewReader(string(split.Data())), func(s *timeseries.Series) error {
+						sink.mu.Lock()
+						sink.all = append(sink.all, located{s: s, node: ctx.Node()})
+						sink.mu.Unlock()
+						return nil
+					})
+				case meterdata.FormatReadingPerLine:
+					return meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
+						partial.mu.Lock()
+						defer partial.mu.Unlock()
+						readings := partial.m[r.ID]
+						if readings == nil {
+							readings = make([]float64, len(e.temp.Values))
+							partial.m[r.ID] = readings
+							partial.n[r.ID] = ctx.Node()
+						}
+						if r.Hour < 0 || r.Hour >= len(readings) {
+							return fmt.Errorf("mapreduce: hour %d outside series", r.Hour)
+						}
+						readings[r.Hour] = r.Consumption
+						return nil
+					})
+				default:
+					return fmt.Errorf("mapreduce: unknown format %v", e.format)
+				}
+			},
+		}
+	}
+	if err := e.fs.Cluster().Run(tasks); err != nil {
+		return nil, nil, err
+	}
+	var series []*timeseries.Series
+	var nodes []int
+	for _, l := range sink.all {
+		series = append(series, l.s)
+		nodes = append(nodes, l.node)
+	}
+	for id, readings := range partial.m {
+		series = append(series, &timeseries.Series{ID: id, Readings: readings})
+		nodes = append(nodes, partial.n[id])
+	}
+	// Deterministic order by ID.
+	idx := make([]int, len(series))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return series[idx[a]].ID < series[idx[b]].ID })
+	outS := make([]*timeseries.Series, len(series))
+	outN := make([]int, len(series))
+	for i, j := range idx {
+		outS[i], outN[i] = series[j], nodes[j]
+	}
+	return outS, outN, nil
+}
+
+// assembleResults converts job output values into core.Results sorted
+// by household ID.
+func assembleResults(spec core.Spec, values []interface{}) (*core.Results, error) {
+	out := &core.Results{Task: spec.Task}
+	switch spec.Task {
+	case core.TaskHistogram:
+		for _, v := range values {
+			out.Histograms = append(out.Histograms, v.(*histogram.Result))
+		}
+		sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].ID < out.Histograms[j].ID })
+	case core.TaskThreeLine:
+		for _, v := range values {
+			out.ThreeLines = append(out.ThreeLines, v.(*threeline.Result))
+		}
+		sort.Slice(out.ThreeLines, func(i, j int) bool { return out.ThreeLines[i].ID < out.ThreeLines[j].ID })
+	case core.TaskPAR:
+		for _, v := range values {
+			out.Profiles = append(out.Profiles, v.(*par.Result))
+		}
+		sort.Slice(out.Profiles, func(i, j int) bool { return out.Profiles[i].ID < out.Profiles[j].ID })
+	default:
+		return nil, fmt.Errorf("mapreduce: cannot assemble %v", spec.Task)
+	}
+	return out, nil
+}
+
+var _ core.Engine = (*Engine)(nil)

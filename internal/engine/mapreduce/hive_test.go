@@ -1,0 +1,232 @@
+package mapreduce
+
+import (
+	"math"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func makeSources(t *testing.T, consumers, days int) (map[string]*meterdata.Source, *timeseries.Dataset) {
+	t.Helper()
+	ds, err := seed.Generate(seed.Config{Consumers: consumers, Days: days, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[string]*meterdata.Source{}
+	s1, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["format1"] = s1
+	s2, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatSeriesPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["format2"] = s2
+	s3, err := meterdata.WriteGrouped(t.TempDir(), ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["format3"] = s3
+	back, err := meterdata.ReadDataset(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srcs, back
+}
+
+func checkAgainstReference(t *testing.T, got *core.Results, ref *timeseries.Dataset, spec core.Spec) {
+	t.Helper()
+	want, err := core.RunReference(ref, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != want.Count() {
+		t.Fatalf("task %v: count %d vs %d", spec.Task, got.Count(), want.Count())
+	}
+	switch spec.Task {
+	case core.TaskHistogram:
+		for i := range want.Histograms {
+			g, w := got.Histograms[i], want.Histograms[i]
+			if g.ID != w.ID {
+				t.Fatalf("histogram %d: ID %d vs %d", i, g.ID, w.ID)
+			}
+			for b := range w.Histogram.Counts {
+				if g.Histogram.Counts[b] != w.Histogram.Counts[b] {
+					t.Fatalf("histogram %d bucket %d: %d vs %d", i, b,
+						g.Histogram.Counts[b], w.Histogram.Counts[b])
+				}
+			}
+		}
+	case core.TaskThreeLine:
+		for i := range want.ThreeLines {
+			g, w := got.ThreeLines[i], want.ThreeLines[i]
+			if g.ID != w.ID || math.Abs(g.HeatingGradient-w.HeatingGradient) > 1e-9 ||
+				math.Abs(g.BaseLoad-w.BaseLoad) > 1e-9 {
+				t.Fatalf("3-line %d: %+v vs %+v", i, g, w)
+			}
+		}
+	case core.TaskPAR:
+		for i := range want.Profiles {
+			g, w := got.Profiles[i], want.Profiles[i]
+			if g.ID != w.ID {
+				t.Fatalf("PAR %d: ID mismatch", i)
+			}
+			for h := range w.Profile {
+				if math.Abs(g.Profile[h]-w.Profile[h]) > 1e-9 {
+					t.Fatalf("PAR %d hour %d: %g vs %g", i, h, g.Profile[h], w.Profile[h])
+				}
+			}
+		}
+	case core.TaskSimilarity:
+		for i := range want.Similar {
+			g, w := got.Similar[i], want.Similar[i]
+			if g.ID != w.ID || len(g.Matches) != len(w.Matches) {
+				t.Fatalf("similarity %d: shape", i)
+			}
+			for j := range w.Matches {
+				if g.Matches[j].ID != w.Matches[j].ID ||
+					math.Abs(g.Matches[j].Score-w.Matches[j].Score) > 1e-9 {
+					t.Fatalf("similarity %d match %d: %+v vs %+v", i, j, g.Matches[j], w.Matches[j])
+				}
+			}
+		}
+	}
+}
+
+func TestHiveAllFormatsAllTasks(t *testing.T) {
+	srcs, ref := makeSources(t, 5, 30)
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			fs := testFS(t, 4)
+			e := New(fs)
+			st, err := e.Load(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Consumers != 5 {
+				t.Errorf("consumers = %d", st.Consumers)
+			}
+			for _, task := range core.Tasks {
+				spec := core.Spec{Task: task, K: 3}
+				got, err := e.Run(spec)
+				if err != nil {
+					t.Fatalf("%v: %v", task, err)
+				}
+				checkAgainstReference(t, got, ref, spec)
+			}
+		})
+	}
+}
+
+func TestHiveStyles(t *testing.T) {
+	srcs, ref := makeSources(t, 4, 20)
+	// UDTF and UDAF both work on format 3 (the Figure 18 comparison).
+	for _, style := range []Style{StyleUDTF, StyleUDAF} {
+		fs := testFS(t, 4)
+		e := New(fs, WithStyle(style))
+		if _, err := e.Load(srcs["format3"]); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Run(core.Spec{Task: core.TaskHistogram})
+		if err != nil {
+			t.Fatalf("style %v: %v", style, err)
+		}
+		checkAgainstReference(t, got, ref, core.Spec{Task: core.TaskHistogram})
+	}
+	// UDF style on format 1 input is a configuration error.
+	fs := testFS(t, 2)
+	e := New(fs, WithStyle(StyleUDF))
+	if _, err := e.Load(srcs["format1"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err == nil {
+		t.Error("UDF on format 1: want error")
+	}
+	// UDTF style on series-per-line input is a configuration error.
+	e2 := New(testFS(t, 2), WithStyle(StyleUDTF))
+	if _, err := e2.Load(srcs["format2"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Run(core.Spec{Task: core.TaskHistogram}); err == nil {
+		t.Error("UDTF on format 2: want error")
+	}
+}
+
+func TestHiveUDAFShufflesMoreThanUDF(t *testing.T) {
+	srcs, _ := makeSources(t, 6, 30)
+	moved := map[string]int64{}
+	for name, src := range map[string]*meterdata.Source{
+		"format1": srcs["format1"], "format2": srcs["format2"],
+	} {
+		fs := testFS(t, 4)
+		e := New(fs)
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		fs.Cluster().ResetStats()
+		if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != nil {
+			t.Fatal(err)
+		}
+		moved[name] = fs.Cluster().Stats().BytesMoved
+	}
+	if moved["format1"] <= moved["format2"] {
+		t.Errorf("format1 moved %d bytes, format2 %d — shuffle should dominate",
+			moved["format1"], moved["format2"])
+	}
+}
+
+func TestHiveRunWithoutLoad(t *testing.T) {
+	e := New(testFS(t, 2))
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != core.ErrNotLoaded {
+		t.Errorf("err = %v", err)
+	}
+	if err := e.Release(); err != nil {
+		t.Errorf("release: %v", err)
+	}
+	if e.Name() == "" || e.Capabilities().Histogram != core.SupportBuiltin {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestHiveWithReducers(t *testing.T) {
+	srcs, ref := makeSources(t, 4, 15)
+	e := New(testFS(t, 4), WithReducers(7))
+	if _, err := e.Load(srcs["format1"]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Run(core.Spec{Task: core.TaskPAR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, got, ref, core.Spec{Task: core.TaskPAR})
+}
+
+// TestHiveSurvivesInjectedFailures runs the full format-1 pipeline with
+// a 30% injected task failure rate and a dead DFS node: results must be
+// identical to a failure-free run.
+func TestHiveSurvivesInjectedFailures(t *testing.T) {
+	srcs, ref := makeSources(t, 5, 20)
+	fs := testFS(t, 4)
+	fs.Cluster().InjectFailures(0.3, 50, 7)
+	fs.KillNode(2)
+	e := New(fs)
+	if _, err := e.Load(srcs["format1"]); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range core.Tasks {
+		spec := core.Spec{Task: task, K: 3}
+		got, err := e.Run(spec)
+		if err != nil {
+			t.Fatalf("%v under failures: %v", task, err)
+		}
+		checkAgainstReference(t, got, ref, spec)
+	}
+	if fs.Cluster().Stats().TaskRetries == 0 {
+		t.Error("no retries happened at 30% failure rate")
+	}
+}

@@ -1,0 +1,231 @@
+// Package mapreduce implements the benchmark's Hive analogue: a
+// MapReduce execution framework over the simulated cluster and DFS, plus
+// the three user-defined-function styles the paper uses for the three
+// data formats (§5.4.2):
+//
+//   - UDAF (format 1): map tasks emit one pair per reading; a shuffle
+//     groups readings by household; reduce tasks assemble each series and
+//     compute the analytic. The I/O-intensive shuffle is exactly why
+//     format 1 is slowest in Figures 13 and 16.
+//   - generic UDF (format 2): each line already holds a whole series, so
+//     a map-only job suffices — no shuffle.
+//   - UDTF (format 3): files are non-splittable, so one mapper sees each
+//     household completely and aggregates map-side — again no reduce.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"github.com/smartmeter/smartbench/internal/distsim"
+	"github.com/smartmeter/smartbench/internal/engine/dfs"
+)
+
+// Pair is one intermediate key/value record. Bytes approximates its
+// serialized size for shuffle cost accounting.
+type Pair struct {
+	Key   int64
+	Value interface{}
+	Bytes int64
+}
+
+// Mapper consumes one input split and emits intermediate pairs.
+type Mapper func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error
+
+// Reducer consumes all values for one key and emits final results.
+type Reducer func(key int64, values []interface{}, ctx *distsim.TaskCtx, emit func(interface{})) error
+
+// Job describes one MapReduce job.
+type Job struct {
+	FS *dfs.FS
+	// Inputs are DFS file names.
+	Inputs []string
+	// Splittable controls whether blocks or whole files become splits.
+	Splittable bool
+	// Map is required.
+	Map Mapper
+	// Reduce is optional; nil makes the job map-only and the map
+	// emissions become the job's output values.
+	Reduce Reducer
+	// Reducers is the reduce task count (default: cluster node count).
+	Reducers int
+}
+
+// mapOutput is one map task's locally partitioned emissions.
+type mapOutput struct {
+	node  int
+	parts [][]Pair
+	bytes []int64
+}
+
+// Run executes the job and returns the output values (map emissions for
+// map-only jobs, reduce emissions otherwise). Output order is
+// deterministic: by input split then emission order for map-only jobs,
+// by key for reduce jobs.
+func (j *Job) Run() ([]interface{}, error) {
+	if j.FS == nil || j.Map == nil {
+		return nil, fmt.Errorf("mapreduce: job needs FS and Map")
+	}
+	cluster := j.FS.Cluster()
+	splits, err := j.FS.Splits(j.Inputs, j.Splittable)
+	if err != nil {
+		return nil, err
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("mapreduce: no input splits")
+	}
+	reducers := j.Reducers
+	if reducers <= 0 {
+		reducers = cluster.Nodes()
+	}
+	mapOnly := j.Reduce == nil
+	if mapOnly {
+		reducers = 1
+	}
+
+	// Map phase: one task per split, scheduled data-locally.
+	outputs := make([]*mapOutput, len(splits))
+	tasks := make([]distsim.Task, len(splits))
+	for i := range splits {
+		i := i
+		split := &splits[i]
+		tasks[i] = distsim.Task{
+			PreferredNodes: split.PreferredNodes,
+			Fn: func(ctx *distsim.TaskCtx) error {
+				// Reading the split costs network unless data-local.
+				for _, b := range split.Blocks {
+					ctx.ReadBlock(b.Nodes, int64(len(b.Data)))
+				}
+				ctx.Alloc(split.Bytes())
+				defer ctx.Free(split.Bytes())
+				ctx.Compute(split.Bytes())
+				out := &mapOutput{node: ctx.Node(), parts: make([][]Pair, reducers), bytes: make([]int64, reducers)}
+				err := j.Map(split, ctx, func(p Pair) error {
+					part := 0
+					if reducers > 1 {
+						part = int(hashKey(p.Key) % uint64(reducers))
+					}
+					out.parts[part] = append(out.parts[part], p)
+					out.bytes[part] += p.Bytes
+					ctx.Alloc(p.Bytes)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				outputs[i] = out
+				return nil
+			},
+		}
+	}
+	if err := cluster.Run(tasks); err != nil {
+		return nil, err
+	}
+
+	if mapOnly {
+		var results []interface{}
+		for _, out := range outputs {
+			for _, p := range out.parts[0] {
+				results = append(results, p.Value)
+			}
+		}
+		return results, nil
+	}
+
+	// Shuffle: move each map partition to its reducer's node.
+	reduceNode := make([]int, reducers)
+	for p := range reduceNode {
+		reduceNode[p] = p % cluster.Nodes()
+	}
+	var moves []distsim.Move
+	for _, out := range outputs {
+		for p := 0; p < reducers; p++ {
+			if out.bytes[p] > 0 {
+				moves = append(moves, distsim.Move{From: out.node, To: reduceNode[p], Bytes: out.bytes[p]})
+			}
+		}
+	}
+	cluster.TransferConcurrent(moves)
+
+	// Reduce phase: group by key within each partition.
+	type keyed struct {
+		key int64
+		out []interface{}
+	}
+	partResults := make([][]keyed, reducers)
+	rtasks := make([]distsim.Task, reducers)
+	for p := 0; p < reducers; p++ {
+		p := p
+		rtasks[p] = distsim.Task{
+			PreferredNodes: []int{reduceNode[p]},
+			Fn: func(ctx *distsim.TaskCtx) error {
+				groups := make(map[int64][]interface{})
+				var held int64
+				for _, out := range outputs {
+					for _, pair := range out.parts[p] {
+						groups[pair.Key] = append(groups[pair.Key], pair.Value)
+					}
+					held += out.bytes[p]
+				}
+				ctx.Alloc(held)
+				defer ctx.Free(held)
+				ctx.Compute(held)
+				keys := make([]int64, 0, len(groups))
+				for k := range groups {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				for _, k := range keys {
+					kr := keyed{key: k}
+					if err := j.Reduce(k, groups[k], ctx, func(v interface{}) {
+						kr.out = append(kr.out, v)
+					}); err != nil {
+						return err
+					}
+					partResults[p] = append(partResults[p], kr)
+				}
+				return nil
+			},
+		}
+	}
+	if err := cluster.Run(rtasks); err != nil {
+		return nil, err
+	}
+
+	// Merge partitions by key for deterministic output.
+	var all []keyed
+	for _, pr := range partResults {
+		all = append(all, pr...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	var results []interface{}
+	for _, kr := range all {
+		results = append(results, kr.out...)
+	}
+	return results, nil
+}
+
+func hashKey(k int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(k >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// concurrent-safe append helper used by engines collecting results from
+// parallel tasks.
+type resultSink struct {
+	mu  sync.Mutex
+	out []interface{}
+}
+
+func (r *resultSink) add(v interface{}) {
+	r.mu.Lock()
+	r.out = append(r.out, v)
+	r.mu.Unlock()
+}

@@ -1,0 +1,203 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smartmeter/smartbench/internal/distsim"
+	"github.com/smartmeter/smartbench/internal/engine/dfs"
+)
+
+func testFS(t *testing.T, nodes int) *dfs.FS {
+	t.Helper()
+	c, err := distsim.New(distsim.Config{
+		Nodes: nodes, SlotsPerNode: 4,
+		TransferLatency: time.Microsecond, BytesPerSecond: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := dfs.New(c, dfs.WithBlockSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// wordcount-style fixture: lines of "key value".
+func writeNumbers(t *testing.T, fs *dfs.FS, name string, n int) {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", i%5, i)
+	}
+	if err := fs.Write(name, []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func parseLineMapper(split *dfs.Split, _ *distsim.TaskCtx, emit func(Pair) error) error {
+	for _, line := range strings.Split(string(split.Data()), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.Fields(line)
+		k, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		if err := emit(Pair{Key: k, Value: v, Bytes: 16}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestMapReduceSum(t *testing.T) {
+	fs := testFS(t, 4)
+	writeNumbers(t, fs, "nums", 100)
+	job := &Job{
+		FS:         fs,
+		Inputs:     []string{"nums"},
+		Splittable: true,
+		Map:        parseLineMapper,
+		Reduce: func(key int64, values []interface{}, _ *distsim.TaskCtx, emit func(interface{})) error {
+			var sum int64
+			for _, v := range values {
+				sum += v.(int64)
+			}
+			emit([2]int64{key, sum})
+			return nil
+		},
+	}
+	out, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+	// Sum of i for i%5==k, i<100: arithmetic series.
+	want := map[int64]int64{}
+	for i := int64(0); i < 100; i++ {
+		want[i%5] += i
+	}
+	for _, v := range out {
+		kv := v.([2]int64)
+		if want[kv[0]] != kv[1] {
+			t.Errorf("key %d sum = %d, want %d", kv[0], kv[1], want[kv[0]])
+		}
+	}
+	// Reduce output is sorted by key.
+	for i := 1; i < len(out); i++ {
+		if out[i].([2]int64)[0] <= out[i-1].([2]int64)[0] {
+			t.Error("reduce output not sorted by key")
+		}
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	fs := testFS(t, 4)
+	writeNumbers(t, fs, "nums", 20)
+	job := &Job{
+		FS:         fs,
+		Inputs:     []string{"nums"},
+		Splittable: true,
+		Map: func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error {
+			return parseLineMapper(split, ctx, func(p Pair) error {
+				p.Value = p.Value.(int64) * 2
+				return emit(p)
+			})
+		},
+	}
+	before := fs.Cluster().Stats().BytesMoved
+	out, err := job.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+	// Map-only jobs shuffle nothing beyond any non-local block reads.
+	after := fs.Cluster().Stats()
+	if after.Transfers > before+int64(after.RemoteReads) {
+		t.Errorf("map-only job transferred: %+v", after)
+	}
+}
+
+func TestShuffleChargesNetwork(t *testing.T) {
+	fs := testFS(t, 4)
+	writeNumbers(t, fs, "nums", 500)
+	job := &Job{
+		FS: fs, Inputs: []string{"nums"}, Splittable: true,
+		Map: parseLineMapper,
+		Reduce: func(key int64, values []interface{}, _ *distsim.TaskCtx, emit func(interface{})) error {
+			emit(int64(len(values)))
+			return nil
+		},
+	}
+	fs.Cluster().ResetStats()
+	if _, err := job.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Cluster().Stats().BytesMoved == 0 {
+		t.Error("reduce job moved no bytes")
+	}
+}
+
+func TestJobErrors(t *testing.T) {
+	fs := testFS(t, 2)
+	if _, err := (&Job{}).Run(); err == nil {
+		t.Error("missing FS/Map: want error")
+	}
+	job := &Job{FS: fs, Inputs: []string{"missing"}, Map: parseLineMapper}
+	if _, err := job.Run(); err == nil {
+		t.Error("missing input: want error")
+	}
+	// Mapper errors propagate.
+	writeNumbers(t, fs, "nums", 10)
+	boom := errors.New("boom")
+	bad := &Job{FS: fs, Inputs: []string{"nums"}, Splittable: true,
+		Map: func(*dfs.Split, *distsim.TaskCtx, func(Pair) error) error { return boom }}
+	if _, err := bad.Run(); err != boom {
+		t.Errorf("mapper err = %v", err)
+	}
+	// Reducer errors propagate.
+	badReduce := &Job{FS: fs, Inputs: []string{"nums"}, Splittable: true,
+		Map: parseLineMapper,
+		Reduce: func(int64, []interface{}, *distsim.TaskCtx, func(interface{})) error {
+			return boom
+		}}
+	if _, err := badReduce.Run(); err != boom {
+		t.Errorf("reducer err = %v", err)
+	}
+}
+
+func TestReducerCountControlsPartitions(t *testing.T) {
+	fs := testFS(t, 4)
+	writeNumbers(t, fs, "nums", 200)
+	for _, reducers := range []int{1, 3, 8} {
+		job := &Job{FS: fs, Inputs: []string{"nums"}, Splittable: true,
+			Reducers: reducers,
+			Map:      parseLineMapper,
+			Reduce: func(key int64, values []interface{}, _ *distsim.TaskCtx, emit func(interface{})) error {
+				emit(key)
+				return nil
+			}}
+		out, err := job.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 5 {
+			t.Errorf("reducers=%d: outputs = %d", reducers, len(out))
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smartmeter/smartbench/internal/distsim"
+	"github.com/smartmeter/smartbench/internal/engine/dfs"
+)
+
+func testCtx(t *testing.T, nodes int) (*Context, *dfs.FS) {
+	t.Helper()
+	c, err := distsim.New(distsim.Config{
+		Nodes: nodes, SlotsPerNode: 4,
+		TransferLatency: time.Microsecond, BytesPerSecond: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := dfs.New(c, dfs.WithBlockSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(c)
+	ctx.TaskOverhead = 0
+	return ctx, fs
+}
+
+func numberDataset(t *testing.T, ctx *Context, fs *dfs.FS, n int) *Dataset {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", i%4, i)
+	}
+	if err := fs.Write("nums", []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := fs.Splits([]string{"nums"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ctx.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
+		for _, line := range strings.Split(string(split.Data()), "\n") {
+			if line == "" {
+				continue
+			}
+			f := strings.Fields(line)
+			k, _ := strconv.ParseInt(f[0], 10, 64)
+			v, _ := strconv.ParseInt(f[1], 10, 64)
+			emit(Record{Key: k, Value: v, Bytes: 16})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFromSplitsAndCollect(t *testing.T) {
+	ctx, fs := testCtx(t, 4)
+	d := numberDataset(t, ctx, fs, 100)
+	if d.Count() != 100 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if d.Partitions() < 2 {
+		t.Errorf("partitions = %d, want several", d.Partitions())
+	}
+	recs := d.Collect()
+	if len(recs) != 100 {
+		t.Fatalf("collected = %d", len(recs))
+	}
+}
+
+func TestMapTransform(t *testing.T) {
+	ctx, fs := testCtx(t, 2)
+	d := numberDataset(t, ctx, fs, 20)
+	doubled, err := d.Map(func(r Record) (Record, error) {
+		r.Value = r.Value.(int64) * 2
+		return r, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := int64(0)
+	for _, r := range doubled.Collect() {
+		sum += r.Value.(int64)
+	}
+	if sum != 2*19*20/2 {
+		t.Errorf("sum = %d", sum)
+	}
+	// Map errors propagate.
+	boom := errors.New("boom")
+	if _, err := d.Map(func(Record) (Record, error) { return Record{}, boom }); err != boom {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx, fs := testCtx(t, 4)
+	d := numberDataset(t, ctx, fs, 100)
+	fs.Cluster().ResetStats()
+	g, err := d.GroupByKey(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Collect()
+	if len(recs) != 4 {
+		t.Fatalf("groups = %d", len(recs))
+	}
+	total := 0
+	for _, r := range recs {
+		values := r.Value.([]interface{})
+		total += len(values)
+		for _, v := range values {
+			if v.(int64)%4 != r.Key {
+				t.Fatalf("key %d got value %v", r.Key, v)
+			}
+		}
+	}
+	if total != 100 {
+		t.Errorf("grouped values = %d", total)
+	}
+}
+
+func TestPersistAccountsMemory(t *testing.T) {
+	ctx, fs := testCtx(t, 2)
+	d := numberDataset(t, ctx, fs, 50)
+	cluster := fs.Cluster()
+	cluster.ResetStats()
+	d.Persist()
+	if cluster.Stats().PeakMemory() < 50*16 {
+		t.Errorf("peak = %d, want >= %d", cluster.Stats().PeakMemory(), 50*16)
+	}
+	d.Persist() // idempotent
+	d.Unpersist()
+	d.Unpersist() // idempotent
+}
+
+func TestBroadcastChargesAllNodes(t *testing.T) {
+	ctx, fs := testCtx(t, 5)
+	cluster := fs.Cluster()
+	cluster.ResetStats()
+	bc := ctx.Broadcast("payload", 1000)
+	if bc.Value.(string) != "payload" {
+		t.Error("broadcast value lost")
+	}
+	s := cluster.Stats()
+	if s.Transfers != 5 || s.BytesMoved != 5000 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTaskOverheadCharged(t *testing.T) {
+	ctx, fs := testCtx(t, 2)
+	// Write many tiny files: one non-splittable partition each.
+	var names []string
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("f%d", i)
+		fs.Write(name, []byte("1 1\n"))
+		names = append(names, name)
+	}
+	splits, err := fs.Splits(names, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.TaskOverhead = 2 * time.Millisecond
+	start := time.Now()
+	_, err = ctx.FromSplits(splits, func(*dfs.Split, func(Record)) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Errorf("dispatch took %v, want >= 40ms for 20 tasks at 2ms", d)
+	}
+}
+
+func TestFromSplitsEmpty(t *testing.T) {
+	ctx, _ := testCtx(t, 2)
+	if _, err := ctx.FromSplits(nil, nil); err == nil {
+		t.Error("no splits: want error")
+	}
+}

@@ -1,0 +1,195 @@
+package rdd
+
+import (
+	"math"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func makeSources(t *testing.T, consumers, days int) (map[string]*meterdata.Source, *timeseries.Dataset) {
+	t.Helper()
+	ds, err := seed.Generate(seed.Config{Consumers: consumers, Days: days, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[string]*meterdata.Source{}
+	s1, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["format1"] = s1
+	s2, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatSeriesPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["format2"] = s2
+	s3, err := meterdata.WriteGrouped(t.TempDir(), ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs["format3"] = s3
+	back, err := meterdata.ReadDataset(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srcs, back
+}
+
+func TestSparkAllFormatsAllTasks(t *testing.T) {
+	srcs, ref := makeSources(t, 5, 30)
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			_, fs := testCtx(t, 4)
+			e := New(fs)
+			st, err := e.Load(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Consumers != 5 {
+				t.Errorf("consumers = %d", st.Consumers)
+			}
+			for _, task := range core.Tasks {
+				spec := core.Spec{Task: task, K: 3}
+				got, err := e.Run(spec)
+				if err != nil {
+					t.Fatalf("%v: %v", task, err)
+				}
+				want, err := core.RunReference(ref, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Count() != want.Count() {
+					t.Fatalf("%v: count %d vs %d", task, got.Count(), want.Count())
+				}
+				verifyResults(t, got, want)
+			}
+		})
+	}
+}
+
+func verifyResults(t *testing.T, got, want *core.Results) {
+	t.Helper()
+	switch got.Task {
+	case core.TaskHistogram:
+		for i := range want.Histograms {
+			g, w := got.Histograms[i], want.Histograms[i]
+			if g.ID != w.ID {
+				t.Fatalf("histogram %d ID mismatch", i)
+			}
+			for b := range w.Histogram.Counts {
+				if g.Histogram.Counts[b] != w.Histogram.Counts[b] {
+					t.Fatalf("histogram %d bucket %d", i, b)
+				}
+			}
+		}
+	case core.TaskThreeLine:
+		for i := range want.ThreeLines {
+			if math.Abs(got.ThreeLines[i].HeatingGradient-want.ThreeLines[i].HeatingGradient) > 1e-9 {
+				t.Fatalf("3-line %d gradient", i)
+			}
+		}
+	case core.TaskPAR:
+		for i := range want.Profiles {
+			for h := range want.Profiles[i].Profile {
+				if math.Abs(got.Profiles[i].Profile[h]-want.Profiles[i].Profile[h]) > 1e-9 {
+					t.Fatalf("PAR %d hour %d", i, h)
+				}
+			}
+		}
+	case core.TaskSimilarity:
+		for i := range want.Similar {
+			g, w := got.Similar[i], want.Similar[i]
+			if g.ID != w.ID || len(g.Matches) != len(w.Matches) {
+				t.Fatalf("similarity %d shape", i)
+			}
+			for j := range w.Matches {
+				if g.Matches[j].ID != w.Matches[j].ID ||
+					math.Abs(g.Matches[j].Score-w.Matches[j].Score) > 1e-9 {
+					t.Fatalf("similarity %d match %d", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSparkShuffleOnlyForFormat1(t *testing.T) {
+	srcs, _ := makeSources(t, 6, 30)
+	moved := map[string]int64{}
+	for _, name := range []string{"format1", "format2"} {
+		_, fs := testCtx(t, 4)
+		e := New(fs)
+		if _, err := e.Load(srcs[name]); err != nil {
+			t.Fatal(err)
+		}
+		fs.Cluster().ResetStats()
+		if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != nil {
+			t.Fatal(err)
+		}
+		moved[name] = fs.Cluster().Stats().BytesMoved
+	}
+	if moved["format1"] <= moved["format2"] {
+		t.Errorf("format1 moved %d, format2 %d", moved["format1"], moved["format2"])
+	}
+}
+
+func TestSparkMemoryExceedsZeroWhenPersisted(t *testing.T) {
+	srcs, _ := makeSources(t, 4, 20)
+	_, fs := testCtx(t, 4)
+	e := New(fs)
+	if _, err := e.Load(srcs["format2"]); err != nil {
+		t.Fatal(err)
+	}
+	fs.Cluster().ResetStats()
+	if _, err := e.Run(core.Spec{Task: core.TaskPAR}); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Cluster().Stats().PeakMemory() == 0 {
+		t.Error("no memory accounted for persisted RDDs")
+	}
+}
+
+func TestSparkRunWithoutLoad(t *testing.T) {
+	_, fs := testCtx(t, 2)
+	e := New(fs)
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != core.ErrNotLoaded {
+		t.Errorf("err = %v", err)
+	}
+	if err := e.Release(); err != nil {
+		t.Errorf("release: %v", err)
+	}
+	if e.Capabilities().Regression != core.SupportThirdParty {
+		t.Error("capabilities")
+	}
+}
+
+// TestSparkSurvivesInjectedFailures mirrors the Hive failure test: a
+// lossy cluster must still produce exact results.
+func TestSparkSurvivesInjectedFailures(t *testing.T) {
+	srcs, ref := makeSources(t, 5, 20)
+	_, fs := testCtx(t, 4)
+	fs.Cluster().InjectFailures(0.3, 50, 9)
+	fs.KillNode(1)
+	e := New(fs)
+	if _, err := e.Load(srcs["format2"]); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range core.Tasks {
+		spec := core.Spec{Task: task, K: 3}
+		got, err := e.Run(spec)
+		if err != nil {
+			t.Fatalf("%v under failures: %v", task, err)
+		}
+		want, err := core.RunReference(ref, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyResults(t, got, want)
+	}
+	if fs.Cluster().Stats().TaskRetries == 0 {
+		t.Error("no retries recorded")
+	}
+}

@@ -1,0 +1,196 @@
+package generator
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/threeline"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+	"github.com/smartmeter/smartbench/internal/weather"
+)
+
+func seedDataset(t *testing.T, consumers, days int) *timeseries.Dataset {
+	t.Helper()
+	ds, err := seed.Generate(seed.Config{Consumers: consumers, Days: days, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewAndDataset(t *testing.T) {
+	seedDS := seedDataset(t, 12, 120)
+	g, err := New(seedDS, Config{Clusters: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Clusters().Centroids); got != 4 {
+		t.Fatalf("clusters = %d", got)
+	}
+	out, err := g.Dataset(30, seedDS.Temperature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("synthetic dataset invalid: %v", err)
+	}
+	if len(out.Series) != 30 {
+		t.Fatalf("series = %d", len(out.Series))
+	}
+	for i, s := range out.Series {
+		if s.ID != timeseries.ID(i+1) {
+			t.Errorf("series %d ID = %d", i, s.ID)
+		}
+	}
+}
+
+func TestSyntheticConsumersAreRealistic(t *testing.T) {
+	seedDS := seedDataset(t, 15, 365)
+	g, err := New(seedDS, Config{Clusters: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.Dataset(10, seedDS.Temperature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean consumption of synthetic consumers within the seed's range
+	// (order-of-magnitude realism).
+	seedMeans := datasetMeanRange(seedDS)
+	for _, s := range out.Series {
+		m, _ := stats.Mean(s.Readings)
+		if m < seedMeans[0]*0.3 || m > seedMeans[1]*3 {
+			t.Errorf("synthetic consumer %d mean %g outside seed range [%g, %g]",
+				s.ID, m, seedMeans[0], seedMeans[1])
+		}
+	}
+	// Synthetic consumers must respond to temperature: the 3-line
+	// algorithm should find a positive heating gradient for at least
+	// most of them (the seed climate is heating-dominated).
+	positive := 0
+	for _, s := range out.Series {
+		r, err := threeline.Compute(s, out.Temperature)
+		if err != nil {
+			t.Fatalf("3-line on synthetic consumer: %v", err)
+		}
+		if r.HeatingGradient > 0 {
+			positive++
+		}
+	}
+	if positive < len(out.Series)*2/3 {
+		t.Errorf("only %d/%d synthetic consumers show heating response", positive, len(out.Series))
+	}
+}
+
+func datasetMeanRange(d *timeseries.Dataset) [2]float64 {
+	lo, hi := 1e18, -1e18
+	for _, s := range d.Series {
+		m, _ := stats.Mean(s.Readings)
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	return [2]float64{lo, hi}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	seedDS := seedDataset(t, 8, 90)
+	g1, err := New(seedDS, Config{Clusters: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(seedDS, Config{Clusters: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := g1.Dataset(5, seedDS.Temperature)
+	b, _ := g2.Dataset(5, seedDS.Temperature)
+	for i := range a.Series {
+		for j := range a.Series[i].Readings {
+			if a.Series[i].Readings[j] != b.Series[i].Readings[j] {
+				t.Fatal("same seed produced different synthetic data")
+			}
+		}
+	}
+}
+
+func TestNextSeriesSequentialIDs(t *testing.T) {
+	seedDS := seedDataset(t, 6, 60)
+	g, err := New(seedDS, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := g.NextSeries(seedDS.Temperature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := g.NextSeries(seedDS.Temperature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ID != 1 || s2.ID != 2 {
+		t.Errorf("IDs = %d, %d", s1.ID, s2.ID)
+	}
+}
+
+func TestSeriesAgainstDifferentTemperatureYear(t *testing.T) {
+	// The generator can synthesize against any temperature series, e.g.
+	// a different weather year (paper: "we then need to input a
+	// temperature time series for the new consumer").
+	seedDS := seedDataset(t, 6, 365)
+	g, err := New(seedDS, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherYear := weather.GenerateYear(999)
+	s, err := g.Series(50, otherYear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != 50 || len(s.Readings) != len(otherYear.Values) {
+		t.Errorf("series = %d readings, ID %d", len(s.Readings), s.ID)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	tiny := &timeseries.Dataset{Series: []*timeseries.Series{{ID: 1}}}
+	if _, err := New(tiny, Config{}); err != ErrSeedTooSmall {
+		t.Errorf("tiny seed err = %v", err)
+	}
+	seedDS := seedDataset(t, 5, 60)
+	if _, err := New(seedDS, Config{NoiseStdDev: -1}); err == nil {
+		t.Error("negative sigma: want error")
+	}
+	if _, err := New(seedDS, Config{HeatingRef: 25, CoolingRef: 10}); err == nil {
+		t.Error("inverted refs: want error")
+	}
+	// Clusters above seed size are clamped, not an error.
+	g, err := New(seedDS, Config{Clusters: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Clusters().Centroids) != 5 {
+		t.Errorf("clamped clusters = %d, want 5", len(g.Clusters().Centroids))
+	}
+}
+
+func TestDatasetErrors(t *testing.T) {
+	seedDS := seedDataset(t, 5, 60)
+	g, err := New(seedDS, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Dataset(0, seedDS.Temperature); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := g.Series(1, &timeseries.Temperature{Values: make([]float64, 25)}); err == nil {
+		t.Error("bad temperature length: want error")
+	}
+}

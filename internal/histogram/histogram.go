@@ -1,0 +1,50 @@
+// Package histogram implements benchmark task 1 (paper §3.1):
+// per-consumer equi-width histograms of hourly consumption that summarize
+// how variable each household's usage is.
+package histogram
+
+import (
+	"fmt"
+
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// DefaultBuckets is the bucket count fixed by the benchmark definition.
+const DefaultBuckets = 10
+
+// Result is the histogram for one consumer.
+type Result struct {
+	ID        timeseries.ID
+	Histogram *stats.Histogram
+}
+
+// Compute builds the equi-width histogram of one consumer's hourly
+// readings using the benchmark's 10 buckets.
+func Compute(s *timeseries.Series) (*Result, error) {
+	return ComputeBuckets(s, DefaultBuckets)
+}
+
+// ComputeBuckets is Compute with a configurable bucket count.
+func ComputeBuckets(s *timeseries.Series, buckets int) (*Result, error) {
+	h, err := stats.NewHistogram(s.Readings, buckets)
+	if err != nil {
+		return nil, fmt.Errorf("histogram: consumer %d: %w", s.ID, err)
+	}
+	return &Result{ID: s.ID, Histogram: h}, nil
+}
+
+// ComputeAll builds histograms for every series in the dataset, in input
+// order. The task is embarrassingly parallel; this is the sequential
+// reference implementation used by the engines' single-threaded modes.
+func ComputeAll(d *timeseries.Dataset) ([]*Result, error) {
+	out := make([]*Result, 0, len(d.Series))
+	for _, s := range d.Series {
+		r, err := Compute(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

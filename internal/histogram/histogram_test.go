@@ -1,0 +1,77 @@
+package histogram
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func TestComputeCountsEveryReading(t *testing.T) {
+	s := &timeseries.Series{ID: 7, Readings: make([]float64, 48)}
+	for i := range s.Readings {
+		s.Readings[i] = float64(i % 10)
+	}
+	r, err := Compute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 7 {
+		t.Errorf("ID = %d", r.ID)
+	}
+	if len(r.Histogram.Counts) != DefaultBuckets {
+		t.Errorf("buckets = %d, want %d", len(r.Histogram.Counts), DefaultBuckets)
+	}
+	if r.Histogram.Total() != 48 {
+		t.Errorf("Total = %d, want 48", r.Histogram.Total())
+	}
+}
+
+func TestComputeBucketsCustom(t *testing.T) {
+	s := &timeseries.Series{ID: 1, Readings: []float64{0, 1, 2, 3}}
+	r, err := ComputeBuckets(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Histogram.Counts) != 4 {
+		t.Errorf("buckets = %d", len(r.Histogram.Counts))
+	}
+	if _, err := ComputeBuckets(s, 0); err == nil {
+		t.Error("zero buckets: want error")
+	}
+	if _, err := Compute(&timeseries.Series{ID: 2}); err == nil {
+		t.Error("empty series: want error")
+	}
+}
+
+func TestComputeAllOnSeedData(t *testing.T) {
+	ds, err := seed.Generate(seed.Config{Consumers: 5, Days: 30, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ComputeAll(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, r := range rs {
+		if r.ID != ds.Series[i].ID {
+			t.Errorf("result %d ID = %d, want %d", i, r.ID, ds.Series[i].ID)
+		}
+		if got := r.Histogram.Total(); got != int64(len(ds.Series[i].Readings)) {
+			t.Errorf("consumer %d total = %d, want %d", r.ID, got, len(ds.Series[i].Readings))
+		}
+		if r.Histogram.Min < 0 {
+			t.Errorf("consumer %d min = %g, consumption cannot be negative", r.ID, r.Histogram.Min)
+		}
+	}
+}
+
+func TestComputeAllPropagatesError(t *testing.T) {
+	d := &timeseries.Dataset{Series: []*timeseries.Series{{ID: 1}}}
+	if _, err := ComputeAll(d); err == nil {
+		t.Error("empty series in dataset: want error")
+	}
+}

@@ -1,0 +1,208 @@
+package impute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func TestFindGaps(t *testing.T) {
+	r := []float64{1, Missing, Missing, 2, Missing, 3}
+	gaps := FindGaps(r)
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if gaps[0] != (Gap{1, 3}) || gaps[1] != (Gap{4, 5}) {
+		t.Errorf("gaps = %v", gaps)
+	}
+	if gaps[0].Len() != 2 {
+		t.Errorf("len = %d", gaps[0].Len())
+	}
+	if got := FindGaps([]float64{1, 2, 3}); len(got) != 0 {
+		t.Errorf("no-gap series: %v", got)
+	}
+}
+
+func TestLinearInterior(t *testing.T) {
+	r := []float64{1, Missing, Missing, 4}
+	out, err := Linear(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1] != 2 || out[2] != 3 {
+		t.Errorf("interpolated = %v", out)
+	}
+}
+
+func TestLinearEdges(t *testing.T) {
+	r := []float64{Missing, Missing, 5, 6, Missing}
+	out, err := Linear(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 5 || out[1] != 5 || out[4] != 6 {
+		t.Errorf("edges = %v", out)
+	}
+}
+
+func TestLinearAllMissing(t *testing.T) {
+	if _, err := Linear([]float64{Missing, Missing}); err != ErrAllMissing {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHistoricalMean(t *testing.T) {
+	// Two days; hour 1 of day 2 missing. Historical mean of hour 1 is
+	// taken from day 1.
+	r := make([]float64, 48)
+	for i := range r {
+		r[i] = float64(i % 24)
+	}
+	r[25] = Missing // day 2, hour 1 (value was 1)
+	out, err := HistoricalMean(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[25] != 1 {
+		t.Errorf("imputed = %g, want 1", out[25])
+	}
+	if _, err := HistoricalMean([]float64{Missing}); err != ErrAllMissing {
+		t.Errorf("all-missing err = %v", err)
+	}
+}
+
+func TestHybridSwitchesOnGapLength(t *testing.T) {
+	// 3 days of a sawtooth; a 2-hour gap (linear) and a 30-hour gap
+	// (historical).
+	days := 5
+	r := make([]float64, days*24)
+	for i := range r {
+		r[i] = float64(i % 24)
+	}
+	// Short gap: hours 25-26.
+	r[25], r[26] = Missing, Missing
+	// Long gap: hours 48-77.
+	for i := 48; i < 78; i++ {
+		r[i] = Missing
+	}
+	out, err := Hybrid(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short gap interpolates between r[24]=0 and r[27]=3 -> 1, 2.
+	if math.Abs(out[25]-1) > 1e-9 || math.Abs(out[26]-2) > 1e-9 {
+		t.Errorf("short gap = %g, %g", out[25], out[26])
+	}
+	// Long gap uses the hour-of-day mean, which equals the sawtooth value.
+	for i := 48; i < 78; i++ {
+		if math.Abs(out[i]-float64(i%24)) > 1e-9 {
+			t.Errorf("long gap at %d = %g, want %d", i, out[i], i%24)
+			break
+		}
+	}
+}
+
+func TestHybridNoGaps(t *testing.T) {
+	r := []float64{1, 2, 3}
+	out, err := Hybrid(r, 3)
+	if err != nil || &out[0] != &r[0] {
+		t.Errorf("no-gap hybrid changed the slice: %v, %v", out, err)
+	}
+	if _, err := Hybrid([]float64{Missing}, 3); err != ErrAllMissing {
+		t.Errorf("all missing: %v", err)
+	}
+}
+
+func TestCleanSeries(t *testing.T) {
+	ds, err := seed.Generate(seed.Config{Consumers: 1, Days: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Series[0]
+	rng := rand.New(rand.NewSource(4))
+	// Knock out 5% of readings.
+	for i := range s.Readings {
+		if rng.Float64() < 0.05 {
+			s.Readings[i] = Missing
+		}
+	}
+	if Fraction(s.Readings) == 0 {
+		t.Fatal("no holes punched")
+	}
+	if err := CleanSeries(s, 3); err != nil {
+		t.Fatal(err)
+	}
+	if Fraction(s.Readings) != 0 {
+		t.Error("holes remain after cleaning")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("cleaned series invalid: %v", err)
+	}
+}
+
+func TestFraction(t *testing.T) {
+	if Fraction(nil) != 0 {
+		t.Error("empty fraction")
+	}
+	if f := Fraction([]float64{1, Missing, 3, Missing}); f != 0.5 {
+		t.Errorf("fraction = %g", f)
+	}
+}
+
+// Properties shared by all imputers: no missing values remain, observed
+// values are untouched, and imputed values stay within the observed
+// range (for linear and historical-mean strategies).
+func TestImputersPropertiesQuick(t *testing.T) {
+	strategies := map[string]func([]float64) ([]float64, error){
+		"linear":     Linear,
+		"historical": HistoricalMean,
+		"hybrid":     func(r []float64) ([]float64, error) { return Hybrid(r, 3) },
+	}
+	for name, fn := range strategies {
+		fn := fn
+		t.Run(name, func(t *testing.T) {
+			f := func(seedVal int64) bool {
+				rng := rand.New(rand.NewSource(seedVal))
+				n := (rng.Intn(6) + 2) * timeseries.HoursPerDay
+				r := make([]float64, n)
+				for i := range r {
+					r[i] = rng.Float64() * 5
+				}
+				min, max := math.Inf(1), math.Inf(-1)
+				for _, v := range r {
+					min = math.Min(min, v)
+					max = math.Max(max, v)
+				}
+				orig := append([]float64(nil), r...)
+				// Punch random holes, but keep at least one observation.
+				holes := rng.Intn(n-1) + 1
+				for h := 0; h < holes; h++ {
+					r[rng.Intn(n)] = Missing
+				}
+				out, err := fn(r)
+				if err != nil {
+					return false
+				}
+				for i, v := range out {
+					if IsMissing(v) {
+						return false
+					}
+					if !IsMissing(r[i]) && !math.IsNaN(orig[i]) && r[i] == orig[i] {
+						continue // observed value untouched
+					}
+					if v < min-1e-9 || v > max+1e-9 {
+						return false // imputed outside observed range
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+// Package kmeans implements Lloyd's k-means algorithm with k-means++
+// seeding. The benchmark's data generator (paper §4) uses it to cluster
+// consumers' daily activity profiles; the segmentation example uses it
+// for customer segmentation.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result holds a clustering of n points into k clusters.
+type Result struct {
+	// Centroids holds k centroid vectors.
+	Centroids [][]float64
+	// Assign maps each input point index to its cluster index.
+	Assign []int
+	// Sizes holds the number of points per cluster.
+	Sizes []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is how many Lloyd iterations ran before convergence.
+	Iterations int
+}
+
+// Config controls the clustering.
+type Config struct {
+	// K is the number of clusters (required, >= 1).
+	K int
+	// MaxIter bounds the Lloyd iterations. Default 100.
+	MaxIter int
+	// Tol stops iteration when total centroid movement (squared) falls
+	// below it. Default 1e-9.
+	Tol float64
+	// Seed seeds the deterministic PRNG used by k-means++.
+	Seed int64
+}
+
+var (
+	// ErrNoPoints is returned for an empty input.
+	ErrNoPoints = errors.New("kmeans: no points")
+	// ErrBadK is returned when K < 1 or K > number of points.
+	ErrBadK = errors.New("kmeans: invalid K")
+)
+
+// Run clusters the points. All points must share one dimensionality.
+func Run(points [][]float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("%w: K=%d with %d points", ErrBadK, cfg.K, n)
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, errors.New("kmeans: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := seedPlusPlus(points, cfg.K, rng)
+	assign := make([]int, n)
+	sizes := make([]int, cfg.K)
+	res := &Result{}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		// Assignment step.
+		var inertia float64
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			sizes[best]++
+			inertia += bestD
+		}
+		res.Inertia = inertia
+
+		// Update step.
+		next := make([][]float64, cfg.K)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := next[assign[i]]
+			for j, v := range p {
+				c[j] += v
+			}
+		}
+		var moved float64
+		for c := range next {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid to keep K live clusters.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(next[c], points[far])
+			} else {
+				inv := 1 / float64(sizes[c])
+				for j := range next[c] {
+					next[c][j] *= inv
+				}
+			}
+			moved += sqDist(next[c], centroids[c])
+		}
+		centroids = next
+		if moved < cfg.Tol {
+			break
+		}
+	}
+
+	// Final assignment against the converged centroids.
+	var inertia float64
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range centroids {
+			if d := sqDist(p, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		sizes[best]++
+		inertia += bestD
+	}
+	res.Centroids = centroids
+	res.Assign = assign
+	res.Sizes = sizes
+	res.Inertia = inertia
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ strategy:
+// the first uniformly, each next with probability proportional to the
+// squared distance from the nearest chosen centroid.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(n)]
+	centroids = append(centroids, clone(first))
+
+	d2 := make([]float64, n)
+	for i, p := range points {
+		d2[i] = sqDist(p, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			// All remaining points coincide with chosen centroids.
+			idx = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			for i, d := range d2 {
+				r -= d
+				if r <= 0 {
+					idx = i
+					break
+				}
+			}
+		}
+		c := clone(points[idx])
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := sqDist(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+func clone(p []float64) []float64 { return append([]float64(nil), p...) }
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blobs generates k well-separated Gaussian clusters.
+func blobs(k, perCluster, dim int, sep float64, seedVal int64) (points [][]float64, truth []int) {
+	rng := rand.New(rand.NewSource(seedVal))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = float64(c) * sep
+		}
+	}
+	for c := 0; c < k; c++ {
+		for i := 0; i < perCluster; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = centers[c][j] + rng.NormFloat64()*0.3
+			}
+			points = append(points, p)
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+func TestRunSeparatedBlobs(t *testing.T) {
+	points, truth := blobs(3, 40, 4, 10, 1)
+	res, err := Run(points, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 3 || len(res.Assign) != len(points) {
+		t.Fatalf("shape: %d centroids, %d assignments", len(res.Centroids), len(res.Assign))
+	}
+	// Every true cluster must map to exactly one k-means cluster.
+	mapping := map[int]int{}
+	for i, c := range res.Assign {
+		if prev, ok := mapping[truth[i]]; ok && prev != c {
+			t.Fatalf("true cluster %d split across k-means clusters %d and %d", truth[i], prev, c)
+		}
+		mapping[truth[i]] = c
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != len(points) {
+		t.Errorf("sizes sum to %d, want %d", total, len(points))
+	}
+	if res.Inertia <= 0 {
+		t.Errorf("inertia = %g", res.Inertia)
+	}
+}
+
+func TestRunK1(t *testing.T) {
+	points, _ := blobs(2, 10, 3, 5, 2)
+	res, err := Run(points, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single centroid is the global mean.
+	for j := 0; j < 3; j++ {
+		var mean float64
+		for _, p := range points {
+			mean += p[j]
+		}
+		mean /= float64(len(points))
+		if math.Abs(res.Centroids[0][j]-mean) > 1e-9 {
+			t.Errorf("centroid[%d] = %g, want %g", j, res.Centroids[0][j], mean)
+		}
+	}
+}
+
+func TestRunKEqualsN(t *testing.T) {
+	points := [][]float64{{0}, {10}, {20}}
+	res, err := Run(points, Config{K: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-18 {
+		t.Errorf("K=N inertia = %g, want 0", res.Inertia)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Assign {
+		if seen[c] {
+			t.Fatal("two points share a cluster with K=N")
+		}
+		seen[c] = true
+	}
+}
+
+func TestRunIdenticalPoints(t *testing.T) {
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := Run(points, Config{K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("identical points inertia = %g", res.Inertia)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, Config{K: 1}); err != ErrNoPoints {
+		t.Errorf("no points err = %v", err)
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := Run(pts, Config{K: 0}); !errors.Is(err, ErrBadK) {
+		t.Errorf("K=0 err = %v", err)
+	}
+	if _, err := Run(pts, Config{K: 3}); !errors.Is(err, ErrBadK) {
+		t.Errorf("K>n err = %v", err)
+	}
+	if _, err := Run([][]float64{{}}, Config{K: 1}); err == nil {
+		t.Error("zero-dim: want error")
+	}
+	if _, err := Run([][]float64{{1}, {1, 2}}, Config{K: 1}); err == nil {
+		t.Error("ragged: want error")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	points, _ := blobs(4, 25, 6, 8, 5)
+	a, err := Run(points, Config{K: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(points, Config{K: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatal("same seed produced different inertia")
+	}
+}
+
+// Properties: every point is assigned to its nearest centroid, and
+// inertia equals the recomputed within-cluster SSE.
+func TestRunInvariantsQuick(t *testing.T) {
+	f := func(seedVal int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seedVal))
+		n := rng.Intn(60) + 5
+		dim := rng.Intn(5) + 1
+		k := int(kRaw)%n + 1
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = make([]float64, dim)
+			for j := range points[i] {
+				points[i][j] = rng.Float64() * 20
+			}
+		}
+		res, err := Run(points, Config{K: k, Seed: seedVal})
+		if err != nil {
+			return false
+		}
+		var sse float64
+		for i, p := range points {
+			// Nearest centroid check.
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range res.Centroids {
+				if d := sqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			myD := sqDist(p, res.Centroids[res.Assign[i]])
+			if myD > bestD+1e-9 {
+				_ = best
+				return false
+			}
+			sse += myD
+		}
+		return math.Abs(sse-res.Inertia) < 1e-6*(1+sse)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreClustersNeverIncreaseInertia(t *testing.T) {
+	points, _ := blobs(5, 20, 3, 4, 6)
+	prev := math.Inf(1)
+	for k := 1; k <= 8; k++ {
+		res, err := Run(points, Config{K: k, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow slight non-monotonicity since k-means is a local optimum.
+		if res.Inertia > prev*1.10 {
+			t.Errorf("K=%d inertia %g far above K=%d inertia %g", k, res.Inertia, k-1, prev)
+		}
+		if res.Inertia < prev {
+			prev = res.Inertia
+		}
+	}
+}

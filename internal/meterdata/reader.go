@@ -1,0 +1,201 @@
+package meterdata
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Reading is one parsed reading-per-line row.
+type Reading struct {
+	ID          timeseries.ID
+	Hour        int
+	Consumption float64
+}
+
+// ParseReadingLine parses one "household,hour,consumption" row.
+func ParseReadingLine(line string) (Reading, error) {
+	c1 := strings.IndexByte(line, ',')
+	if c1 < 0 {
+		return Reading{}, fmt.Errorf("meterdata: row %q: missing fields", line)
+	}
+	rest := line[c1+1:]
+	c2 := strings.IndexByte(rest, ',')
+	if c2 < 0 {
+		return Reading{}, fmt.Errorf("meterdata: row %q: missing consumption", line)
+	}
+	id, err := strconv.ParseInt(line[:c1], 10, 64)
+	if err != nil {
+		return Reading{}, fmt.Errorf("meterdata: row %q: bad household: %w", line, err)
+	}
+	hour, err := strconv.Atoi(rest[:c2])
+	if err != nil {
+		return Reading{}, fmt.Errorf("meterdata: row %q: bad hour: %w", line, err)
+	}
+	v, err := strconv.ParseFloat(rest[c2+1:], 64)
+	if err != nil {
+		return Reading{}, fmt.Errorf("meterdata: row %q: bad consumption: %w", line, err)
+	}
+	return Reading{ID: timeseries.ID(id), Hour: hour, Consumption: v}, nil
+}
+
+// ParseSeriesLine parses one "household,r0,r1,..." row.
+func ParseSeriesLine(line string) (*timeseries.Series, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("meterdata: series row has %d fields", len(fields))
+	}
+	id, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("meterdata: series row: bad household: %w", err)
+	}
+	readings := make([]float64, len(fields)-1)
+	for i, f := range fields[1:] {
+		readings[i], err = strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("meterdata: series %d reading %d: %w", id, i, err)
+		}
+	}
+	return &timeseries.Series{ID: timeseries.ID(id), Readings: readings}, nil
+}
+
+// ScanReadings streams reading-per-line rows from r, invoking fn for each.
+func ScanReadings(r io.Reader, fn func(Reading) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		rd, err := ParseReadingLine(line)
+		if err != nil {
+			return err
+		}
+		if err := fn(rd); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ScanSeries streams series-per-line rows from r, invoking fn for each.
+func ScanSeries(r io.Reader, fn func(*timeseries.Series) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		s, err := ParseSeriesLine(line)
+		if err != nil {
+			return err
+		}
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ReadDataset loads an entire Source into memory as a Dataset, with
+// series ordered by ascending household ID.
+func ReadDataset(src *Source) (*timeseries.Dataset, error) {
+	temp, err := ReadTemperature(src.Dir)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[timeseries.ID][]float64)
+	for _, path := range src.Paths() {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("meterdata: %w", err)
+		}
+		switch src.Format {
+		case FormatReadingPerLine:
+			err = ScanReadings(f, func(rd Reading) error {
+				readings := byID[rd.ID]
+				for len(readings) <= rd.Hour {
+					readings = append(readings, 0)
+				}
+				readings[rd.Hour] = rd.Consumption
+				byID[rd.ID] = readings
+				return nil
+			})
+		case FormatSeriesPerLine:
+			err = ScanSeries(f, func(s *timeseries.Series) error {
+				byID[s.ID] = s.Readings
+				return nil
+			})
+		default:
+			err = fmt.Errorf("meterdata: unknown format %v", src.Format)
+		}
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("meterdata: read %s: %w", path, err)
+		}
+	}
+	if len(byID) == 0 {
+		return nil, fmt.Errorf("meterdata: source %s contains no series", src.Dir)
+	}
+	ids := make([]timeseries.ID, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	series := make([]*timeseries.Series, len(ids))
+	for i, id := range ids {
+		series[i] = &timeseries.Series{ID: id, Readings: byID[id]}
+	}
+	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
+}
+
+// ReadSeriesFile reads one partitioned consumer file (or one grouped
+// file) and returns the series it contains, ordered by household ID.
+func ReadSeriesFile(path string, format Format) ([]*timeseries.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("meterdata: %w", err)
+	}
+	defer f.Close()
+	byID := make(map[timeseries.ID][]float64)
+	switch format {
+	case FormatReadingPerLine:
+		err = ScanReadings(f, func(rd Reading) error {
+			readings := byID[rd.ID]
+			for len(readings) <= rd.Hour {
+				readings = append(readings, 0)
+			}
+			readings[rd.Hour] = rd.Consumption
+			byID[rd.ID] = readings
+			return nil
+		})
+	case FormatSeriesPerLine:
+		err = ScanSeries(f, func(s *timeseries.Series) error {
+			byID[s.ID] = s.Readings
+			return nil
+		})
+	default:
+		err = fmt.Errorf("meterdata: unknown format %v", format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("meterdata: read %s: %w", path, err)
+	}
+	ids := make([]timeseries.ID, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*timeseries.Series, len(ids))
+	for i, id := range ids {
+		out[i] = &timeseries.Series{ID: id, Readings: byID[id]}
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+// Package par implements benchmark task 3 (paper §3.3): the periodic
+// auto-regression (PAR) algorithm of Espinoza et al. / Ardakanian et al.
+// that extracts a household's typical daily profile — the expected
+// consumption at each hour of the day due solely to the occupants'
+// habits, with the outdoor-temperature effect removed.
+//
+// For each consumer and each hour of the day h, PAR fits a linear model
+//
+//	c(d, h) = a1*c(d-1, h) + ... + ap*c(d-p, h) + b*T(d, h) + k
+//
+// over the days d of the year (the paper uses p = 3).
+//
+// For the daily profile the temperature effect is estimated with a
+// dedicated per-hour regression of consumption on temperature alone
+// (slope bT). In the full AR model the lagged consumption terms — which
+// carry yesterday's thermal load and correlate strongly with today's
+// temperature — absorb much of the temperature coefficient, so using the
+// AR model's b would leave thermal load inside the "habit" profile. The
+// temperature-independent load at (d, h) is c(d, h) - bT*T(d, h); its
+// mean over days is the daily-profile entry for hour h.
+package par
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// DefaultOrder is the auto-regressive order fixed by the benchmark (p=3).
+const DefaultOrder = 3
+
+// HourModel is the fitted model for one hour of the day.
+type HourModel struct {
+	// ARCoef holds the p auto-regressive coefficients (lag 1 first).
+	ARCoef []float64
+	// TempCoef is the outdoor-temperature coefficient b.
+	TempCoef float64
+	// Intercept is the model constant.
+	Intercept float64
+	// R2 is the in-sample coefficient of determination.
+	R2 float64
+	// Fallback is true when the regression was singular (e.g. constant
+	// consumption) and the model degraded to the hour's mean.
+	Fallback bool
+}
+
+// Result is the PAR output for one consumer.
+type Result struct {
+	ID timeseries.ID
+	// Profile is the 24-entry daily profile: expected temperature-
+	// independent consumption at each hour of the day.
+	Profile [timeseries.HoursPerDay]float64
+	// Hours holds the 24 fitted hourly models.
+	Hours [timeseries.HoursPerDay]HourModel
+}
+
+// ErrTooShort is returned when the series has too few days for the order.
+var ErrTooShort = errors.New("par: series too short for AR order")
+
+// Compute runs PAR with the benchmark's default order p=3.
+func Compute(s *timeseries.Series, temp *timeseries.Temperature) (*Result, error) {
+	return ComputeOrder(s, temp, DefaultOrder)
+}
+
+// ComputeOrder runs PAR with auto-regressive order p.
+func ComputeOrder(s *timeseries.Series, temp *timeseries.Temperature, p int) (*Result, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("par: order must be >= 1, got %d", p)
+	}
+	if len(s.Readings) != len(temp.Values) {
+		return nil, fmt.Errorf("par: consumer %d has %d readings but %d temperatures",
+			s.ID, len(s.Readings), len(temp.Values))
+	}
+	if len(s.Readings)%timeseries.HoursPerDay != 0 {
+		return nil, fmt.Errorf("par: consumer %d: %w", s.ID, timeseries.ErrBadLength)
+	}
+	days := s.Days()
+	// We need more observations (days - p) than regressors (p + 1).
+	if days-p <= p+1 {
+		return nil, fmt.Errorf("%w: consumer %d has %d days, order %d", ErrTooShort, s.ID, days, p)
+	}
+
+	res := &Result{ID: s.ID}
+	nObs := days - p
+	X := make([][]float64, nObs)
+	y := make([]float64, nObs)
+	regressors := make([]float64, nObs*(p+1))
+
+	for h := 0; h < timeseries.HoursPerDay; h++ {
+		for d := p; d < days; d++ {
+			i := d - p
+			row := regressors[i*(p+1) : (i+1)*(p+1)]
+			for lag := 1; lag <= p; lag++ {
+				row[lag-1] = s.At(d-lag, h)
+			}
+			row[p] = temp.Values[d*timeseries.HoursPerDay+h]
+			X[i] = row
+			y[i] = s.At(d, h)
+		}
+		hm := fitHour(X, y, p)
+		res.Hours[h] = hm
+
+		// Temperature-independent load averaged over all days, using a
+		// dedicated consumption-on-temperature slope for this hour (see
+		// the package comment for why the AR model's coefficient is not
+		// used here).
+		ct := make([]float64, days)
+		cc := make([]float64, days)
+		for d := 0; d < days; d++ {
+			ct[d] = temp.Values[d*timeseries.HoursPerDay+h]
+			cc[d] = s.At(d, h)
+		}
+		var slope float64
+		if line, err := stats.LinearFit(ct, cc); err == nil {
+			slope = line.Slope
+		}
+		var m stats.Moments
+		for d := 0; d < days; d++ {
+			m.Add(cc[d] - slope*ct[d])
+		}
+		res.Profile[h] = m.Mean()
+	}
+	return res, nil
+}
+
+func fitHour(X [][]float64, y []float64, p int) HourModel {
+	model, err := stats.Regress(X, y)
+	if err == nil {
+		return HourModel{
+			ARCoef:    model.Coef[:p],
+			TempCoef:  model.Coef[p],
+			Intercept: model.Intercept,
+			R2:        model.R2,
+		}
+	}
+	// A (near-)constant temperature column makes the full design
+	// singular; retry with the AR terms only.
+	ar := make([][]float64, len(X))
+	for i, row := range X {
+		ar[i] = row[:p]
+	}
+	if model, err = stats.Regress(ar, y); err == nil {
+		return HourModel{
+			ARCoef:    model.Coef,
+			Intercept: model.Intercept,
+			R2:        model.R2,
+		}
+	}
+	// Constant consumption as well: degrade to the hour's mean.
+	mean, _ := stats.Mean(y)
+	return HourModel{
+		ARCoef:    make([]float64, p),
+		Intercept: mean,
+		Fallback:  true,
+	}
+}
+
+// ComputeAll runs the task for every series in the dataset.
+func ComputeAll(d *timeseries.Dataset) ([]*Result, error) {
+	out := make([]*Result, 0, len(d.Series))
+	for _, s := range d.Series {
+		r, err := Compute(s, d.Temperature)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package seed
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func TestGenerateValidDataset(t *testing.T) {
+	ds, err := Generate(Config{Consumers: 10, Days: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("invalid dataset: %v", err)
+	}
+	if len(ds.Series) != 10 {
+		t.Fatalf("series = %d", len(ds.Series))
+	}
+	for i, s := range ds.Series {
+		if s.ID != timeseries.ID(i+1) {
+			t.Errorf("series %d ID = %d", i, s.ID)
+		}
+		if s.Days() != 60 {
+			t.Errorf("series %d days = %d", i, s.Days())
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	ds, err := Generate(Config{Consumers: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Series[0].Days() != timeseries.DaysPerYear {
+		t.Errorf("default days = %d", ds.Series[0].Days())
+	}
+}
+
+func TestGenerateFirstID(t *testing.T) {
+	ds, err := Generate(Config{Consumers: 3, Days: 7, Seed: 3, FirstID: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Series[0].ID != 100 || ds.Series[2].ID != 102 {
+		t.Errorf("IDs = %d..%d", ds.Series[0].ID, ds.Series[2].ID)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Consumers: 0}); err == nil {
+		t.Error("0 consumers: want error")
+	}
+	if _, err := Generate(Config{Consumers: 1, Days: -1}); err == nil {
+		t.Error("negative days: want error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Config{Consumers: 4, Days: 30, Seed: 9})
+	b, _ := Generate(Config{Consumers: 4, Days: 30, Seed: 9})
+	for i := range a.Series {
+		for j := range a.Series[i].Readings {
+			if a.Series[i].Readings[j] != b.Series[i].Readings[j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+}
+
+func TestGenerateConsumersDiffer(t *testing.T) {
+	ds, _ := Generate(Config{Consumers: 6, Days: 30, Seed: 4})
+	for i := 0; i < len(ds.Series); i++ {
+		for j := i + 1; j < len(ds.Series); j++ {
+			same := true
+			for k := range ds.Series[i].Readings {
+				if ds.Series[i].Readings[k] != ds.Series[j].Readings[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("consumers %d and %d are identical", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateThermalResponse(t *testing.T) {
+	// Consumption in the coldest hours should exceed consumption in
+	// mild hours on average (heating load dominates the seed climate).
+	ds, err := Generate(Config{Consumers: 20, Days: 365, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold, mild stats.Moments
+	for _, s := range ds.Series {
+		for i, r := range s.Readings {
+			tv := ds.Temperature.Values[i]
+			switch {
+			case tv < 0:
+				cold.Add(r)
+			case tv >= 15 && tv <= 20:
+				mild.Add(r)
+			}
+		}
+	}
+	if cold.N() == 0 || mild.N() == 0 {
+		t.Fatal("climate did not produce both cold and mild hours")
+	}
+	if cold.Mean() <= mild.Mean() {
+		t.Errorf("cold-hour mean %g <= mild-hour mean %g", cold.Mean(), mild.Mean())
+	}
+}
+
+func TestArchetypesDistinct(t *testing.T) {
+	arch := Archetypes()
+	if len(arch) < 3 {
+		t.Fatalf("only %d archetypes", len(arch))
+	}
+	names := map[string]bool{}
+	for _, a := range arch {
+		if names[a.Name] {
+			t.Errorf("duplicate archetype %q", a.Name)
+		}
+		names[a.Name] = true
+		if a.NoiseStdDev <= 0 || a.WeekendFactor <= 0 {
+			t.Errorf("archetype %q has nonsensical parameters", a.Name)
+		}
+		for h, v := range a.Activity {
+			if v <= 0 {
+				t.Errorf("archetype %q activity[%d] = %g", a.Name, h, v)
+			}
+		}
+	}
+}
+
+func TestGeneratePairSameHouseholdsDifferentWeather(t *testing.T) {
+	cfg := Config{Consumers: 4, Days: 60, Seed: 13}
+	train, test, err := GeneratePair(cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The training year is exactly Generate's output for the same config.
+	plain, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Series {
+		for j := range plain.Series[i].Readings {
+			if train.Series[i].Readings[j] != plain.Series[i].Readings[j] {
+				t.Fatal("train year differs from Generate output")
+			}
+		}
+	}
+	// Same households, different weather and readings.
+	if err := test.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range train.Series {
+		if train.Series[i].ID != test.Series[i].ID {
+			t.Fatalf("household %d: IDs %d vs %d", i, train.Series[i].ID, test.Series[i].ID)
+		}
+	}
+	sameWeather := true
+	for i := range train.Temperature.Values {
+		if train.Temperature.Values[i] != test.Temperature.Values[i] {
+			sameWeather = false
+			break
+		}
+	}
+	if sameWeather {
+		t.Error("test year reused the training weather")
+	}
+	// Behaviour persists: per-household mean consumption across years
+	// stays within a factor reflecting weather variation.
+	for i := range train.Series {
+		m1, _ := stats.Mean(train.Series[i].Readings)
+		m2, _ := stats.Mean(test.Series[i].Readings)
+		if m2 < m1*0.5 || m2 > m1*2 {
+			t.Errorf("household %d mean changed %g -> %g", train.Series[i].ID, m1, m2)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package similarity
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// computeNaive is the unoptimized all-pairs search: cosine similarity
+// recomputes both norms for every pair (the ablation baseline for the
+// precomputed-norm design in Compute).
+func computeNaive(d *timeseries.Dataset, k int) ([]*Result, error) {
+	out := make([]*Result, 0, len(d.Series))
+	for _, s := range d.Series {
+		tk := timeseries.NewTopK(k)
+		for _, o := range d.Series {
+			if o.ID == s.ID {
+				continue
+			}
+			score, err := timeseries.CosineSimilarity(s.Readings, o.Readings)
+			if err != nil {
+				return nil, err
+			}
+			tk.Add(o.ID, score)
+		}
+		out = append(out, &Result{ID: s.ID, Matches: tk.Results()})
+	}
+	return out, nil
+}
+
+func TestComputeMatchesNaive(t *testing.T) {
+	d := randomDataset(25, 96, 77)
+	fast, err := Compute(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := computeNaive(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range naive {
+		if fast[i].ID != naive[i].ID {
+			t.Fatalf("result %d: ID mismatch", i)
+		}
+		for j := range naive[i].Matches {
+			f, n := fast[i].Matches[j], naive[i].Matches[j]
+			if f.ID != n.ID || f.Score != n.Score {
+				t.Fatalf("consumer %d match %d: %+v vs %+v", fast[i].ID, j, f, n)
+			}
+		}
+	}
+}
+
+// Ablation: precomputed norms vs recomputing norms per pair.
+func BenchmarkSimilarityPrecomputedNorms(b *testing.B) {
+	d := randomDataset(60, 720, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(d, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimilarityNaiveNorms(b *testing.B) {
+	d := randomDataset(60, 720, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := computeNaive(d, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

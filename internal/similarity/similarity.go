@@ -1,0 +1,191 @@
+// Package similarity implements benchmark task 4 (paper §3.4): for each
+// of the n consumption series, find the top-k most similar other series
+// under cosine similarity. The task is O(n²) in the number of consumers
+// and is the benchmark's stress test for pairwise computation.
+package similarity
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// DefaultK is the k fixed by the benchmark definition (top-10).
+const DefaultK = 10
+
+// Result is the top-k match list for one consumer, ordered best-first.
+type Result struct {
+	ID      timeseries.ID
+	Matches []timeseries.Match
+}
+
+// ErrTooFew is returned when the dataset has fewer than two series.
+var ErrTooFew = errors.New("similarity: need at least two series")
+
+// Compute finds the top-k most cosine-similar other consumers for every
+// consumer, sequentially (the paper's single-threaded loop).
+func Compute(d *timeseries.Dataset, k int) ([]*Result, error) {
+	return compute(d, k, 1)
+}
+
+// ComputeParallel is Compute with the pairwise work split across the
+// given number of goroutines (0 means GOMAXPROCS). Each worker owns a
+// contiguous range of query series, mirroring the paper's §5.3.4
+// parallelization ("each task is allocated a fraction of the time series
+// and computes the similarity of its time series with every other").
+func ComputeParallel(d *timeseries.Dataset, k, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return compute(d, k, workers)
+}
+
+func compute(d *timeseries.Dataset, k, workers int) ([]*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("similarity: k must be positive, got %d", k)
+	}
+	n := len(d.Series)
+	if n < 2 {
+		return nil, ErrTooFew
+	}
+	for _, s := range d.Series {
+		if len(s.Readings) != len(d.Series[0].Readings) {
+			return nil, fmt.Errorf("similarity: series %d length %d differs from %d",
+				s.ID, len(s.Readings), len(d.Series[0].Readings))
+		}
+	}
+
+	// Precompute norms once: cos(x,y) = x.y/(|x||y|).
+	norms := make([]float64, n)
+	for i, s := range d.Series {
+		norms[i] = stats.Norm(s.Readings)
+	}
+
+	out := make([]*Result, n)
+	var firstErr error
+	var errOnce sync.Once
+
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tk := timeseries.NewTopK(k)
+			si := d.Series[i]
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				dot, err := stats.Dot(si.Readings, d.Series[j].Readings)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				var score float64
+				if norms[i] != 0 && norms[j] != 0 {
+					score = dot / (norms[i] * norms[j])
+				}
+				tk.Add(d.Series[j].ID, score)
+			}
+			out[i] = &Result{ID: si.ID, Matches: tk.Results()}
+		}
+	}
+
+	if workers <= 1 {
+		work(0, n)
+	} else {
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		per := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * per
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				work(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// PairScore returns the cosine similarity between two series in the
+// dataset, primarily for tests and spot checks.
+func PairScore(a, b *timeseries.Series) (float64, error) {
+	return timeseries.CosineSimilarity(a.Readings, b.Readings)
+}
+
+// ComputeDTW is an alternative similarity search using dynamic time
+// warping distance (the other canonical measure in the time-series
+// benchmark the paper builds on) instead of cosine similarity. Matches
+// are ranked by ascending DTW distance; Match.Score holds the negated
+// distance so the shared Result type's best-first ordering applies.
+// The radius is the Sakoe-Chiba band (0 = unconstrained).
+func ComputeDTW(d *timeseries.Dataset, k, radius, workers int) ([]*Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("similarity: k must be positive, got %d", k)
+	}
+	n := len(d.Series)
+	if n < 2 {
+		return nil, ErrTooFew
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]*Result, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				tk := timeseries.NewTopK(k)
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					dist, err := timeseries.DTWDistance(d.Series[i].Readings, d.Series[j].Readings, radius)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					tk.Add(d.Series[j].ID, -dist)
+				}
+				out[i] = &Result{ID: d.Series[i].ID, Matches: tk.Results()}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func randomDataset(n, hours int, seedVal int64) *timeseries.Dataset {
+	rng := rand.New(rand.NewSource(seedVal))
+	series := make([]*timeseries.Series, n)
+	for i := range series {
+		r := make([]float64, hours)
+		for j := range r {
+			r[j] = rng.Float64() * 3
+		}
+		series[i] = &timeseries.Series{ID: timeseries.ID(i + 1), Readings: r}
+	}
+	return &timeseries.Dataset{Series: series,
+		Temperature: &timeseries.Temperature{Values: make([]float64, hours)}}
+}
+
+func TestComputeBasic(t *testing.T) {
+	d := randomDataset(20, 48, 1)
+	rs, err := Compute(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 20 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, r := range rs {
+		if r.ID != d.Series[i].ID {
+			t.Errorf("result %d ID = %d", i, r.ID)
+		}
+		if len(r.Matches) != 5 {
+			t.Fatalf("consumer %d has %d matches, want 5", r.ID, len(r.Matches))
+		}
+		for j, m := range r.Matches {
+			if m.ID == r.ID {
+				t.Errorf("consumer %d matched itself", r.ID)
+			}
+			if j > 0 && m.Score > r.Matches[j-1].Score {
+				t.Errorf("consumer %d matches not sorted: %v", r.ID, r.Matches)
+			}
+			if m.Score < -1-1e-9 || m.Score > 1+1e-9 {
+				t.Errorf("score %g out of range", m.Score)
+			}
+		}
+	}
+}
+
+func TestComputeFindsIdenticalSeries(t *testing.T) {
+	d := randomDataset(10, 24, 2)
+	// Make series 3 a scaled copy of series 7: cosine similarity 1.
+	for j := range d.Series[2].Readings {
+		d.Series[2].Readings[j] = 2 * d.Series[6].Readings[j]
+	}
+	rs, err := Compute(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[2].Matches[0].ID != d.Series[6].ID {
+		t.Errorf("series 3 best match = %d, want %d", rs[2].Matches[0].ID, d.Series[6].ID)
+	}
+	if math.Abs(rs[2].Matches[0].Score-1) > 1e-12 {
+		t.Errorf("score = %g, want 1", rs[2].Matches[0].Score)
+	}
+}
+
+func TestComputeParallelMatchesSequential(t *testing.T) {
+	d := randomDataset(37, 72, 3)
+	seq, err := Compute(d, DefaultK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		par, err := ComputeParallel(d, DefaultK, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if len(seq[i].Matches) != len(par[i].Matches) {
+				t.Fatalf("workers=%d consumer %d: %d vs %d matches",
+					workers, seq[i].ID, len(seq[i].Matches), len(par[i].Matches))
+			}
+			for j := range seq[i].Matches {
+				if seq[i].Matches[j] != par[i].Matches[j] {
+					t.Fatalf("workers=%d consumer %d match %d: %+v vs %+v",
+						workers, seq[i].ID, j, seq[i].Matches[j], par[i].Matches[j])
+				}
+			}
+		}
+	}
+}
+
+func TestComputeKLargerThanN(t *testing.T) {
+	d := randomDataset(4, 24, 4)
+	rs, err := Compute(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if len(r.Matches) != 3 { // n-1 candidates
+			t.Errorf("consumer %d: %d matches, want 3", r.ID, len(r.Matches))
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	d := randomDataset(5, 24, 5)
+	if _, err := Compute(d, 0); err == nil {
+		t.Error("k=0: want error")
+	}
+	single := randomDataset(1, 24, 6)
+	if _, err := Compute(single, 1); err != ErrTooFew {
+		t.Errorf("single series err = %v, want ErrTooFew", err)
+	}
+	// Mismatched lengths.
+	bad := randomDataset(3, 24, 7)
+	bad.Series[1].Readings = bad.Series[1].Readings[:12]
+	if _, err := Compute(bad, 1); err == nil {
+		t.Error("mismatched lengths: want error")
+	}
+}
+
+func TestZeroSeriesSimilarToNothing(t *testing.T) {
+	d := randomDataset(5, 24, 8)
+	for j := range d.Series[0].Readings {
+		d.Series[0].Readings[j] = 0
+	}
+	rs, err := Compute(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rs[0].Matches {
+		if m.Score != 0 {
+			t.Errorf("zero series got score %g", m.Score)
+		}
+	}
+}
+
+func TestSymmetryOfScores(t *testing.T) {
+	d := randomDataset(8, 24, 9)
+	rs, err := Compute(d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// score(a -> b) must equal score(b -> a) when both appear.
+	score := make(map[[2]timeseries.ID]float64)
+	for _, r := range rs {
+		for _, m := range r.Matches {
+			score[[2]timeseries.ID{r.ID, m.ID}] = m.Score
+		}
+	}
+	for k, v := range score {
+		if back, ok := score[[2]timeseries.ID{k[1], k[0]}]; ok {
+			if math.Abs(v-back) > 1e-12 {
+				t.Errorf("asymmetric: %v=%g vs %g", k, v, back)
+			}
+		}
+	}
+}
+
+func TestPairScore(t *testing.T) {
+	a := &timeseries.Series{ID: 1, Readings: []float64{1, 0}}
+	b := &timeseries.Series{ID: 2, Readings: []float64{0, 1}}
+	got, err := PairScore(a, b)
+	if err != nil || got != 0 {
+		t.Errorf("PairScore = %g, %v", got, err)
+	}
+}
+
+func TestComputeDTW(t *testing.T) {
+	d := randomDataset(10, 48, 15)
+	// Series 2 is an exact copy of series 7: DTW distance 0, so it must
+	// be the top match in both directions.
+	copy(d.Series[2].Readings, d.Series[7].Readings)
+	rs, err := ComputeDTW(d, 3, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 10 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[2].Matches[0].ID != d.Series[7].ID || rs[2].Matches[0].Score != 0 {
+		t.Errorf("series 3 best DTW match = %+v", rs[2].Matches[0])
+	}
+	if rs[7].Matches[0].ID != d.Series[2].ID {
+		t.Errorf("series 8 best DTW match = %+v", rs[7].Matches[0])
+	}
+	// Matches sorted by ascending distance (descending negated score).
+	for _, r := range rs {
+		for j := 1; j < len(r.Matches); j++ {
+			if r.Matches[j].Score > r.Matches[j-1].Score {
+				t.Fatalf("consumer %d matches out of order", r.ID)
+			}
+		}
+	}
+	// Validation.
+	if _, err := ComputeDTW(d, 0, 0, 1); err == nil {
+		t.Error("k=0: want error")
+	}
+	single := randomDataset(1, 24, 1)
+	if _, err := ComputeDTW(single, 1, 0, 1); err != ErrTooFew {
+		t.Errorf("single err = %v", err)
+	}
+}

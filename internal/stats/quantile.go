@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7 estimator, the default in
+// R, NumPy and Matlab's quantile). The input is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// Quantiles returns multiple quantiles of xs with a single sort. The qs
+// need not be ordered. The input is not modified.
+func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptyInput
+	}
+	for _, q := range qs {
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("stats: quantile %g out of [0,1]", q)
+		}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out, nil
+}
+
+// QuantileSorted is like Quantile but assumes xs is already sorted
+// ascending, avoiding the copy and sort.
+func QuantileSorted(sorted []float64, q float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
+	}
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{0.1, 1.4}, // type-7 interpolation: pos = 0.4
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err != ErrEmptyInput {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("q<0: want error")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("q>1: want error")
+	}
+	if _, err := Quantiles(nil, 0.5); err != ErrEmptyInput {
+		t.Error("Quantiles empty: want error")
+	}
+	if _, err := Quantiles([]float64{1}, 2); err == nil {
+		t.Error("Quantiles out of range: want error")
+	}
+	if _, err := QuantileSorted(nil, 0.5); err != ErrEmptyInput {
+		t.Error("QuantileSorted empty: want error")
+	}
+	if _, err := QuantileSorted([]float64{1}, 7); err == nil {
+		t.Error("QuantileSorted bad q: want error")
+	}
+}
+
+func TestQuantileSingleElement(t *testing.T) {
+	for _, q := range []float64{0, 0.3, 1} {
+		got, err := Quantile([]float64{42}, q)
+		if err != nil || got != 42 {
+			t.Errorf("Quantile single (%g) = %g, %v", q, got, err)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantilesMatchSingleCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.Float64() * 50
+	}
+	qs := []float64{0.1, 0.9, 0.5, 0}
+	multi, err := Quantiles(xs, qs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		single, _ := Quantile(xs, q)
+		if multi[i] != single {
+			t.Errorf("Quantiles[%g] = %g, Quantile = %g", q, multi[i], single)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m, err := Median([]float64{9, 1, 5})
+	if err != nil || m != 5 {
+		t.Errorf("Median = %g, %v", m, err)
+	}
+	m, _ = Median([]float64{1, 2, 3, 4})
+	if m != 2.5 {
+		t.Errorf("even Median = %g, want 2.5", m)
+	}
+}
+
+// Properties: monotone in q, bounded by min/max, and exact on order
+// statistics for evenly spaced q.
+func TestQuantilePropertiesQuick(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			clean = append(clean, v)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		frac := func(x float64) float64 {
+			x = math.Abs(x)
+			return x - math.Floor(x)
+		}
+		a, b := frac(q1), frac(q2)
+		if a > b {
+			a, b = b, a
+		}
+		va, err1 := Quantile(clean, a)
+		vb, err2 := Quantile(clean, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		min, max, _ := MinMax(clean)
+		return va <= vb+1e-9 && va >= min-1e-9 && vb <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileSortedAgreesWithQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 57)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		a, _ := Quantile(xs, q)
+		b, _ := QuantileSorted(sorted, q)
+		if a != b {
+			t.Fatalf("q=%g: %g vs %g", q, a, b)
+		}
+	}
+}

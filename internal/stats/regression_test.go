@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 2x + 1 exactly.
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9}
+	l, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l.Slope, 2, 1e-12) || !almostEqual(l.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", l)
+	}
+	if !almostEqual(l.At(10), 21, 1e-12) {
+		t.Errorf("At(10) = %g", l.At(10))
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 5000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 40
+		y[i] = -1.5*x[i] + 7 + rng.NormFloat64()*0.5
+	}
+	l, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope+1.5) > 0.05 || math.Abs(l.Intercept-7) > 0.5 {
+		t.Errorf("noisy fit = %+v", l)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point: want error")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	_, err := LinearFit([]float64{3, 3, 3}, []float64{1, 2, 3})
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("constant x err = %v, want ErrSingular", err)
+	}
+}
+
+func TestWeightedLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{0, 2, 4, 100} // last point is an outlier
+	w := []float64{1, 1, 1, 0}   // ...with zero weight
+	l, err := WeightedLinearFit(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l.Slope, 2, 1e-9) || !almostEqual(l.Intercept, 0, 1e-9) {
+		t.Errorf("weighted fit = %+v", l)
+	}
+	if _, err := WeightedLinearFit(x, y, []float64{1, 1, 1, -1}); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := WeightedLinearFit(x, y, []float64{0, 0, 0, 0}); err == nil {
+		t.Error("zero weights: want error")
+	}
+	if _, err := WeightedLinearFit(x, y[:2], w); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestRegressRecoverstKnownModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	// y = 3*x0 - 2*x1 + 0.5*x2 + 4 + noise
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 10, rng.NormFloat64(), rng.Float64()}
+		y[i] = 3*X[i][0] - 2*X[i][1] + 0.5*X[i][2] + 4 + rng.NormFloat64()*0.1
+	}
+	m, err := Regress(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, -2, 0.5}
+	for j, c := range want {
+		if math.Abs(m.Coef[j]-c) > 0.05 {
+			t.Errorf("coef[%d] = %g, want %g", j, m.Coef[j], c)
+		}
+	}
+	if math.Abs(m.Intercept-4) > 0.1 {
+		t.Errorf("intercept = %g, want 4", m.Intercept)
+	}
+	if m.R2 < 0.99 {
+		t.Errorf("R2 = %g, want ~1", m.R2)
+	}
+	pred, err := m.Predict([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-(3-2+0.5+4)) > 0.2 {
+		t.Errorf("Predict = %g", pred)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Error("Predict wrong arity: want error")
+	}
+}
+
+func TestRegressExactFitR2IsOne(t *testing.T) {
+	X := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {0, 0}}
+	y := make([]float64, len(X))
+	for i, row := range X {
+		y[i] = 2*row[0] + 3*row[1] + 1
+	}
+	m, err := Regress(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.R2, 1, 1e-9) {
+		t.Errorf("R2 = %g, want 1", m.R2)
+	}
+}
+
+func TestRegressErrors(t *testing.T) {
+	if _, err := Regress(nil, nil); err != ErrEmptyInput {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Regress([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("row/target mismatch: want error")
+	}
+	if _, err := Regress([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows: want error")
+	}
+	if _, err := Regress([][]float64{{}, {}}, []float64{1, 2}); err == nil {
+		t.Error("zero regressors: want error")
+	}
+	if _, err := Regress([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("n <= p: want error")
+	}
+	// Collinear regressors are singular.
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	_, err := Regress(X, []float64{1, 2, 3, 4})
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("collinear err = %v, want ErrSingular", err)
+	}
+}
+
+// Property: regression on (x, a*x+b) recovers slope a and intercept b.
+func TestLinearFitExactRecoveryQuick(t *testing.T) {
+	f := func(a, b float64, seed int64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e3 {
+			return true
+		}
+		if math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e3 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*100 - 50
+			y[i] = a*x[i] + b
+		}
+		l, err := LinearFit(x, y)
+		if errors.Is(err, ErrSingular) {
+			return true // pathological draw
+		}
+		if err != nil {
+			return false
+		}
+		tol := 1e-6 * (1 + math.Abs(a) + math.Abs(b))
+		return almostEqual(l.Slope, a, tol) && almostEqual(l.Intercept, b, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiple regression with one regressor agrees with LinearFit.
+func TestRegressMatchesLinearFitQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		x := make([]float64, n)
+		y := make([]float64, n)
+		X := make([][]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 10
+			y[i] = 2.5*x[i] - 1 + rng.NormFloat64()
+			X[i] = []float64{x[i]}
+		}
+		l, err1 := LinearFit(x, y)
+		m, err2 := Regress(X, y)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(l.Slope, m.Coef[0], 1e-6) && almostEqual(l.Intercept, m.Intercept, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestSum(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{1.5}, 1.5},
+		{[]float64{1, 2, 3, 4}, 10},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Sum(c.in); got != c.want {
+			t.Errorf("Sum(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmptyInput {
+		t.Fatalf("Mean(nil) err = %v, want ErrEmptyInput", err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 4 {
+		t.Errorf("Mean = %g, want 4", m)
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Dot length mismatch: want error")
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+	if got := Norm(nil); got != 0 {
+		t.Errorf("Norm(nil) = %g, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%g, %g), want (-1, 7)", min, max)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmptyInput {
+		t.Errorf("MinMax(nil) err = %v", err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", v, 32.0/7.0)
+	}
+	s, _ := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %g", s)
+	}
+	if v, _ := Variance([]float64{42}); v != 0 {
+		t.Errorf("Variance(single) = %g, want 0", v)
+	}
+}
+
+func TestScaleAddTo(t *testing.T) {
+	xs := []float64{1, 2}
+	Scale(xs, 3)
+	if xs[0] != 3 || xs[1] != 6 {
+		t.Errorf("Scale = %v", xs)
+	}
+	if err := AddTo(xs, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 4 || xs[1] != 7 {
+		t.Errorf("AddTo = %v", xs)
+	}
+	if err := AddTo(xs, []float64{1}); err == nil {
+		t.Error("AddTo mismatch: want error")
+	}
+}
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var m Moments
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		m.Add(xs[i])
+	}
+	wantMean, _ := Mean(xs)
+	wantVar, _ := Variance(xs)
+	if !almostEqual(m.Mean(), wantMean, 1e-9) {
+		t.Errorf("streaming mean %g vs batch %g", m.Mean(), wantMean)
+	}
+	if !almostEqual(m.Variance(), wantVar, 1e-9) {
+		t.Errorf("streaming var %g vs batch %g", m.Variance(), wantVar)
+	}
+	if m.N() != 1000 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestMomentsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var all, a, b Moments
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) || !almostEqual(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merge: mean %g/%g var %g/%g", a.Mean(), all.Mean(), a.Variance(), all.Variance())
+	}
+	// Merging into an empty accumulator copies.
+	var empty Moments
+	empty.Merge(all)
+	if empty.N() != all.N() || empty.Mean() != all.Mean() {
+		t.Error("merge into empty lost state")
+	}
+	// Merging an empty accumulator is a no-op.
+	before := all
+	all.Merge(Moments{})
+	if all != before {
+		t.Error("merge of empty changed state")
+	}
+}
+
+// Property: mean is translation-equivariant and scale-equivariant.
+func TestMeanPropertyQuick(t *testing.T) {
+	f := func(vals []float64, shift float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			clean = append(clean, v)
+		}
+		if len(clean) == 0 || math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		m1, _ := Mean(clean)
+		shifted := make([]float64, len(clean))
+		for i, v := range clean {
+			shifted[i] = v + shift
+		}
+		m2, _ := Mean(shifted)
+		return almostEqual(m2, m1+shift, 1e-6*(1+math.Abs(m1)+math.Abs(shift)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation-invariant.
+func TestVarianceTranslationInvariantQuick(t *testing.T) {
+	f := func(vals []float64, shift float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e4 {
+				continue
+			}
+			clean = append(clean, v)
+		}
+		if len(clean) < 2 || math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e4 {
+			return true
+		}
+		v1, _ := Variance(clean)
+		shifted := make([]float64, len(clean))
+		for i, v := range clean {
+			shifted[i] = v + shift
+		}
+		v2, _ := Variance(shifted)
+		return almostEqual(v1, v2, 1e-5*(1+v1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz |<x,y>| <= ||x|| * ||y||.
+func TestDotCauchySchwarzQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		n := len(raw) / 2
+		if n == 0 {
+			return true
+		}
+		x, y := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			a, b := raw[i], raw[n+i]
+			if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+				a = 0
+			}
+			if math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e6 {
+				b = 0
+			}
+			x[i], y[i] = a, b
+		}
+		d, err := Dot(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d) <= Norm(x)*Norm(y)*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

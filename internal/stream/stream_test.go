@@ -1,0 +1,226 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func collectAlerts(t *testing.T, p *Processor, events <-chan Event) []Alert {
+	t.Helper()
+	out := make(chan Alert, 1024)
+	errCh := make(chan error, 1)
+	go func() { errCh <- p.Run(events, out) }()
+	var alerts []Alert
+	for a := range out {
+		alerts = append(alerts, a)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	return alerts
+}
+
+func steadyEvents(id timeseries.ID, hours int, value float64) []Event {
+	evs := make([]Event, hours)
+	for h := range evs {
+		evs[h] = Event{ID: id, Hour: h, Consumption: value, Temperature: 15}
+	}
+	return evs
+}
+
+func sendAll(evs []Event) <-chan Event {
+	ch := make(chan Event, len(evs))
+	for _, e := range evs {
+		ch <- e
+	}
+	close(ch)
+	return ch
+}
+
+func TestSigmaDetectorFlagsSpike(t *testing.T) {
+	evs := steadyEvents(1, 21*24, 1.0)
+	// Slight natural variation so std > 0.
+	for i := range evs {
+		evs[i].Consumption += 0.01 * float64(i%5)
+	}
+	spikeAt := 20 * 24
+	evs[spikeAt].Consumption = 25 // gross anomaly after warmup
+	p, err := NewProcessor(NewSigmaDetector(4, 7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := collectAlerts(t, p, sendAll(evs))
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1 (%v)", len(alerts), alerts)
+	}
+	a := alerts[0]
+	if a.Event.Hour != spikeAt || a.Detector != "sigma" {
+		t.Errorf("alert = %+v", a)
+	}
+	if a.Score < 4 {
+		t.Errorf("score = %g", a.Score)
+	}
+	processed, alerted := p.Stats()
+	if processed != int64(len(evs)) || alerted != 1 {
+		t.Errorf("stats = %d, %d", processed, alerted)
+	}
+}
+
+func TestSigmaDetectorWarmupSuppressesAlerts(t *testing.T) {
+	// A spike during warmup must not alert (not enough history).
+	evs := steadyEvents(1, 3*24, 1.0)
+	evs[30].Consumption = 50
+	p, _ := NewProcessor(NewSigmaDetector(4, 7), 1)
+	alerts := collectAlerts(t, p, sendAll(evs))
+	if len(alerts) != 0 {
+		t.Errorf("warmup alerts = %d", len(alerts))
+	}
+}
+
+func TestSigmaDetectorDoesNotLearnAnomalies(t *testing.T) {
+	d := NewSigmaDetector(3, 5)(1).(*SigmaDetector)
+	// Warm hour 0 with stable values.
+	for i := 0; i < 10; i++ {
+		d.Observe(Event{ID: 1, Hour: i * 24, Consumption: 1 + 0.05*float64(i%3)})
+	}
+	before := d.hours[0].N()
+	if _, bad := d.Observe(Event{ID: 1, Hour: 240, Consumption: 100}); !bad {
+		t.Fatal("spike not detected")
+	}
+	if d.hours[0].N() != before {
+		t.Error("anomaly was absorbed into the statistics")
+	}
+	// Normal reading afterwards still learns.
+	if _, bad := d.Observe(Event{ID: 1, Hour: 264, Consumption: 1.02}); bad {
+		t.Error("normal reading flagged after spike")
+	}
+	if d.hours[0].N() != before+1 {
+		t.Error("normal reading not learned")
+	}
+}
+
+func TestProfileDetector(t *testing.T) {
+	profile := Profile{
+		HeatingGradient: 0.2, CoolingGradient: 0.1,
+		HeatingRef: 15, CoolingRef: 22,
+		Tolerance: 0.5,
+	}
+	for h := range profile.Daily {
+		profile.Daily[h] = 1
+	}
+	nd := NewProfileDetector(map[timeseries.ID]Profile{7: profile})
+	d := nd(7)
+
+	// Expected at -5 C: 1 + 0.2*20 = 5. A matching reading passes.
+	if _, bad := d.Observe(Event{ID: 7, Hour: 0, Consumption: 5.1, Temperature: -5}); bad {
+		t.Error("reading within tolerance flagged")
+	}
+	// The same kWh at a mild temperature is anomalous.
+	alert, bad := d.Observe(Event{ID: 7, Hour: 1, Consumption: 5.1, Temperature: 18})
+	if !bad {
+		t.Fatal("thermally impossible reading not flagged")
+	}
+	if math.Abs(alert.Expected-1) > 1e-9 {
+		t.Errorf("expected = %g, want 1", alert.Expected)
+	}
+	// Unknown households never alert.
+	u := nd(99)
+	if _, bad := u.Observe(Event{ID: 99, Hour: 0, Consumption: 1e6}); bad {
+		t.Error("unknown household alerted")
+	}
+	_ = u.Name()
+}
+
+func TestTrainProfilesAndDetect(t *testing.T) {
+	// Train on a year, then stream the same data: the trained model
+	// should consider its own training data normal, and flag injected
+	// anomalies.
+	ds, err := seed.Generate(seed.Config{Consumers: 5, Days: 365, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := TrainProfiles(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 5 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	// Inject a gross spike into one consumer's replayed data.
+	spiked := &timeseries.Dataset{Temperature: ds.Temperature}
+	for _, s := range ds.Series {
+		spiked.Series = append(spiked.Series, s.Clone())
+	}
+	spikeHour := 5000
+	spiked.Series[2].Readings[spikeHour] += 50
+
+	p, err := NewProcessor(NewProfileDetector(profiles), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan Event, 1024)
+	go Replay(spiked, events)
+	alerts := collectAlerts(t, p, events)
+
+	foundSpike := false
+	for _, a := range alerts {
+		if a.Event.ID == spiked.Series[2].ID && a.Event.Hour == spikeHour {
+			foundSpike = true
+		}
+	}
+	if !foundSpike {
+		t.Error("injected spike not detected")
+	}
+	// False positive rate stays tiny at 6 sigma.
+	processed, alerted := p.Stats()
+	if processed != int64(5*365*24) {
+		t.Errorf("processed = %d", processed)
+	}
+	if float64(alerted)/float64(processed) > 0.001 {
+		t.Errorf("alert rate %d/%d too high", alerted, processed)
+	}
+}
+
+func TestProcessorValidation(t *testing.T) {
+	if _, err := NewProcessor(nil, 2); err != ErrNoDetector {
+		t.Errorf("err = %v", err)
+	}
+	p, _ := NewProcessor(NewSigmaDetector(0, 0), 0)
+	events := make(chan Event, 1)
+	events <- Event{ID: -5}
+	close(events)
+	out := make(chan Alert, 1)
+	if err := p.Run(events, out); err == nil {
+		t.Error("negative id: want error")
+	}
+}
+
+func TestReplayOrderAndCompleteness(t *testing.T) {
+	ds, err := seed.Generate(seed.Config{Consumers: 3, Days: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan Event, 1024)
+	go Replay(ds, ch)
+	count := 0
+	lastHour := -1
+	for e := range ch {
+		if e.Hour < lastHour {
+			t.Fatalf("hour went backwards: %d after %d", e.Hour, lastHour)
+		}
+		lastHour = e.Hour
+		count++
+	}
+	if count != 3*2*24 {
+		t.Errorf("replayed %d events", count)
+	}
+	// Empty dataset closes immediately.
+	empty := make(chan Event)
+	go Replay(&timeseries.Dataset{Temperature: &timeseries.Temperature{}}, empty)
+	if _, ok := <-empty; ok {
+		t.Error("empty replay emitted events")
+	}
+}

@@ -1,0 +1,86 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// DTWDistance computes the dynamic time warping distance between two
+// series with a Sakoe-Chiba band of the given radius (0 means the
+// unconstrained full warping window). The paper's similarity task fixes
+// cosine similarity, but the time-series benchmark it builds on (Keogh
+// & Kasetty, its reference [19]) evaluates DTW as the other canonical
+// similarity measure, so the library offers it as an alternative
+// metric.
+//
+// The implementation uses the standard O(n*m) dynamic program with an
+// O(min(n,m)) rolling row.
+func DTWDistance(x, y []float64, radius int) (float64, error) {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 0, fmt.Errorf("timeseries: DTW on empty series (%d, %d)", n, m)
+	}
+	if radius < 0 {
+		return 0, fmt.Errorf("timeseries: negative DTW radius %d", radius)
+	}
+	if radius == 0 {
+		radius = max(n, m) // unconstrained
+	}
+	// Ensure y is the shorter series so the rolling rows stay small.
+	if m > n {
+		x, y = y, x
+		n, m = m, n
+	}
+	// The band must be wide enough to connect (0,0) to (n-1,m-1).
+	if radius < n-m {
+		radius = n - m
+	}
+
+	const inf = math.MaxFloat64
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		lo := i - radius
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + radius
+		if hi > m {
+			hi = m
+		}
+		for j := range cur {
+			cur[j] = inf
+		}
+		for j := lo; j <= hi; j++ {
+			d := x[i-1] - y[j-1]
+			cost := d * d
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			if best == inf {
+				continue
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	if prev[m] == inf {
+		return 0, fmt.Errorf("timeseries: DTW band radius %d disconnects the series", radius)
+	}
+	return math.Sqrt(prev[m]), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

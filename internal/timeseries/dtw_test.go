@@ -1,0 +1,136 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDTWIdenticalSeriesIsZero(t *testing.T) {
+	x := []float64{1, 2, 3, 2, 1}
+	d, err := DTWDistance(x, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("DTW(x,x) = %g", d)
+	}
+}
+
+func TestDTWAbsorbsTimeShift(t *testing.T) {
+	// A shifted copy of a pattern: DTW should be near zero while the
+	// pointwise (Euclidean) distance is large.
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 25)
+		y[i] = math.Sin(2 * math.Pi * float64(i+3) / 25) // shifted by 3
+	}
+	dtw, err := DTWDistance(x, y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var euclid float64
+	for i := range x {
+		d := x[i] - y[i]
+		euclid += d * d
+	}
+	euclid = math.Sqrt(euclid)
+	if dtw > euclid/3 {
+		t.Errorf("DTW %g did not absorb the shift (euclidean %g)", dtw, euclid)
+	}
+}
+
+func TestDTWUnequalLengths(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := []float64{0, 2, 4}
+	d1, err := DTWDistance(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric in argument order.
+	d2, err := DTWDistance(y, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Errorf("asymmetric: %g vs %g", d1, d2)
+	}
+}
+
+func TestDTWBandWidensForLengthGap(t *testing.T) {
+	// A radius smaller than the length difference must still connect the
+	// endpoints (the implementation widens the band).
+	x := make([]float64, 50)
+	y := make([]float64, 10)
+	if _, err := DTWDistance(x, y, 1); err != nil {
+		t.Errorf("narrow band on unequal lengths: %v", err)
+	}
+}
+
+func TestDTWErrors(t *testing.T) {
+	if _, err := DTWDistance(nil, []float64{1}, 0); err == nil {
+		t.Error("empty x: want error")
+	}
+	if _, err := DTWDistance([]float64{1}, nil, 0); err == nil {
+		t.Error("empty y: want error")
+	}
+	if _, err := DTWDistance([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative radius: want error")
+	}
+}
+
+// Properties: non-negative, symmetric, zero on identity, and bounded
+// above by the Euclidean distance for equal-length series (warping can
+// only reduce cost).
+func TestDTWPropertiesQuick(t *testing.T) {
+	f := func(seedVal int64) bool {
+		rng := rand.New(rand.NewSource(seedVal))
+		n := rng.Intn(40) + 1
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		dxy, err1 := DTWDistance(x, y, 0)
+		dyx, err2 := DTWDistance(y, x, 0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if dxy < 0 || math.Abs(dxy-dyx) > 1e-9 {
+			return false
+		}
+		dxx, _ := DTWDistance(x, x, 0)
+		if dxx != 0 {
+			return false
+		}
+		var euclid float64
+		for i := range x {
+			d := x[i] - y[i]
+			euclid += d * d
+		}
+		return dxy <= math.Sqrt(euclid)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDTWBanded(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 720)
+	y := make([]float64, 720)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DTWDistance(x, y, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package timeseries defines the core data model of the benchmark: one
+// year of hourly electricity consumption per consumer, plus the matching
+// outdoor temperature series, and the vector operations (cosine
+// similarity, top-k) used by the similarity-search task.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/smartmeter/smartbench/internal/stats"
+)
+
+// HoursPerDay is the number of readings per day.
+const HoursPerDay = 24
+
+// DaysPerYear is the number of days covered by a benchmark series.
+const DaysPerYear = 365
+
+// HoursPerYear is the canonical series length in the paper
+// (365 x 24 = 8760 hourly readings).
+const HoursPerYear = DaysPerYear * HoursPerDay
+
+// ErrBadLength is returned when a series is not a whole number of days.
+var ErrBadLength = errors.New("timeseries: length is not a multiple of 24")
+
+// ID identifies a household (consumer).
+type ID int64
+
+// Series is one consumer's hourly consumption readings in kWh.
+// Index i is hour i since the start of the covered period; hour-of-day is
+// i % 24 and day index is i / 24.
+type Series struct {
+	ID       ID
+	Readings []float64
+}
+
+// Days returns the number of whole days covered.
+func (s *Series) Days() int { return len(s.Readings) / HoursPerDay }
+
+// Validate checks that the series is a positive whole number of days of
+// finite, non-negative readings.
+func (s *Series) Validate() error {
+	if len(s.Readings) == 0 {
+		return fmt.Errorf("timeseries: series %d is empty", s.ID)
+	}
+	if len(s.Readings)%HoursPerDay != 0 {
+		return fmt.Errorf("%w: series %d has %d readings", ErrBadLength, s.ID, len(s.Readings))
+	}
+	for i, r := range s.Readings {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("timeseries: series %d reading %d is not finite", s.ID, i)
+		}
+		if r < 0 {
+			return fmt.Errorf("timeseries: series %d reading %d is negative (%g)", s.ID, i, r)
+		}
+	}
+	return nil
+}
+
+// At returns the reading for the given day and hour-of-day.
+func (s *Series) At(day, hour int) float64 {
+	return s.Readings[day*HoursPerDay+hour]
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	return &Series{ID: s.ID, Readings: append([]float64(nil), s.Readings...)}
+}
+
+// Temperature is the hourly outdoor temperature (degrees Celsius) aligned
+// with consumption series: Values[i] is the temperature at hour i.
+type Temperature struct {
+	Values []float64
+}
+
+// Validate checks the temperature series covers a positive whole number of
+// days of finite values in a physically plausible range.
+func (t *Temperature) Validate() error {
+	if len(t.Values) == 0 {
+		return errors.New("timeseries: temperature series is empty")
+	}
+	if len(t.Values)%HoursPerDay != 0 {
+		return fmt.Errorf("%w: temperature has %d values", ErrBadLength, len(t.Values))
+	}
+	for i, v := range t.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("timeseries: temperature %d is not finite", i)
+		}
+		if v < -90 || v > 60 {
+			return fmt.Errorf("timeseries: temperature %d (%g C) outside [-90, 60]", i, v)
+		}
+	}
+	return nil
+}
+
+// CosineSimilarity returns the cosine similarity between two equal-length
+// vectors: x.y / (||x|| * ||y||). It returns 0 when either vector has zero
+// norm (a flat, all-zero consumer is similar to nothing).
+func CosineSimilarity(x, y []float64) (float64, error) {
+	dot, err := stats.Dot(x, y)
+	if err != nil {
+		return 0, err
+	}
+	nx, ny := stats.Norm(x), stats.Norm(y)
+	if nx == 0 || ny == 0 {
+		return 0, nil
+	}
+	return dot / (nx * ny), nil
+}
+
+// Dataset is an in-memory collection of consumption series that share one
+// temperature series (the paper obtains all consumers from a single city).
+type Dataset struct {
+	Series      []*Series
+	Temperature *Temperature
+}
+
+// Validate checks every series, the temperature series, and that lengths
+// agree.
+func (d *Dataset) Validate() error {
+	if len(d.Series) == 0 {
+		return errors.New("timeseries: dataset has no series")
+	}
+	if d.Temperature == nil {
+		return errors.New("timeseries: dataset has no temperature series")
+	}
+	if err := d.Temperature.Validate(); err != nil {
+		return err
+	}
+	want := len(d.Temperature.Values)
+	for _, s := range d.Series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if len(s.Readings) != want {
+			return fmt.Errorf("timeseries: series %d has %d readings, temperature has %d",
+				s.ID, len(s.Readings), want)
+		}
+	}
+	return nil
+}
+
+// ByID returns the series with the given ID, or nil if absent.
+func (d *Dataset) ByID(id ID) *Series {
+	for _, s := range d.Series {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func validSeries(id ID, days int, fill float64) *Series {
+	r := make([]float64, days*HoursPerDay)
+	for i := range r {
+		r[i] = fill
+	}
+	return &Series{ID: id, Readings: r}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	s := validSeries(1, 2, 1.5)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid series: %v", err)
+	}
+	if s.Days() != 2 {
+		t.Errorf("Days = %d", s.Days())
+	}
+
+	empty := &Series{ID: 2}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty: want error")
+	}
+	ragged := &Series{ID: 3, Readings: make([]float64, 25)}
+	if err := ragged.Validate(); err == nil {
+		t.Error("non-multiple of 24: want error")
+	}
+	neg := validSeries(4, 1, 1)
+	neg.Readings[5] = -0.1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative reading: want error")
+	}
+	nan := validSeries(5, 1, 1)
+	nan.Readings[0] = math.NaN()
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN reading: want error")
+	}
+}
+
+func TestSeriesAtAndClone(t *testing.T) {
+	s := validSeries(1, 2, 0)
+	s.Readings[1*HoursPerDay+5] = 7
+	if s.At(1, 5) != 7 {
+		t.Errorf("At(1,5) = %g", s.At(1, 5))
+	}
+	c := s.Clone()
+	c.Readings[0] = 99
+	if s.Readings[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+	if c.ID != s.ID {
+		t.Error("Clone lost ID")
+	}
+}
+
+func TestTemperatureValidate(t *testing.T) {
+	temp := &Temperature{Values: make([]float64, 48)}
+	if err := temp.Validate(); err != nil {
+		t.Fatalf("valid temperature: %v", err)
+	}
+	if err := (&Temperature{}).Validate(); err == nil {
+		t.Error("empty: want error")
+	}
+	if err := (&Temperature{Values: make([]float64, 23)}).Validate(); err == nil {
+		t.Error("bad length: want error")
+	}
+	hot := &Temperature{Values: make([]float64, 24)}
+	hot.Values[0] = 100
+	if err := hot.Validate(); err == nil {
+		t.Error("implausible temperature: want error")
+	}
+	nan := &Temperature{Values: make([]float64, 24)}
+	nan.Values[3] = math.NaN()
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN temperature: want error")
+	}
+}
+
+func TestCosineSimilarityKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 1},
+		{[]float64{1, 0}, []float64{0, 1}, 0},
+		{[]float64{1, 0}, []float64{-1, 0}, -1},
+		{[]float64{1, 2, 3}, []float64{2, 4, 6}, 1},
+		{[]float64{0, 0}, []float64{1, 1}, 0}, // zero-norm convention
+	}
+	for _, c := range cases {
+		got, err := CosineSimilarity(c.x, c.y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("cos(%v, %v) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+	if _, err := CosineSimilarity([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+// Properties of cosine similarity: symmetric, bounded in [-1,1],
+// scale-invariant, and cos(x,x)=1 for non-zero x.
+func TestCosineSimilarityPropertiesQuick(t *testing.T) {
+	f := func(seed int64, scale float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		sxy, err1 := CosineSimilarity(x, y)
+		syx, err2 := CosineSimilarity(y, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.Abs(sxy-syx) > 1e-12 {
+			return false
+		}
+		if sxy < -1-1e-12 || sxy > 1+1e-12 {
+			return false
+		}
+		sxx, _ := CosineSimilarity(x, x)
+		if math.Abs(sxx-1) > 1e-12 {
+			return false
+		}
+		// Positive scaling leaves similarity unchanged.
+		c := math.Abs(scale)
+		if c > 1e-6 && c < 1e6 && !math.IsNaN(c) {
+			scaled := make([]float64, n)
+			for i, v := range x {
+				scaled[i] = v * c
+			}
+			s2, _ := CosineSimilarity(scaled, y)
+			if math.Abs(s2-sxy) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	d := &Dataset{
+		Series:      []*Series{validSeries(1, 1, 1), validSeries(2, 1, 2)},
+		Temperature: &Temperature{Values: make([]float64, 24)},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset: %v", err)
+	}
+	if d.ByID(2) == nil || d.ByID(2).ID != 2 {
+		t.Error("ByID(2) failed")
+	}
+	if d.ByID(99) != nil {
+		t.Error("ByID(99) should be nil")
+	}
+
+	if err := (&Dataset{}).Validate(); err == nil {
+		t.Error("empty dataset: want error")
+	}
+	noTemp := &Dataset{Series: []*Series{validSeries(1, 1, 1)}}
+	if err := noTemp.Validate(); err == nil {
+		t.Error("missing temperature: want error")
+	}
+	mismatch := &Dataset{
+		Series:      []*Series{validSeries(1, 2, 1)},
+		Temperature: &Temperature{Values: make([]float64, 24)},
+	}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if HoursPerYear != 8760 {
+		t.Errorf("HoursPerYear = %d, want 8760 (365x24, per paper §3)", HoursPerYear)
+	}
+}

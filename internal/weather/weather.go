@@ -1,0 +1,99 @@
+// Package weather synthesizes hourly outdoor-temperature series for a
+// cold-winter / warm-summer climate (the paper used the temperature
+// series of a southern-Ontario city). The real series is unavailable, so
+// the generator composes an annual cycle, a diurnal cycle and AR(1)
+// weather noise — the three components that matter to the benchmark's
+// thermal-sensitivity algorithms: winters well below freezing, summers
+// warm enough for cooling load, and realistic day-to-day persistence.
+package weather
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Config parameterizes the synthetic climate.
+type Config struct {
+	// AnnualMean is the mean temperature over the year (degrees C).
+	// Default 8 (roughly Toronto).
+	AnnualMean float64
+	// AnnualAmplitude is half the summer-winter swing. Default 14.
+	AnnualAmplitude float64
+	// DiurnalAmplitude is half the day-night swing. Default 4.
+	DiurnalAmplitude float64
+	// NoiseStdDev is the innovation standard deviation of the AR(1)
+	// weather-front process. Default 2.
+	NoiseStdDev float64
+	// NoisePersistence is the AR(1) coefficient in [0, 1). Default 0.95.
+	NoisePersistence float64
+	// ColdestDay is the day-of-year (0-based) of minimum mean
+	// temperature. Default 20 (late January).
+	ColdestDay int
+	// Seed seeds the deterministic PRNG.
+	Seed int64
+}
+
+// DefaultConfig returns a southern-Ontario-like climate.
+func DefaultConfig() Config {
+	return Config{
+		AnnualMean:       8,
+		AnnualAmplitude:  14,
+		DiurnalAmplitude: 4,
+		NoiseStdDev:      2,
+		NoisePersistence: 0.95,
+		ColdestDay:       20,
+	}
+}
+
+// Generate produces an hourly temperature series covering the given
+// number of days.
+func Generate(days int, cfg Config) (*timeseries.Temperature, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("weather: days must be positive, got %d", days)
+	}
+	if cfg.NoisePersistence < 0 || cfg.NoisePersistence >= 1 {
+		return nil, fmt.Errorf("weather: persistence %g outside [0, 1)", cfg.NoisePersistence)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	values := make([]float64, days*timeseries.HoursPerDay)
+	var noise float64
+	// Stationary start for the AR(1) component.
+	if cfg.NoiseStdDev > 0 {
+		denom := math.Sqrt(1 - cfg.NoisePersistence*cfg.NoisePersistence)
+		noise = rng.NormFloat64() * cfg.NoiseStdDev / denom
+	}
+	for h := range values {
+		day := h / timeseries.HoursPerDay
+		hour := h % timeseries.HoursPerDay
+		annual := -cfg.AnnualAmplitude *
+			math.Cos(2*math.Pi*float64(day-cfg.ColdestDay)/float64(timeseries.DaysPerYear))
+		// Coldest around 05:00, warmest around 17:00.
+		diurnal := -cfg.DiurnalAmplitude * math.Cos(2*math.Pi*float64(hour-5)/24)
+		noise = cfg.NoisePersistence*noise + rng.NormFloat64()*cfg.NoiseStdDev
+		v := cfg.AnnualMean + annual + diurnal + noise
+		// Keep within the physically plausible range the data model enforces.
+		if v < -60 {
+			v = -60
+		}
+		if v > 55 {
+			v = 55
+		}
+		values[h] = v
+	}
+	return &timeseries.Temperature{Values: values}, nil
+}
+
+// GenerateYear produces a full 365-day series with the default climate
+// and the given seed.
+func GenerateYear(seed int64) *timeseries.Temperature {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	t, err := Generate(timeseries.DaysPerYear, cfg)
+	if err != nil {
+		panic(err) // unreachable: fixed valid arguments
+	}
+	return t
+}

@@ -1,0 +1,118 @@
+package weather
+
+import (
+	"math"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func TestGenerateValidYear(t *testing.T) {
+	temp := GenerateYear(1)
+	if err := temp.Validate(); err != nil {
+		t.Fatalf("generated year invalid: %v", err)
+	}
+	if len(temp.Values) != timeseries.HoursPerYear {
+		t.Fatalf("len = %d, want %d", len(temp.Values), timeseries.HoursPerYear)
+	}
+}
+
+func TestGenerateClimateShape(t *testing.T) {
+	temp := GenerateYear(2)
+	// Mean January temperature well below mean July temperature.
+	jan := monthMean(temp, 0)
+	jul := monthMean(temp, 6)
+	if jul-jan < 15 {
+		t.Errorf("Jan mean %g, Jul mean %g: seasonal swing too small", jan, jul)
+	}
+	// Cold winters (heating load) and warm summers (cooling load) are
+	// what the 3-line algorithm needs.
+	if jan > 0 {
+		t.Errorf("January mean %g, want below freezing", jan)
+	}
+	if jul < 18 {
+		t.Errorf("July mean %g, want warm", jul)
+	}
+	// Annual mean near the configured value.
+	mean, _ := stats.Mean(temp.Values)
+	if math.Abs(mean-DefaultConfig().AnnualMean) > 2.5 {
+		t.Errorf("annual mean = %g, want ~%g", mean, DefaultConfig().AnnualMean)
+	}
+}
+
+func monthMean(temp *timeseries.Temperature, month int) float64 {
+	start := month * 30 * timeseries.HoursPerDay
+	end := start + 30*timeseries.HoursPerDay
+	var m stats.Moments
+	for _, v := range temp.Values[start:end] {
+		m.Add(v)
+	}
+	return m.Mean()
+}
+
+func TestGenerateDiurnalCycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseStdDev = 0 // isolate the deterministic cycles
+	temp, err := Generate(365, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Afternoon (17:00) warmer than pre-dawn (05:00) on every day.
+	for d := 0; d < 365; d++ {
+		dawn := temp.Values[d*24+5]
+		afternoon := temp.Values[d*24+17]
+		if afternoon <= dawn {
+			t.Fatalf("day %d: afternoon %g <= dawn %g", d, afternoon, dawn)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateYear(7)
+	b := GenerateYear(7)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("same seed produced different weather")
+		}
+	}
+	c := GenerateYear(8)
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weather")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(0, DefaultConfig()); err == nil {
+		t.Error("0 days: want error")
+	}
+	bad := DefaultConfig()
+	bad.NoisePersistence = 1
+	if _, err := Generate(10, bad); err == nil {
+		t.Error("persistence 1: want error")
+	}
+	bad.NoisePersistence = -0.1
+	if _, err := Generate(10, bad); err == nil {
+		t.Error("negative persistence: want error")
+	}
+}
+
+func TestGenerateShortSeries(t *testing.T) {
+	temp, err := Generate(2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(temp.Values) != 48 {
+		t.Errorf("len = %d", len(temp.Values))
+	}
+	if err := temp.Validate(); err != nil {
+		t.Error(err)
+	}
+}
