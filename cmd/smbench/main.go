@@ -103,7 +103,9 @@ func runExperiments(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		rep.Print(os.Stdout)
+		if err := rep.Print(os.Stdout); err != nil {
+			return fmt.Errorf("%s: printing report: %w", e.ID, err)
+		}
 	}
 	return nil
 }

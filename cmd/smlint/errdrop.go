@@ -1,0 +1,138 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdropAnalyzer flags call statements that silently discard an error
+// result. A benchmark that drops I/O or compute errors reports numbers
+// for work that may not have happened. Explicit discards (`_ = f()`)
+// remain legal — they are visible in review — as are the fmt print
+// family and writers that cannot fail (strings.Builder, bytes.Buffer).
+var errdropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags silently discarded error returns outside tests",
+	Run:  runErrdrop,
+}
+
+// errdropAllowedRecvs are receiver types whose methods never return a
+// meaningful error (documented to be nil).
+var errdropAllowedRecvs = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+}
+
+// errdropAllowedWriters are fmt.Fprint* destinations whose write errors
+// are either unactionable (the std streams) or latched and checked
+// later (*bufio.Writer's sticky error surfaces at Flush, which errdrop
+// does require to be checked).
+func errdropAllowedWriter(info *types.Info, w ast.Expr) bool {
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkgName, ok := info.Uses[id].(*types.PkgName); ok &&
+				pkgName.Imported().Path() == "os" &&
+				(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+				return true
+			}
+		}
+	}
+	t := info.TypeOf(w)
+	if ptr, ok := t.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "bufio" && obj.Name() == "Writer"
+		}
+	}
+	return false
+}
+
+func runErrdrop(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p.Info, call) || errdropAllowed(p.Info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "error return is silently discarded; handle it or assign to _ explicitly")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(rt)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errdropAllowed reports whether the callee is on the allowlist.
+func errdropAllowed(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print* to stdout, and fmt.Fprint* to an allowlisted writer.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := info.Uses[id].(*types.PkgName); ok {
+			if pkgName.Imported().Path() != "fmt" {
+				return false
+			}
+			if strings.HasPrefix(sel.Sel.Name, "Print") {
+				return true
+			}
+			if strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+				return errdropAllowedWriter(info, call.Args[0])
+			}
+			return false
+		}
+	}
+	// Method on an infallible writer.
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return errdropAllowedRecvs[obj.Pkg().Path()+"."+obj.Name()]
+}

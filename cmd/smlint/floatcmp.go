@@ -1,0 +1,74 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// floatcmpAnalyzer flags == and != between floating-point expressions.
+// Exact float equality is almost never what a numeric kernel wants: the
+// 3-line segment fitting and cosine-similarity kernels accumulate
+// rounding error, so comparisons must go through the audited helpers in
+// internal/stats (IsZero, ApproxEqual, ApproxZero) or through
+// math.IsInf/math.IsNaN for sentinel checks. The helper file itself
+// (internal/stats/float.go) is the one allowlisted implementation site.
+var floatcmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between floating-point expressions outside the internal/stats epsilon helpers",
+	Run:  runFloatcmp,
+}
+
+// floatcmpAllowFile is the basename of the one file allowed to compare
+// floats directly: the epsilon helper implementation in internal/stats.
+const floatcmpAllowFile = "float.go"
+
+func runFloatcmp(p *Pass) {
+	for _, f := range p.Files {
+		pos := p.Fset.Position(f.Pos())
+		if p.Pkg.Name() == "stats" && filepath.Base(pos.Filename) == floatcmpAllowFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(p.Info, be.X) && !isFloatExpr(p.Info, be.Y) {
+				return true
+			}
+			// Comparisons folded at compile time are deterministic.
+			if isConst(p.Info, be.X) && isConst(p.Info, be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point comparison with %s; use stats.ApproxEqual/stats.IsZero or math.IsInf/math.IsNaN", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isTestFile reports whether the position is inside a _test.go file.
+// Kept here for analyzers that exempt test code explicitly even though
+// the driver only loads non-test files.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

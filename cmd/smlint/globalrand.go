@@ -1,0 +1,65 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalrandAnalyzer flags calls to the package-level math/rand (and
+// math/rand/v2) functions in library code. Those draw from a shared
+// global source, so generator output stops being reproducible from a
+// Config.Seed — the paper's data generator (§4) requires that two runs
+// with the same seed produce identical data. Code must thread an
+// injected *rand.Rand instead; the constructors (New, NewSource,
+// NewZipf, NewPCG, NewChaCha8) are the sanctioned way to build one and
+// are not flagged.
+var globalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flags package-level math/rand calls in non-test library code; inject a seeded *rand.Rand instead",
+	Run:  runGlobalrand,
+}
+
+// globalrandConstructors build an explicit generator rather than
+// touching the global source.
+var globalrandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runGlobalrand(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := p.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if globalrandConstructors[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(call.Pos(), "call to global rand.%s; thread a seeded *rand.Rand so output is reproducible", sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroutinecaptureAnalyzer enforces the repo's worker fan-out
+// convention: a goroutine launched inside a loop must receive the loop
+// variables it needs as closure parameters (go func(w, lo, hi int) {...}(w,
+// lo, hi)), never capture them from the enclosing scope, and wg.Add must
+// run in the spawning goroutine before the go statement, not inside the
+// spawned closure where it races wg.Wait. Go 1.22 made per-iteration
+// loop variables the language default, but explicit parameter passing
+// keeps each worker's inputs visible at the spawn site and survives
+// refactors that hoist variables out of the loop header.
+var goroutinecaptureAnalyzer = &Analyzer{
+	Name: "goroutinecapture",
+	Doc:  "flags goroutine closures capturing loop variables and wg.Add calls inside spawned goroutines",
+	Run:  runGoroutinecapture,
+}
+
+func runGoroutinecapture(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			loopVars := map[types.Object]bool{}
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				body = loop.Body
+				for _, e := range []ast.Expr{loop.Key, loop.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := p.Info.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						} else if obj := p.Info.Uses[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			case *ast.ForStmt:
+				body = loop.Body
+				if init, ok := loop.Init.(*ast.AssignStmt); ok {
+					for _, e := range init.Lhs {
+						if id, ok := e.(*ast.Ident); ok {
+							if obj := p.Info.Defs[id]; obj != nil {
+								loopVars[obj] = true
+							} else if obj := p.Info.Uses[id]; obj != nil {
+								loopVars[obj] = true
+							}
+						}
+					}
+				}
+			default:
+				// Independently of loops, check every go statement for
+				// wg.Add inside the spawned closure.
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkWgAddInside(p, g)
+				}
+				return true
+			}
+			if len(loopVars) == 0 {
+				return true
+			}
+			ast.Inspect(body, func(inner ast.Node) bool {
+				g, ok := inner.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if obj := p.Info.Uses[id]; obj != nil && loopVars[obj] {
+						p.Reportf(id.Pos(), "goroutine closure captures loop variable %q; pass it as a closure parameter instead", id.Name)
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// checkWgAddInside flags wg.Add calls in the body of a spawned closure:
+// by the time the goroutine runs, wg.Wait may already have returned.
+func checkWgAddInside(p *Pass, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		// Do not descend into nested go statements; they get their own
+		// visit from the outer walk.
+		if inner, ok := n.(*ast.GoStmt); ok && inner != g {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if !isWaitGroup(p.Info.TypeOf(sel.X)) {
+			return true
+		}
+		p.Reportf(call.Pos(), "wg.Add inside spawned goroutine races wg.Wait; call Add before the go statement")
+		return true
+	})
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader parses and type-checks packages without golang.org/x/tools.
+// Imports inside the current module resolve by mapping the import path
+// onto the module directory; everything else (the standard library)
+// resolves through the stdlib source importer.
+type loader struct {
+	fset    *token.FileSet
+	modPath string
+	modRoot string
+	std     types.Importer
+	cache   map[string]*types.Package
+}
+
+func newLoader(modPath, modRoot string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modPath: modPath,
+		modRoot: modRoot,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*types.Package{},
+	}
+}
+
+// Import implements types.Importer so repo packages can depend on each
+// other during type checking.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, _, _, err := l.load(path, filepath.Join(l.modRoot, rel))
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses the non-test Go files in dir and type-checks them as one
+// package, returning the package, its syntax and the filled type info.
+func (l *loader) load(path, dir string) (*types.Package, []*ast.File, *types.Info, error) {
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, files, info, nil
+}
+
+// goFiles lists the buildable non-test .go files in dir, sorted.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// packageDirs walks root and returns every directory containing
+// buildable Go files, skipping testdata, vendor and hidden trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if p != root && (base == "testdata" || base == "vendor" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFiles(p)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module path and root directory.
+func findModule(dir string) (modPath, modRoot string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), d, nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.modRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr,
+			"usage: smlint [packages]\n\n"+
+				"Analyzes Go packages with the repo's correctness analyzers:\n\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nPatterns: ./... (everything under cwd) or package directories.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	diags, err := run(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "smlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// run resolves the patterns to package directories, loads each package
+// and applies every analyzer.
+func run(patterns []string) ([]Diagnostic, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	modPath, modRoot, err := findModule(cwd)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(modPath, modRoot)
+
+	var dirs []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		var batch []string
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := rest
+			if root == "" || root == "." {
+				root = cwd
+			}
+			batch, err = packageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			batch = []string{pat}
+		}
+		for _, d := range batch {
+			abs, err := filepath.Abs(d)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[abs] {
+				seen[abs] = true
+				dirs = append(dirs, abs)
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, files, info, err := l.load(path, dir)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		diags = append(diags, runAnalyzers(l.fset, files, pkg, info)...)
+	}
+	return diags, nil
+}

@@ -1,0 +1,36 @@
+// Fixture for the errdrop analyzer.
+package errdrop
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func fails() error                 { return nil }
+func failsWithValue() (int, error) { return 0, nil }
+func pure() int                    { return 0 }
+
+func drops(w io.Writer, bw *bufio.Writer) {
+	fails()              // want "error return is silently discarded"
+	failsWithValue()     // want "error return is silently discarded"
+	fmt.Fprintf(w, "hi") // want "error return is silently discarded"
+
+	// Explicit discards and error-free calls are fine.
+	_ = fails()
+	_, _ = failsWithValue()
+	pure()
+
+	// Allowlisted: stdout/stderr prints, bufio's sticky error (checked
+	// at Flush), infallible builders.
+	fmt.Println("ok")
+	fmt.Fprintln(os.Stderr, "ok")
+	fmt.Fprintf(bw, "buffered")
+	var sb strings.Builder
+	sb.WriteString("ok")
+	if err := bw.Flush(); err != nil {
+		_ = err
+	}
+}

@@ -1,0 +1,31 @@
+// Fixture for the floatcmp analyzer.
+package floatcmp
+
+func comparisons(a, b float64, f32 float32, xs []float64, n int) bool {
+	if a == b { // want "floating-point comparison with =="
+		return true
+	}
+	if a != 0 { // want "floating-point comparison with !="
+		return true
+	}
+	if f32 == 1.5 { // want "floating-point comparison with =="
+		return true
+	}
+	if xs[0] == xs[1] { // want "floating-point comparison with =="
+		return true
+	}
+	if a+b == a*b { // want "floating-point comparison with =="
+		return true
+	}
+	// Integer comparisons are fine.
+	if n == 0 {
+		return true
+	}
+	// Ordered float comparisons are fine.
+	if a < b || a >= b {
+		return false
+	}
+	// Constant folding is deterministic; not flagged.
+	const half = 0.5
+	return half == 0.5
+}

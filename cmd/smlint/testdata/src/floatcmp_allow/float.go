@@ -1,0 +1,7 @@
+// Fixture proving the floatcmp allowlist: this file mirrors the real
+// internal/stats/float.go (package stats, file float.go) and may
+// compare floats directly. No diagnostics expected.
+package stats
+
+func IsZero(x float64) bool        { return x == 0 }
+func ExactEqual(a, b float64) bool { return a == b }

@@ -1,0 +1,21 @@
+// Fixture for the globalrand analyzer.
+package globalrand
+
+import "math/rand"
+
+func draws() float64 {
+	v := rand.Float64()              // want `call to global rand\.Float64`
+	n := rand.Intn(10)               // want `call to global rand\.Intn`
+	p := rand.Perm(4)                // want `call to global rand\.Perm`
+	rand.Shuffle(4, func(i, j int) { // want `call to global rand\.Shuffle`
+		p[i], p[j] = p[j], p[i]
+	})
+	return v + float64(n+p[0])
+}
+
+// Injected generators and the constructors that build them are the
+// sanctioned pattern; none of this is flagged.
+func injected(rng *rand.Rand) float64 {
+	local := rand.New(rand.NewSource(42))
+	return rng.Float64() + local.Float64()
+}

@@ -23,6 +23,8 @@ import (
 	"github.com/smartmeter/smartbench/internal/engine/rowstore"
 	"github.com/smartmeter/smartbench/internal/impute"
 	"github.com/smartmeter/smartbench/internal/meterdata"
+
+	"github.com/smartmeter/smartbench/internal/stats"
 )
 
 func main() {
@@ -104,7 +106,7 @@ func cleanSource(src *meterdata.Source) error {
 	cleaned := 0
 	for _, s := range ds.Series {
 		frac := impute.Fraction(s.Readings)
-		if frac == 0 {
+		if stats.IsZero(frac) {
 			continue
 		}
 		if err := impute.CleanSeries(s, 3); err != nil {
@@ -139,13 +141,13 @@ func makeEngine(name string) (core.Engine, func(), error) {
 			layout = rowstore.LayoutArrays
 		}
 		e := rowstore.New(dir, rowstore.WithLayout(layout))
-		return e, func() { e.Close(); os.RemoveAll(dir) }, nil
+		return e, func() { _ = e.Close(); _ = os.RemoveAll(dir) }, nil
 	case "colstore":
 		dir, err := os.MkdirTemp("", "smquery-colstore-*")
 		if err != nil {
 			return nil, noop, err
 		}
-		return colstore.New(dir), func() { os.RemoveAll(dir) }, nil
+		return colstore.New(dir), func() { _ = os.RemoveAll(dir) }, nil
 	case "spark", "hive":
 		cluster, err := distsim.New(distsim.DefaultConfig())
 		if err != nil {

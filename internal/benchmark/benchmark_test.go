@@ -42,7 +42,9 @@ func TestAllExperimentsRun(t *testing.T) {
 				}
 			}
 			var buf bytes.Buffer
-			rep.Print(&buf)
+			if err := rep.Print(&buf); err != nil {
+				t.Fatalf("Print: %v", err)
+			}
 			if !strings.Contains(buf.String(), exp.ID) {
 				t.Errorf("printed report missing ID header")
 			}
@@ -142,7 +144,9 @@ func TestReportPrintAlignment(t *testing.T) {
 	}
 	rep.AddRow("wide-cell-value", "1")
 	var buf bytes.Buffer
-	rep.Print(&buf)
+	if err := rep.Print(&buf); err != nil {
+		t.Fatalf("Print: %v", err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, "wide-cell-value") || !strings.Contains(out, "note: a note") {
 		t.Errorf("print output:\n%s", out)

@@ -9,6 +9,7 @@
 package benchmark
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"strings"
@@ -34,8 +35,10 @@ func (r *Report) AddRow(cells ...string) {
 	r.Rows = append(r.Rows, cells)
 }
 
-// Print renders the report as an aligned text table.
-func (r *Report) Print(w io.Writer) {
+// Print renders the report as an aligned text table. Writes are
+// buffered; the first write error surfaces from the final flush.
+func (r *Report) Print(out io.Writer) error {
+	w := bufio.NewWriter(out)
 	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
 	widths := make([]int, len(r.Columns))
 	for i, c := range r.Columns {
@@ -72,6 +75,7 @@ func (r *Report) Print(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+	return w.Flush()
 }
 
 func pad(s string, w int) string {

@@ -278,7 +278,7 @@ func Fig7(opts Options) (*Report, error) {
 				}
 				times[i] = d
 			}
-			rowE.Close()
+			_ = rowE.Close()
 			rep.AddRow(task.String(), fmt.Sprint(n), fmtDur(times[0]), fmtDur(times[1]), fmtDur(times[2]))
 		}
 	}
@@ -326,7 +326,7 @@ func Fig8(opts Options) (*Report, error) {
 			}
 			cells = append(cells, fmtMB(mem.PeakBytes))
 		}
-		rowE.Close()
+		_ = rowE.Close()
 		rep.AddRow(cells...)
 	}
 	return rep, nil

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestRunParallelRace is the race-regression test for the RunParallel
+// worker pool (core.go): many workers write disjoint result slots and
+// per-worker error slots, which `go test -race` verifies while the
+// reference comparison pins determinism — the fan-out must produce
+// byte-identical results to the sequential path.
+func TestRunParallelRace(t *testing.T) {
+	ds := dataset(t, 24, 21)
+	for _, task := range []Task{TaskHistogram, TaskThreeLine, TaskPAR} {
+		spec := Spec{Task: task, Workers: 8, K: 3}
+		ref, err := RunReference(ds, Spec{Task: task, K: 3})
+		if err != nil {
+			t.Fatalf("%v reference: %v", task, err)
+		}
+		par, err := RunParallel(ds, spec)
+		if err != nil {
+			t.Fatalf("%v parallel: %v", task, err)
+		}
+		if !reflect.DeepEqual(ref, par) {
+			t.Errorf("%v: parallel results differ from reference", task)
+		}
+	}
+}
+
+// TestRunParallelConcurrentCallers runs several RunParallel invocations
+// at once over one shared dataset, the shape a serving layer would
+// produce; the dataset must be treated as read-only by every worker.
+func TestRunParallelConcurrentCallers(t *testing.T) {
+	ds := dataset(t, 12, 14)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, errs[c] = RunParallel(ds, Spec{Task: TaskHistogram, Workers: 4})
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", c, err)
+		}
+	}
+}

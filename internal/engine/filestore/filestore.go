@@ -218,7 +218,7 @@ func (e *Engine) materializeCold() (*timeseries.Dataset, error) {
 			}
 			return nil
 		})
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("filestore: %w", err)
 		}

@@ -409,7 +409,7 @@ func (e *Engine) runSimilarity(spec core.Spec, temp *timeseries.Temperature) (*c
 					return nil, err
 				}
 				var score float64
-				if sn != 0 && norms[o.ID] != 0 {
+				if !stats.IsZero(sn) && !stats.IsZero(norms[o.ID]) {
 					score = dot / (sn * norms[o.ID])
 				}
 				tk.Add(o.ID, score)

@@ -83,18 +83,18 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 	// Page 0 is reserved for the meta page.
 	metaFr, err := bp.allocate()
 	if err != nil {
-		pf.close()
+		_ = pf.close()
 		return nil, err
 	}
 	bp.unpin(metaFr, true)
 	heap, err := newHeapFile(bp)
 	if err != nil {
-		pf.close()
+		_ = pf.close()
 		return nil, err
 	}
 	idx, err := newBTree(bp)
 	if err != nil {
-		pf.close()
+		_ = pf.close()
 		return nil, err
 	}
 	tb := &table{layout: e.layout, heap: heap, index: idx}
@@ -104,13 +104,13 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 	// that emerges naturally from per-file open/parse overhead.
 	ds, err := meterdata.ReadDataset(src)
 	if err != nil {
-		pf.close()
+		_ = pf.close()
 		return nil, err
 	}
 	var readings int64
 	for _, s := range ds.Series {
 		if err := tb.insertSeries(s, ds.Temperature); err != nil {
-			pf.close()
+			_ = pf.close()
 			return nil, err
 		}
 		readings += int64(len(s.Readings))
@@ -125,7 +125,7 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 		seriesLen: tb.seriesLen,
 		consumers: tb.consumers,
 	}); err != nil {
-		pf.close()
+		_ = pf.close()
 		return nil, err
 	}
 	e.pf, e.bp, e.table = pf, bp, tb
@@ -153,13 +153,13 @@ func (e *Engine) Open() error {
 		return err
 	}
 	if pf.nPages == 0 {
-		pf.close()
+		_ = pf.close()
 		return fmt.Errorf("rowstore: %s holds no data", e.dir)
 	}
 	bp := newBufferPool(pf, e.poolPages)
 	m, err := readMeta(bp)
 	if err != nil {
-		pf.close()
+		_ = pf.close()
 		return err
 	}
 	heap := &heapFile{bp: bp, first: m.heapFirst, last: m.heapLast, tuples: m.tuples}
@@ -173,7 +173,7 @@ func (e *Engine) Open() error {
 	}
 	ids, err := tb.distinctIDs()
 	if err != nil {
-		pf.close()
+		_ = pf.close()
 		return err
 	}
 	e.layout = m.layout
@@ -216,7 +216,7 @@ func (e *Engine) closeStorage() error {
 		return nil
 	}
 	if err := e.bp.flush(); err != nil {
-		e.pf.close()
+		_ = e.pf.close()
 		e.pf, e.bp, e.table = nil, nil, nil
 		return err
 	}

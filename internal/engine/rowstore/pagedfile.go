@@ -45,11 +45,11 @@ func openPagedFile(path string) (*pagedFile, error) {
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("rowstore: stat %s: %w", path, err)
 	}
 	if fi.Size()%PageSize != 0 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("rowstore: %s size %d is not page aligned", path, fi.Size())
 	}
 	return &pagedFile{f: f, nPages: PageID(fi.Size() / PageSize)}, nil

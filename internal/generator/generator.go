@@ -32,6 +32,8 @@ import (
 	"github.com/smartmeter/smartbench/internal/par"
 	"github.com/smartmeter/smartbench/internal/threeline"
 	"github.com/smartmeter/smartbench/internal/timeseries"
+
+	"github.com/smartmeter/smartbench/internal/stats"
 )
 
 // Config controls generation.
@@ -89,10 +91,10 @@ func New(seedData *timeseries.Dataset, cfg Config) (*Generator, error) {
 	if cfg.NoiseStdDev < 0 {
 		return nil, fmt.Errorf("generator: negative noise sigma %g", cfg.NoiseStdDev)
 	}
-	if cfg.NoiseStdDev == 0 {
+	if stats.IsZero(cfg.NoiseStdDev) {
 		cfg.NoiseStdDev = DefaultConfig().NoiseStdDev
 	}
-	if cfg.HeatingRef == 0 && cfg.CoolingRef == 0 {
+	if stats.IsZero(cfg.HeatingRef) && stats.IsZero(cfg.CoolingRef) {
 		cfg.HeatingRef = DefaultConfig().HeatingRef
 		cfg.CoolingRef = DefaultConfig().CoolingRef
 	}

@@ -1,0 +1,60 @@
+package kmeans
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testPoints(n, dim int, seedVal int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seedVal))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64() + float64(i%4)*5
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestRunDeterministicDeep asserts two Run calls with the same
+// Config.Seed produce identical clusterings — centroids, assignment,
+// inertia, all of it (DeepEqual, stronger than the assignment-only
+// check in kmeans_test.go) — which the generator's disaggregation step
+// depends on.
+func TestRunDeterministicDeep(t *testing.T) {
+	pts := testPoints(60, 6, 3)
+	cfg := Config{K: 4, Seed: 21}
+	a, err := Run(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different clusterings")
+	}
+}
+
+// TestRunRandMatchesRun asserts the explicit-rng entry point is the
+// same computation as the Config.Seed path: Run must be RunRand with a
+// rand.New(rand.NewSource(cfg.Seed)) stream, nothing more.
+func TestRunRandMatchesRun(t *testing.T) {
+	pts := testPoints(40, 5, 8)
+	cfg := Config{K: 3, Seed: 13}
+	viaSeed, err := Run(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRng, err := RunRand(pts, cfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaSeed, viaRng) {
+		t.Fatal("RunRand with seeded stream differs from Run")
+	}
+}

@@ -46,7 +46,15 @@ var (
 )
 
 // Run clusters the points. All points must share one dimensionality.
+// The PRNG is derived from cfg.Seed, so equal inputs give equal output.
 func Run(points [][]float64, cfg Config) (*Result, error) {
+	return RunRand(points, cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// RunRand is Run with an explicitly injected PRNG: callers that manage
+// their own deterministic rand stream (the data generator, tests)
+// thread it through here rather than relying on cfg.Seed.
+func RunRand(points [][]float64, cfg Config, rng *rand.Rand) (*Result, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, ErrNoPoints
@@ -69,7 +77,6 @@ func Run(points [][]float64, cfg Config) (*Result, error) {
 	if cfg.Tol <= 0 {
 		cfg.Tol = 1e-9
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	centroids := seedPlusPlus(points, cfg.K, rng)
 	assign := make([]int, n)

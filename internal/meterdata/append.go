@@ -43,7 +43,7 @@ func AppendToSource(src *Source, delta *timeseries.Dataset, priorHours int) erro
 			for _, id := range ids {
 				s, ok := byID[id]
 				if !ok {
-					f.Close()
+					_ = f.Close()
 					return fmt.Errorf("meterdata: delta is missing household %d", id)
 				}
 				for i, r := range s.Readings {
@@ -51,7 +51,7 @@ func AppendToSource(src *Source, delta *timeseries.Dataset, priorHours int) erro
 				}
 			}
 			if err := w.Flush(); err != nil {
-				f.Close()
+				_ = f.Close()
 				return fmt.Errorf("meterdata: append flush: %w", err)
 			}
 			if err := f.Close(); err != nil {
@@ -82,12 +82,12 @@ func AppendToSource(src *Source, delta *timeseries.Dataset, priorHours int) erro
 		w := bufio.NewWriterSize(f, 1<<20)
 		for _, s := range full.Series {
 			if err := writeSeries(w, s, FormatSeriesPerLine); err != nil {
-				f.Close()
+				_ = f.Close()
 				return err
 			}
 		}
 		if err := w.Flush(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("meterdata: rewrite flush: %w", err)
 		}
 		return f.Close()
@@ -111,7 +111,7 @@ func appendTemperature(dir string, delta *timeseries.Temperature) error {
 		fmt.Fprintf(w, "%d,%s\n", len(existing.Values)+i, formatFloat(v))
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("meterdata: append temperature flush: %w", err)
 	}
 	return f.Close()

@@ -121,7 +121,7 @@ func WriteTemperature(dir string, temp *timeseries.Temperature) error {
 		fmt.Fprintf(w, "%d,%s\n", i, formatFloat(v))
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("meterdata: flush temperature: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -183,12 +183,12 @@ func WriteUnpartitioned(dir string, ds *timeseries.Dataset, format Format) (*Sou
 	w := bufio.NewWriterSize(f, 1<<20)
 	for _, s := range ds.Series {
 		if err := writeSeries(w, s, format); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("meterdata: flush: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -216,11 +216,11 @@ func WritePartitioned(dir string, ds *timeseries.Dataset, format Format) (*Sourc
 		}
 		w := bufio.NewWriterSize(f, 1<<18)
 		if err := writeSeries(w, s, format); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if err := w.Flush(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("meterdata: flush %s: %w", name, err)
 		}
 		if err := f.Close(); err != nil {
@@ -265,12 +265,12 @@ func WriteGrouped(dir string, ds *timeseries.Dataset, numFiles int) (*Source, er
 		w := bufio.NewWriterSize(f, 1<<18)
 		for _, s := range ds.Series[lo:hi] {
 			if err := writeSeries(w, s, FormatReadingPerLine); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, err
 			}
 		}
 		if err := w.Flush(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("meterdata: flush %s: %w", name, err)
 		}
 		if err := f.Close(); err != nil {

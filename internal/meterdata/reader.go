@@ -137,7 +137,7 @@ func ReadDataset(src *Source) (*timeseries.Dataset, error) {
 		default:
 			err = fmt.Errorf("meterdata: unknown format %v", src.Format)
 		}
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("meterdata: read %s: %w", path, err)
 		}

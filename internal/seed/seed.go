@@ -115,7 +115,7 @@ func Generate(cfg Config) (*timeseries.Dataset, error) {
 	}
 
 	series := make([]*timeseries.Series, cfg.Consumers)
-	for i, h := range drawHouseholds(cfg) {
+	for i, h := range drawHouseholds(cfg, rand.New(rand.NewSource(cfg.Seed+1))) {
 		series[i] = h.synthesize(temp, rand.New(rand.NewSource(cfg.Seed+2000+int64(i))))
 	}
 	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
@@ -145,7 +145,7 @@ func GeneratePair(cfg Config, testWeatherSeed int64) (train, test *timeseries.Da
 		cfg.FirstID = 1
 	}
 	series := make([]*timeseries.Series, cfg.Consumers)
-	for i, h := range drawHouseholds(cfg) {
+	for i, h := range drawHouseholds(cfg, rand.New(rand.NewSource(cfg.Seed+1))) {
 		// A different noise stream for the test year, same behaviour.
 		series[i] = h.synthesize(testTemp, rand.New(rand.NewSource(testWeatherSeed+3000+int64(i))))
 	}
@@ -162,8 +162,9 @@ type household struct {
 
 // drawHouseholds deterministically derives the household parameters
 // implied by a Config (independent of the weather or noise streams).
-func drawHouseholds(cfg Config) []household {
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+// The rng is injected by the caller — both Generate and GeneratePair
+// must hand it the same seeded stream so the SAME households emerge.
+func drawHouseholds(cfg Config, rng *rand.Rand) []household {
 	arch := Archetypes()
 	out := make([]household, cfg.Consumers)
 	for i := range out {

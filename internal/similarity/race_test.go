@@ -1,0 +1,42 @@
+package similarity
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestComputeParallelRace is the race-regression test for the cosine
+// worker pool (similarity.go): workers share the read-only norms slice
+// and write disjoint out[i] slots. Under -race this validates the
+// sharing; the equality check pins parallel == sequential determinism.
+func TestComputeParallelRace(t *testing.T) {
+	d := randomDataset(32, 48, 7)
+	seq, err := Compute(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ComputeParallel(d, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel cosine results differ from sequential")
+	}
+}
+
+// TestComputeDTWRace covers the DTW worker pool the same way: disjoint
+// out/errs slots per worker, read-only input series.
+func TestComputeDTWRace(t *testing.T) {
+	d := randomDataset(16, 24, 9)
+	a, err := ComputeDTW(d, 3, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeDTW(d, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("parallel DTW results differ from sequential")
+	}
+}

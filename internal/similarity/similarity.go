@@ -83,7 +83,7 @@ func compute(d *timeseries.Dataset, k, workers int) ([]*Result, error) {
 					return
 				}
 				var score float64
-				if norms[i] != 0 && norms[j] != 0 {
+				if !stats.IsZero(norms[i]) && !stats.IsZero(norms[j]) {
 					score = dot / (norms[i] * norms[j])
 				}
 				tk.Add(d.Series[j].ID, score)

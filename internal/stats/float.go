@@ -1,0 +1,42 @@
+// Float comparison helpers. This file is the one place in the
+// repository allowed to compare floating-point values with == or !=
+// (enforced by cmd/smlint's floatcmp analyzer): every other comparison
+// must state its intent by going through these helpers, so each exact
+// comparison in a numeric kernel is an audited decision rather than an
+// accident.
+package stats
+
+import "math"
+
+// DefaultTol is the absolute tolerance used by benchmark kernels when a
+// caller has no better problem-specific bound.
+const DefaultTol = 1e-9
+
+// IsZero reports whether x is exactly zero. Use it for divide-by-zero
+// guards and "field left unset" config defaulting, where only the exact
+// value matters and a tolerance would change semantics.
+func IsZero(x float64) bool {
+	return x == 0
+}
+
+// ExactEqual reports whether a and b are exactly equal. Use it where
+// identity of copied (not recomputed) values is the point: histogram
+// shape checks, deterministic tie-breaks, sentinel tests. NaN compares
+// unequal to everything, itself included.
+func ExactEqual(a, b float64) bool {
+	return a == b
+}
+
+// ApproxEqual reports whether a and b differ by at most tol in absolute
+// value. Kernels that accumulate rounding error (segment fitting,
+// cosine similarity) should compare through this with an explicit
+// problem-derived tolerance.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// ApproxZero reports whether |x| is at most tol, the near-singularity
+// test used by pivoting and regression denominators.
+func ApproxZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}

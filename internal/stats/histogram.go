@@ -108,7 +108,7 @@ func (h *Histogram) Edges() []float64 {
 // Merge adds the counts of o into h. The histograms must have identical
 // range and bucket count.
 func (h *Histogram) Merge(o *Histogram) error {
-	if len(h.Counts) != len(o.Counts) || h.Min != o.Min || h.Max != o.Max {
+	if len(h.Counts) != len(o.Counts) || !ExactEqual(h.Min, o.Min) || !ExactEqual(h.Max, o.Max) {
 		return fmt.Errorf("stats: cannot merge histograms with different shapes")
 	}
 	for i, c := range o.Counts {

@@ -65,7 +65,7 @@ func (m *Matrix) MulNaive(o *Matrix) (*Matrix, error) {
 		oi := out.Row(i)
 		for k := 0; k < m.Cols; k++ {
 			a := mi[k]
-			if a == 0 {
+			if IsZero(a) {
 				continue
 			}
 			ok := o.Row(k)
@@ -158,7 +158,7 @@ func (m *Matrix) Solve(b []float64) ([]float64, error) {
 				best, pivot = v, r
 			}
 		}
-		if best == 0 || best < 1e-12 {
+		if best < 1e-12 {
 			return nil, fmt.Errorf("%w: pivot %g at column %d", ErrSingular, best, col)
 		}
 		if pivot != col {
@@ -171,7 +171,7 @@ func (m *Matrix) Solve(b []float64) ([]float64, error) {
 		inv := 1 / a.At(col, col)
 		for r := col + 1; r < n; r++ {
 			f := a.At(r, col) * inv
-			if f == 0 {
+			if IsZero(f) {
 				continue
 			}
 			rr, cr := a.Row(r), a.Row(col)

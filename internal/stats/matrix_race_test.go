@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMulParallelRace is the race-regression test for the blocked
+// parallel multiply (matrix.go): workers own disjoint row ranges of the
+// output. The exact comparison against MulNaive holds because both
+// kernels accumulate over k in ascending order, so the floating-point
+// operation order per cell is identical.
+func TestMulParallelRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMatrix(130, 70)
+	o := NewMatrix(70, 90)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	for i := range o.Data {
+		o.Data[i] = rng.NormFloat64()
+	}
+	want, err := m.MulNaive(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Mul(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := want.MaxAbsDiff(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsZero(diff) {
+		t.Errorf("parallel multiply differs from naive by %g", diff)
+	}
+}

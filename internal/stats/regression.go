@@ -36,7 +36,7 @@ func LinearFit(x, y []float64) (Line, error) {
 		sxy += xv * y[i]
 	}
 	den := n*sxx - sx*sx
-	if den == 0 || math.Abs(den) < 1e-12*math.Abs(n*sxx) {
+	if IsZero(den) || math.Abs(den) < 1e-12*math.Abs(n*sxx) {
 		return Line{}, fmt.Errorf("%w: constant regressor", ErrSingular)
 	}
 	slope := (n*sxy - sx*sy) / den
@@ -68,7 +68,7 @@ func WeightedLinearFit(x, y, w []float64) (Line, error) {
 		return Line{}, fmt.Errorf("stats: weights sum to %g", sw)
 	}
 	den := sw*sxx - sx*sx
-	if den == 0 {
+	if IsZero(den) {
 		return Line{}, fmt.Errorf("%w: constant regressor", ErrSingular)
 	}
 	slope := (sw*sxy - sx*sy) / den

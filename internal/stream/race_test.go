@@ -1,0 +1,49 @@
+package stream
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// TestProcessorRunRace is the race-regression test for the streaming
+// worker pool (stream.go): events are partitioned by household across
+// workers, per-worker counters merge under the processor mutex, and the
+// alert channel is shared. -race verifies all three under a full fan-out.
+func TestProcessorRunRace(t *testing.T) {
+	p, err := NewProcessor(NewSigmaDetector(3, 24), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const households, hours = 64, 48
+	events := make(chan Event, 256)
+	go func() {
+		defer close(events)
+		for h := 0; h < hours; h++ {
+			for id := 1; id <= households; id++ {
+				events <- Event{
+					ID:          timeseries.ID(id),
+					Hour:        h,
+					Consumption: float64(id%7) + float64(h%24)/24,
+					Temperature: 15,
+				}
+			}
+		}
+	}()
+	out := make(chan Alert, 64)
+	done := make(chan error, 1)
+	go func() { done <- p.Run(events, out) }()
+	for range out {
+		// Drain alerts concurrently with the workers producing them.
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	processed, alerted := p.Stats()
+	if processed != households*hours {
+		t.Errorf("processed = %d, want %d", processed, households*hours)
+	}
+	if alerted < 0 || alerted > processed {
+		t.Errorf("alerted = %d out of range", alerted)
+	}
+}

@@ -377,7 +377,7 @@ func (m *Model) makeContinuous() {
 	}
 	v1 := (m.Heating.At(m.Break1) + m.Base.At(m.Break1)) / 2
 	v2 := (m.Base.At(m.Break2) + m.Cooling.At(m.Break2)) / 2
-	if m.Break2 != m.Break1 {
+	if !stats.ExactEqual(m.Break2, m.Break1) {
 		slope := (v2 - v1) / (m.Break2 - m.Break1)
 		m.Base = stats.Line{Slope: slope, Intercept: v1 - slope*m.Break1}
 	}

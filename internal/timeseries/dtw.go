@@ -3,6 +3,8 @@ package timeseries
 import (
 	"fmt"
 	"math"
+
+	"github.com/smartmeter/smartbench/internal/stats"
 )
 
 // DTWDistance computes the dynamic time warping distance between two
@@ -65,14 +67,14 @@ func DTWDistance(x, y []float64, radius int) (float64, error) {
 			if cur[j-1] < best {
 				best = cur[j-1] // deletion
 			}
-			if best == inf {
+			if stats.ExactEqual(best, inf) {
 				continue
 			}
 			cur[j] = cost + best
 		}
 		prev, cur = cur, prev
 	}
-	if prev[m] == inf {
+	if stats.ExactEqual(prev[m], inf) {
 		return 0, fmt.Errorf("timeseries: DTW band radius %d disconnects the series", radius)
 	}
 	return math.Sqrt(prev[m]), nil

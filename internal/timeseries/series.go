@@ -104,7 +104,7 @@ func CosineSimilarity(x, y []float64) (float64, error) {
 		return 0, err
 	}
 	nx, ny := stats.Norm(x), stats.Norm(y)
-	if nx == 0 || ny == 0 {
+	if stats.IsZero(nx) || stats.IsZero(ny) {
 		return 0, nil
 	}
 	return dot / (nx * ny), nil

@@ -3,6 +3,8 @@ package timeseries
 import (
 	"container/heap"
 	"sort"
+
+	"github.com/smartmeter/smartbench/internal/stats"
 )
 
 // Match is one similarity-search result: the matched consumer and the
@@ -55,7 +57,7 @@ func (t *TopK) Results() []Match {
 // worse reports whether a ranks strictly below b (lower score, or equal
 // score with a higher ID).
 func worse(a, b Match) bool {
-	if a.Score != b.Score {
+	if !stats.ExactEqual(a.Score, b.Score) {
 		return a.Score < b.Score
 	}
 	return a.ID > b.ID

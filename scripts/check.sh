@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# check.sh is the single verification entrypoint for the repo: build,
+# vet, the repo-native smlint analyzers, then the full test suite under
+# the race detector. CI runs exactly this script; run it locally before
+# sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go run ./cmd/smlint ./..."
+go run ./cmd/smlint ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all green"
