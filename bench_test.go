@@ -112,6 +112,48 @@ func BenchmarkKernelSimilarity(b *testing.B) {
 	}
 }
 
+// simDataset caches the larger n=64 dataset used by the blocked-vs-naive
+// similarity A/B pair below (scripts/bench.sh aggregates these two into
+// BENCH_similarity.json; see EXPERIMENTS.md §5.3.4).
+var simDataset *timeseries.Dataset
+
+func getSimDataset(b *testing.B) *timeseries.Dataset {
+	b.Helper()
+	if simDataset == nil {
+		ds, err := seed.Generate(seed.Config{Consumers: 64, Days: benchDays, Seed: 43})
+		if err != nil {
+			b.Fatal(err)
+		}
+		simDataset = ds
+	}
+	return simDataset
+}
+
+func BenchmarkKernelSimilarityBlocked(b *testing.B) {
+	ds := getSimDataset(b)
+	// Warm once so the FlatMatrix packing is cached and the loop measures
+	// the steady-state kernel, matching how engines reuse a loaded dataset.
+	if _, err := similarity.Compute(ds, 5); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := similarity.Compute(ds, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSimilarityNaive(b *testing.B) {
+	ds := getSimDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := similarity.ComputeNaive(ds, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkKernelQuantiles(b *testing.B) {
 	ds := getDataset(b)
 	xs := ds.Series[0].Readings

@@ -21,6 +21,7 @@ import (
 	"github.com/smartmeter/smartbench/internal/histogram"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/par"
+	"github.com/smartmeter/smartbench/internal/sched"
 	"github.com/smartmeter/smartbench/internal/similarity"
 	"github.com/smartmeter/smartbench/internal/threeline"
 	"github.com/smartmeter/smartbench/internal/timeseries"
@@ -229,9 +230,17 @@ func RunReference(d *timeseries.Dataset, spec Spec) (*Results, error) {
 	return out, nil
 }
 
-// RunParallel is RunReference with the per-consumer tasks fanned out
-// over spec.Workers goroutines (the similarity task already honours
-// Workers internally). Result order matches d.Series order.
+// runParallelBlock is the number of consumers a RunParallel worker
+// claims per scheduler pull. One consumer per claim balances best: a
+// single PAR fit dwarfs the cost of an atomic counter increment.
+const runParallelBlock = 1
+
+// RunParallel is RunReference with the per-consumer tasks dynamically
+// scheduled over spec.Workers goroutines (the similarity task already
+// honours Workers internally): workers pull consumer blocks off a
+// shared counter (internal/sched) rather than owning static ranges, so
+// an uneven split cannot strand a straggler. Result order matches
+// d.Series order.
 func RunParallel(d *timeseries.Dataset, spec Spec) (*Results, error) {
 	spec = spec.WithDefaults()
 	if spec.Workers <= 1 || spec.Task == TaskSimilarity {
@@ -239,7 +248,6 @@ func RunParallel(d *timeseries.Dataset, spec Spec) (*Results, error) {
 	}
 	n := len(d.Series)
 	out := &Results{Task: spec.Task}
-	errs := make([]error, spec.Workers)
 
 	switch spec.Task {
 	case TaskHistogram:
@@ -252,55 +260,33 @@ func RunParallel(d *timeseries.Dataset, spec Spec) (*Results, error) {
 		return nil, fmt.Errorf("core: unknown task %v", spec.Task)
 	}
 
-	done := make(chan int, spec.Workers)
-	per := (n + spec.Workers - 1) / spec.Workers
-	launched := 0
-	for w := 0; w < spec.Workers; w++ {
-		lo, hi := w*per, (w+1)*per
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		launched++
-		go func(w, lo, hi int) {
-			defer func() { done <- w }()
-			for i := lo; i < hi; i++ {
-				s := d.Series[i]
-				switch spec.Task {
-				case TaskHistogram:
-					r, err := histogram.ComputeBuckets(s, spec.Buckets)
-					if err != nil {
-						errs[w] = err
-						return
-					}
-					out.Histograms[i] = r
-				case TaskThreeLine:
-					r, err := threeline.Compute(s, d.Temperature)
-					if err != nil {
-						errs[w] = err
-						return
-					}
-					out.ThreeLines[i] = r
-				case TaskPAR:
-					r, err := par.ComputeOrder(s, d.Temperature, spec.Order)
-					if err != nil {
-						errs[w] = err
-						return
-					}
-					out.Profiles[i] = r
+	if err := sched.Run(n, runParallelBlock, spec.Workers, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			s := d.Series[i]
+			switch spec.Task {
+			case TaskHistogram:
+				r, err := histogram.ComputeBuckets(s, spec.Buckets)
+				if err != nil {
+					return err
 				}
+				out.Histograms[i] = r
+			case TaskThreeLine:
+				r, err := threeline.Compute(s, d.Temperature)
+				if err != nil {
+					return err
+				}
+				out.ThreeLines[i] = r
+			case TaskPAR:
+				r, err := par.ComputeOrder(s, d.Temperature, spec.Order)
+				if err != nil {
+					return err
+				}
+				out.Profiles[i] = r
 			}
-		}(w, lo, hi)
-	}
-	for i := 0; i < launched; i++ {
-		<-done
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -205,11 +205,20 @@ func decodeSegments(img []byte) (*timeseries.Dataset, error) {
 	off := headerSize
 	temp := &timeseries.Temperature{Values: decodeColumn(img[off:off+8*n], n)}
 	off += 8 * n
+	// All consumer columns decode into one contiguous row-major buffer,
+	// each series a back-to-back subslice of it. The similarity engine's
+	// FlatMatrix packing detects this layout and adopts it zero-copy —
+	// the column store hands its columns straight to the blocked kernel.
+	// (Consequently a row's slice capacity extends over later rows:
+	// never append to a decoded series' Readings in place.)
+	flat := make([]float64, consumers*n)
 	series := make([]*timeseries.Series, consumers)
 	for i := 0; i < consumers; i++ {
 		id := timeseries.ID(binary.LittleEndian.Uint64(img[off:]))
 		off += 8
-		series[i] = &timeseries.Series{ID: id, Readings: decodeColumn(img[off:off+8*n], n)}
+		row := flat[i*n : (i+1)*n]
+		decodeColumnInto(row, img[off:off+8*n])
+		series[i] = &timeseries.Series{ID: id, Readings: row}
 		off += 8 * n
 	}
 	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
@@ -217,10 +226,14 @@ func decodeSegments(img []byte) (*timeseries.Dataset, error) {
 
 func decodeColumn(b []byte, n int) []float64 {
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
-	}
+	decodeColumnInto(out, b)
 	return out
+}
+
+func decodeColumnInto(dst []float64, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
 }
 
 // Append implements core.Appender. The read-optimized segment image has

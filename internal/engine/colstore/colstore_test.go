@@ -54,6 +54,41 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDecodedColumnsPackZeroCopy(t *testing.T) {
+	// The decoder lays all consumer columns in one contiguous buffer, so
+	// the similarity engine's FlatMatrix packing must adopt that backing
+	// zero-copy instead of re-copying every row.
+	_, ds := writeSource(t, 6, 15)
+	img, err := encodeSegments(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSegments(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := got.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Shared() {
+		t.Fatal("FlatMatrix copied the decoded columns; want zero-copy adoption")
+	}
+	if &m.Data()[0] != &got.Series[0].Readings[0] {
+		t.Error("FlatMatrix data does not alias the decoded buffer")
+	}
+	// Zero-copy means the matrix sees writes through the series view.
+	got.ReleaseFlat()
+	got.Series[2].Readings[3] = 1234.5
+	m, err = got.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Row(2)[3] != 1234.5 {
+		t.Error("FlatMatrix row does not alias series readings")
+	}
+}
+
 func TestDecodeRejectsCorruption(t *testing.T) {
 	_, ds := writeSource(t, 2, 2)
 	img, _ := encodeSegments(ds)

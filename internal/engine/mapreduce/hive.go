@@ -391,7 +391,12 @@ func (e *Engine) runSimilarity(spec core.Spec) (*core.Results, error) {
 		}
 	}
 	cluster.TransferConcurrent(moves)
-	ds := &timeseries.Dataset{Series: series, Temperature: e.temp}
+	// Pack the replicated probe table once for the blocked kernel; every
+	// reduce partition scans it read-only via similarity.TopKRow.
+	m, err := timeseries.PackMatrix(series)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: %w", err)
+	}
 	sink := &resultSink{}
 	tasks := make([]distsim.Task, reducers)
 	for p := 0; p < reducers; p++ {
@@ -404,22 +409,11 @@ func (e *Engine) runSimilarity(spec core.Spec) (*core.Results, error) {
 				// Reduce-side join work: every partition scans the whole
 				// replicated probe table (the cost a map-side join avoids).
 				ctx.Compute(totalBytes)
-				for i, s := range ds.Series {
+				for i, s := range series {
 					if int(hashKey(int64(s.ID))%uint64(reducers)) != p {
 						continue
 					}
-					tk := timeseries.NewTopK(spec.K)
-					for j, o := range ds.Series {
-						if i == j {
-							continue
-						}
-						score, err := similarity.PairScore(s, o)
-						if err != nil {
-							return err
-						}
-						tk.Add(o.ID, score)
-					}
-					sink.add(&similarity.Result{ID: s.ID, Matches: tk.Results()})
+					sink.add(&similarity.Result{ID: s.ID, Matches: similarity.TopKRow(m, i, spec.K)})
 				}
 				return nil
 			},

@@ -14,7 +14,6 @@ import (
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/par"
 	"github.com/smartmeter/smartbench/internal/similarity"
-	"github.com/smartmeter/smartbench/internal/stats"
 	"github.com/smartmeter/smartbench/internal/threeline"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
@@ -377,20 +376,27 @@ func (e *Engine) runSimilarity(spec core.Spec, temp *timeseries.Temperature) (*c
 	if series.Count() < 2 {
 		return nil, similarity.ErrTooFew
 	}
-	// Build the broadcast table: all series with precomputed norms.
+	// Build the broadcast table: all series packed into the blocked
+	// kernel's flat row-major matrix, inverse norms precomputed once.
 	var all []*timeseries.Series
 	for _, rec := range series.Collect() {
 		all = append(all, rec.Value.(*timeseries.Series))
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
 	var bytes int64
-	norms := make(map[timeseries.ID]float64, len(all))
 	for _, s := range all {
 		bytes += int64(len(s.Readings) * 8)
-		norms[s.ID] = stats.Norm(s.Readings)
 	}
-	bc := e.ctx.Broadcast(all, bytes)
-	table := bc.Value.([]*timeseries.Series)
+	m, err := timeseries.PackMatrix(all)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: %w", err)
+	}
+	rowOf := make(map[timeseries.ID]int, len(all))
+	for i, s := range all {
+		rowOf[s.ID] = i
+	}
+	bc := e.ctx.Broadcast(m, bytes)
+	table := bc.Value.(*timeseries.FlatMatrix)
 
 	out, err := series.MapPartitions(func(part []Record, ctx *distsim.TaskCtx) ([]Record, error) {
 		ctx.Alloc(bytes) // the broadcast copy resident on this node
@@ -398,25 +404,13 @@ func (e *Engine) runSimilarity(spec core.Spec, temp *timeseries.Temperature) (*c
 		res := make([]Record, 0, len(part))
 		for _, rec := range part {
 			s := rec.Value.(*timeseries.Series)
-			tk := timeseries.NewTopK(spec.K)
-			sn := norms[s.ID]
-			for _, o := range table {
-				if o.ID == s.ID {
-					continue
-				}
-				dot, err := stats.Dot(s.Readings, o.Readings)
-				if err != nil {
-					return nil, err
-				}
-				var score float64
-				if !stats.IsZero(sn) && !stats.IsZero(norms[o.ID]) {
-					score = dot / (sn * norms[o.ID])
-				}
-				tk.Add(o.ID, score)
+			q, ok := rowOf[s.ID]
+			if !ok {
+				return nil, fmt.Errorf("rdd: series %d missing from broadcast table", s.ID)
 			}
 			res = append(res, Record{
 				Key:   int64(s.ID),
-				Value: &similarity.Result{ID: s.ID, Matches: tk.Results()},
+				Value: &similarity.Result{ID: s.ID, Matches: similarity.TopKRow(table, q, spec.K)},
 				Bytes: int64(spec.K * 16),
 			})
 		}

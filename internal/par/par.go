@@ -87,6 +87,13 @@ func ComputeOrder(s *timeseries.Series, temp *timeseries.Temperature, p int) (*R
 	X := make([][]float64, nObs)
 	y := make([]float64, nObs)
 	regressors := make([]float64, nObs*(p+1))
+	// One buffer pair for the per-hour temperature column and
+	// consumption column, reused across all 24 hours rather than
+	// reallocated inside the loop (the PAR hot path runs once per
+	// consumer, so 46 avoided allocations per call add up at scale;
+	// pinned by the AllocsPerRun regression test).
+	ct := make([]float64, days)
+	cc := make([]float64, days)
 
 	for h := 0; h < timeseries.HoursPerDay; h++ {
 		for d := p; d < days; d++ {
@@ -106,8 +113,6 @@ func ComputeOrder(s *timeseries.Series, temp *timeseries.Temperature, p int) (*R
 		// dedicated consumption-on-temperature slope for this hour (see
 		// the package comment for why the AR model's coefficient is not
 		// used here).
-		ct := make([]float64, days)
-		cc := make([]float64, days)
 		for d := 0; d < days; d++ {
 			ct[d] = temp.Values[d*timeseries.HoursPerDay+h]
 			cc[d] = s.At(d, h)

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversRange checks every index in [0, n) is visited exactly
+// once for awkward combinations of n, block size, and worker count
+// (n not divisible by block, more workers than blocks, block > n).
+func TestRunCoversRange(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 33, 100} {
+		for _, block := range []int{1, 3, 8, 64} {
+			for _, workers := range []int{1, 2, 7, 32} {
+				seen := make([]atomic.Int32, n)
+				err := Run(n, block, workers, func(_, lo, hi int) error {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("n=%d block=%d workers=%d: bad range [%d, %d)", n, block, workers, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						seen[i].Add(1)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("n=%d block=%d workers=%d: %v", n, block, workers, err)
+				}
+				for i := range seen {
+					if got := seen[i].Load(); got != 1 {
+						t.Fatalf("n=%d block=%d workers=%d: index %d visited %d times", n, block, workers, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunEmptyRange(t *testing.T) {
+	calls := 0
+	if err := Run(0, 4, 8, func(_, _, _ int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("n=0 ran %d blocks", calls)
+	}
+}
+
+// TestRunSequentialOrder pins the workers<=1 contract: blocks run in
+// ascending order on the calling goroutine.
+func TestRunSequentialOrder(t *testing.T) {
+	var lows []int
+	if err := Run(10, 4, 1, func(w, lo, hi int) error {
+		if w != 0 {
+			t.Errorf("sequential worker index = %d", w)
+		}
+		lows = append(lows, lo)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 4, 8}
+	if len(lows) != len(want) {
+		t.Fatalf("blocks = %v, want %v", lows, want)
+	}
+	for i := range want {
+		if lows[i] != want[i] {
+			t.Fatalf("blocks = %v, want %v", lows, want)
+		}
+	}
+}
+
+// TestRunErrorStopsClaims checks that the first error is returned and
+// that no new blocks are claimed after it surfaces.
+func TestRunErrorStopsClaims(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var after atomic.Int32
+		err := Run(1000, 1, workers, func(_, lo, _ int) error {
+			if lo == 3 {
+				return sentinel
+			}
+			after.Add(1)
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		// In-flight blocks may finish, but the claim counter must stop
+		// well short of the full range.
+		if got := after.Load(); got >= 999 {
+			t.Errorf("workers=%d: %d blocks ran after error", workers, got)
+		}
+	}
+}
+
+// TestRunWorkerIndexes verifies worker ids address disjoint scratch:
+// every reported index is within [0, workers) after clamping.
+func TestRunWorkerIndexes(t *testing.T) {
+	const workers = 6
+	scratch := make([][]int, workers)
+	var mu sync.Mutex
+	err := Run(64, 2, workers, func(w, lo, hi int) error {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of range", w)
+		}
+		mu.Lock()
+		scratch[w] = append(scratch[w], lo)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRace is the race-regression test for the shared claim counter:
+// many workers hammer small blocks while writing disjoint output slots,
+// which `go test -race` validates.
+func TestRunRace(t *testing.T) {
+	const n = 512
+	out := make([]int, n)
+	if err := Run(n, 3, 16, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = i * i
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package similarity
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -123,6 +124,23 @@ func TestComputeErrors(t *testing.T) {
 	bad.Series[1].Readings = bad.Series[1].Readings[:12]
 	if _, err := Compute(bad, 1); err == nil {
 		t.Error("mismatched lengths: want error")
+	}
+}
+
+func TestEmptySeriesError(t *testing.T) {
+	// Zero-LENGTH series are a validation error (ErrEmptySeries), distinct
+	// from zero-NORM series which score 0 against everything (see
+	// TestZeroSeriesSimilarToNothing). Both public entry points must
+	// return the sentinel, not silently emit empty match lists.
+	d := randomDataset(3, 0, 10)
+	if _, err := Compute(d, 1); !errors.Is(err, ErrEmptySeries) {
+		t.Errorf("Compute err = %v, want ErrEmptySeries", err)
+	}
+	if _, err := ComputeNaive(d, 1); !errors.Is(err, ErrEmptySeries) {
+		t.Errorf("ComputeNaive err = %v, want ErrEmptySeries", err)
+	}
+	if _, err := ComputeParallel(d, 1, 4); !errors.Is(err, ErrEmptySeries) {
+		t.Errorf("ComputeParallel err = %v, want ErrEmptySeries", err)
 	}
 }
 

@@ -1,0 +1,150 @@
+// Blocked similarity kernels. The top-k similarity task (paper §3.4,
+// §5.3.4) is the benchmark's O(n²) stress test, and its inner loop is a
+// long float64 dot product. The scalar Dot in vector.go carries a
+// loop-borne dependency — one add every float-add latency — so the
+// kernels here break the chain with independent accumulators and fuse
+// several candidate rows per pass over the query row, turning the scan
+// from pointer-chased scalar math into a register-tiled block sweep
+// over a contiguous matrix (see timeseries.FlatMatrix).
+//
+// All kernels are *unchecked*: callers guarantee the rows have equal
+// length (the similarity layer validates the dataset once up front).
+//
+// Every lane of every kernel uses the same accumulation pattern — one
+// accumulator for even indices, one for odd, the odd-length tail folded
+// into the even accumulator, reduced as even+odd. Because float64
+// multiplication is commutative, a dot product's bits therefore depend
+// only on the two rows involved, not on their order or on which fused
+// kernel produced it. The symmetric similarity engine relies on this:
+// it computes each unordered pair once and mirrors the score. The
+// kernels still round differently from the scalar Dot in vector.go
+// (single accumulator), so cross-checking against it needs a tolerance.
+package stats
+
+// DotUnchecked returns the dot product of x and y with the canonical
+// even/odd two-accumulator pattern shared by all kernel lanes. len(y)
+// must be >= len(x); only the first len(x) elements participate.
+func DotUnchecked(x, y []float64) float64 {
+	n := len(x)
+	y = y[:n]
+	var s0, s1 float64
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+	}
+	if i < n {
+		s0 += x[i] * y[i]
+	}
+	return s0 + s1
+}
+
+// Dot2 computes the dot products of one query row q against two
+// candidate rows a and b in a single pass, so each loaded q element is
+// used twice while hot in registers. All rows must have length >=
+// len(q). Each lane accumulates exactly like DotUnchecked.
+func Dot2(q, a, b []float64) (da, db float64) {
+	n := len(q)
+	a, b = a[:n], b[:n]
+	var a0, a1, b0, b1 float64
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		q0, q1 := q[i], q[i+1]
+		a0 += q0 * a[i]
+		a1 += q1 * a[i+1]
+		b0 += q0 * b[i]
+		b1 += q1 * b[i+1]
+	}
+	if i < n {
+		q0 := q[i]
+		a0 += q0 * a[i]
+		b0 += q0 * b[i]
+	}
+	return a0 + a1, b0 + b1
+}
+
+// Dot4 computes the dot products of one query row q against four
+// candidate rows in a single pass — the widest fused kernel: eight
+// accumulators of independent multiply-adds per iteration, with the
+// query row read once for all four candidates. Each lane accumulates
+// exactly like DotUnchecked.
+func Dot4(q, a, b, c, d []float64) (da, db, dc, dd float64) {
+	n := len(q)
+	a, b, c, d = a[:n], b[:n], c[:n], d[:n]
+	var a0, a1, b0, b1, c0, c1, d0, d1 float64
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		q0, q1 := q[i], q[i+1]
+		a0 += q0 * a[i]
+		a1 += q1 * a[i+1]
+		b0 += q0 * b[i]
+		b1 += q1 * b[i+1]
+		c0 += q0 * c[i]
+		c1 += q1 * c[i+1]
+		d0 += q0 * d[i]
+		d1 += q1 * d[i+1]
+	}
+	if i < n {
+		q0 := q[i]
+		a0 += q0 * a[i]
+		b0 += q0 * b[i]
+		c0 += q0 * c[i]
+		d0 += q0 * d[i]
+	}
+	return a0 + a1, b0 + b1, c0 + c1, d0 + d1
+}
+
+// CosineTile fills a qn x cn score tile with cosine similarities
+// between qn query rows and cn candidate rows:
+//
+//	tile[qi*cn+ci] = Dot(Q[qi], C[ci]) * (qInv[qi] * cInv[ci])
+//
+// q and c are row-major buffers of qn (resp. cn) rows of the given
+// length; qInv and cInv hold per-row inverse norms, with 0 standing in
+// for a zero-norm row so its scores come out 0. Candidates are swept in
+// groups of four (Dot4, then Dot2/DotUnchecked for the remainder) with
+// the group's rows reused across every query row while cache-hot.
+//
+// Because all kernel lanes share one accumulation pattern and the
+// inverse norms are multiplied together before scaling the dot, a
+// pair's score is a pure function of the two rows: swapping the query
+// and candidate sides, or regrouping either side, reproduces it bit for
+// bit.
+func CosineTile(tile, q, c []float64, qn, cn, length int, qInv, cInv []float64) {
+	cj := 0
+	for ; cj+4 <= cn; cj += 4 {
+		c0 := c[cj*length : (cj+1)*length]
+		c1 := c[(cj+1)*length : (cj+2)*length]
+		c2 := c[(cj+2)*length : (cj+3)*length]
+		c3 := c[(cj+3)*length : (cj+4)*length]
+		for qi := 0; qi < qn; qi++ {
+			row := q[qi*length : (qi+1)*length]
+			d0, d1, d2, d3 := Dot4(row, c0, c1, c2, c3)
+			f := qInv[qi]
+			t := tile[qi*cn+cj : qi*cn+cj+4]
+			t[0] = d0 * (f * cInv[cj])
+			t[1] = d1 * (f * cInv[cj+1])
+			t[2] = d2 * (f * cInv[cj+2])
+			t[3] = d3 * (f * cInv[cj+3])
+		}
+	}
+	if cj+2 <= cn {
+		c0 := c[cj*length : (cj+1)*length]
+		c1 := c[(cj+1)*length : (cj+2)*length]
+		for qi := 0; qi < qn; qi++ {
+			row := q[qi*length : (qi+1)*length]
+			d0, d1 := Dot2(row, c0, c1)
+			f := qInv[qi]
+			tile[qi*cn+cj] = d0 * (f * cInv[cj])
+			tile[qi*cn+cj+1] = d1 * (f * cInv[cj+1])
+		}
+		cj += 2
+	}
+	if cj < cn {
+		c0 := c[cj*length : (cj+1)*length]
+		for qi := 0; qi < qn; qi++ {
+			row := q[qi*length : (qi+1)*length]
+			tile[qi*cn+cj] = DotUnchecked(row, c0) * (qInv[qi] * cInv[cj])
+		}
+	}
+}

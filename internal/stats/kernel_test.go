@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tol bounds the rounding difference between the unrolled/fused kernels
+// and the scalar Dot reference for the vector lengths used here.
+const tol = 1e-12
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*4 - 2
+	}
+	return v
+}
+
+// TestDotUncheckedMatchesDot sweeps lengths around the unroll width,
+// including 0 and lengths not divisible by 4.
+func TestDotUncheckedMatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n <= 33; n++ {
+		x, y := randVec(rng, n), randVec(rng, n)
+		want, err := Dot(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := DotUnchecked(x, y); math.Abs(got-want) > tol {
+			t.Errorf("n=%d: DotUnchecked = %g, Dot = %g", n, got, want)
+		}
+	}
+}
+
+func TestDot2Dot4MatchDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 3, 5, 7, 8, 15, 33, 101} {
+		q := randVec(rng, n)
+		rows := [][]float64{randVec(rng, n), randVec(rng, n), randVec(rng, n), randVec(rng, n)}
+		var want [4]float64
+		for i, r := range rows {
+			w, err := Dot(q, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = w
+		}
+		da, db := Dot2(q, rows[0], rows[1])
+		if math.Abs(da-want[0]) > tol || math.Abs(db-want[1]) > tol {
+			t.Errorf("n=%d: Dot2 = (%g, %g), want (%g, %g)", n, da, db, want[0], want[1])
+		}
+		ga, gb, gc, gd := Dot4(q, rows[0], rows[1], rows[2], rows[3])
+		for i, g := range []float64{ga, gb, gc, gd} {
+			if math.Abs(g-want[i]) > tol {
+				t.Errorf("n=%d: Dot4[%d] = %g, want %g", n, i, g, want[i])
+			}
+		}
+	}
+}
+
+// TestKernelLanesBitIdentical pins the invariant the symmetric
+// similarity engine builds on: every lane of every kernel uses the same
+// even/odd accumulation pattern, so a dot product's bits do not depend
+// on the argument order or on which fused kernel computed it.
+func TestKernelLanesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 3, 7, 8, 61, 101} {
+		q := randVec(rng, n)
+		rows := [][]float64{randVec(rng, n), randVec(rng, n), randVec(rng, n), randVec(rng, n)}
+		want := [4]float64{
+			DotUnchecked(q, rows[0]), DotUnchecked(q, rows[1]),
+			DotUnchecked(q, rows[2]), DotUnchecked(q, rows[3]),
+		}
+		ga, gb, gc, gd := Dot4(q, rows[0], rows[1], rows[2], rows[3])
+		for i, g := range []float64{ga, gb, gc, gd} {
+			if !ExactEqual(g, want[i]) {
+				t.Errorf("n=%d: Dot4 lane %d = %g, DotUnchecked = %g", n, i, g, want[i])
+			}
+		}
+		da, db := Dot2(q, rows[0], rows[1])
+		if !ExactEqual(da, want[0]) || !ExactEqual(db, want[1]) {
+			t.Errorf("n=%d: Dot2 = (%g, %g), DotUnchecked = (%g, %g)", n, da, db, want[0], want[1])
+		}
+		// Commutativity: swapping the operand order reproduces the bits.
+		for i, r := range rows {
+			if got := DotUnchecked(r, q); !ExactEqual(got, want[i]) {
+				t.Errorf("n=%d: DotUnchecked(r%d, q) = %g, mirrored = %g", n, i, got, want[i])
+			}
+		}
+	}
+}
+
+// cosineRef is the scalar reference for one pair, mirroring the
+// existing per-pair formula (dot / (|x||y|)).
+func cosineRef(t *testing.T, x, y []float64) float64 {
+	t.Helper()
+	dot, err := Dot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, ny := Norm(x), Norm(y)
+	if IsZero(nx) || IsZero(ny) {
+		return 0
+	}
+	return dot / (nx * ny)
+}
+
+// TestCosineTileMatchesScalar checks every tile cell against the scalar
+// cosine for odd tile shapes (qn/cn not multiples of the unroll widths)
+// and lengths not divisible by 4, including a zero-norm row.
+func TestCosineTileMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, length := range []int{1, 5, 26, 63} {
+		for _, qn := range []int{1, 3, 8} {
+			for _, cn := range []int{1, 2, 3, 4, 5, 7, 11} {
+				q := randVec(rng, qn*length)
+				c := randVec(rng, cn*length)
+				// Zero out candidate row 1 (when present) to cover the
+				// zero-norm contract: its scores must come out 0.
+				if cn > 1 {
+					for i := length; i < 2*length; i++ {
+						c[i] = 0
+					}
+				}
+				inv := func(rows []float64, n int) []float64 {
+					out := make([]float64, n)
+					for i := 0; i < n; i++ {
+						nm := Norm(rows[i*length : (i+1)*length])
+						if !IsZero(nm) {
+							out[i] = 1 / nm
+						}
+					}
+					return out
+				}
+				qInv, cInv := inv(q, qn), inv(c, cn)
+				tile := make([]float64, qn*cn)
+				CosineTile(tile, q, c, qn, cn, length, qInv, cInv)
+				for qi := 0; qi < qn; qi++ {
+					for ci := 0; ci < cn; ci++ {
+						want := cosineRef(t, q[qi*length:(qi+1)*length], c[ci*length:(ci+1)*length])
+						if got := tile[qi*cn+ci]; math.Abs(got-want) > tol {
+							t.Errorf("len=%d qn=%d cn=%d tile[%d,%d] = %g, want %g",
+								length, qn, cn, qi, ci, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDotScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := randVec(rng, 8760), randVec(rng, 8760)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dot(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSink keeps the optimizer from discarding benchmark results.
+var benchSink float64
+
+func BenchmarkDotUnchecked(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := randVec(rng, 8760), randVec(rng, 8760)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = DotUnchecked(x, y)
+	}
+}
+
+func BenchmarkDot4(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	q := randVec(rng, 8760)
+	c := randVec(rng, 4*8760)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d0, d1, d2, d3 := Dot4(q, c[:8760], c[8760:2*8760], c[2*8760:3*8760], c[3*8760:])
+		benchSink = d0 + d1 + d2 + d3
+	}
+}

@@ -1,0 +1,181 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/stats"
+)
+
+func flatTestSeries(rng *rand.Rand, n, length int) []*Series {
+	out := make([]*Series, n)
+	for i := range out {
+		r := make([]float64, length)
+		for j := range r {
+			r[j] = rng.Float64() * 3
+		}
+		out[i] = &Series{ID: ID(i + 1), Readings: r}
+	}
+	return out
+}
+
+func TestPackMatrixCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	series := flatTestSeries(rng, 5, 26)
+	m, err := PackMatrix(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shared() {
+		t.Error("independently allocated series reported as shared backing")
+	}
+	if m.N() != 5 || m.Len() != 26 {
+		t.Fatalf("shape = %dx%d", m.N(), m.Len())
+	}
+	for i, s := range series {
+		if m.ID(i) != s.ID {
+			t.Errorf("row %d ID = %d, want %d", i, m.ID(i), s.ID)
+		}
+		row := m.Row(i)
+		for j, v := range s.Readings {
+			if !stats.ExactEqual(row[j], v) {
+				t.Fatalf("row %d[%d] = %g, want %g", i, j, row[j], v)
+			}
+		}
+		want := stats.Norm(s.Readings)
+		if math.Abs(m.InvNorm(i)*want-1) > 1e-12 {
+			t.Errorf("row %d inverse norm %g for norm %g", i, m.InvNorm(i), want)
+		}
+	}
+}
+
+// TestPackMatrixZeroCopy pins the contiguous fast path: series that are
+// back-to-back subslices of one buffer (the column store's decoded
+// layout) must be adopted without copying.
+func TestPackMatrixZeroCopy(t *testing.T) {
+	const n, length = 4, 24
+	buf := make([]float64, n*length)
+	rng := rand.New(rand.NewSource(2))
+	for i := range buf {
+		buf[i] = rng.Float64()
+	}
+	series := make([]*Series, n)
+	for i := range series {
+		series[i] = &Series{ID: ID(i + 1), Readings: buf[i*length : (i+1)*length]}
+	}
+	m, err := PackMatrix(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Shared() {
+		t.Fatal("contiguous series not adopted zero-copy")
+	}
+	if &m.Data()[0] != &buf[0] {
+		t.Error("shared packing does not alias the source buffer")
+	}
+	// Rows sliced from the same buffer in reverse order are NOT row-major
+	// contiguous and must be copied.
+	rev := make([]*Series, n)
+	for i := range rev {
+		rev[i] = series[n-1-i]
+	}
+	mr, err := PackMatrix(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Shared() {
+		t.Error("reversed rows wrongly adopted as shared backing")
+	}
+}
+
+func TestPackMatrixErrors(t *testing.T) {
+	if _, err := PackMatrix(nil); err == nil {
+		t.Error("empty slice: want error")
+	}
+	empty := []*Series{{ID: 1, Readings: nil}}
+	if _, err := PackMatrix(empty); err == nil {
+		t.Error("zero-length series: want error")
+	}
+	rng := rand.New(rand.NewSource(3))
+	ragged := flatTestSeries(rng, 3, 24)
+	ragged[2].Readings = ragged[2].Readings[:12]
+	if _, err := PackMatrix(ragged); !errors.Is(err, ErrRaggedMatrix) {
+		t.Errorf("ragged: err = %v, want ErrRaggedMatrix", err)
+	}
+}
+
+func TestPackMatrixZeroNormRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	series := flatTestSeries(rng, 3, 24)
+	for j := range series[1].Readings {
+		series[1].Readings[j] = 0
+	}
+	m, err := PackMatrix(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.IsZero(m.InvNorm(1)) {
+		t.Errorf("zero-norm row inverse norm = %g, want 0", m.InvNorm(1))
+	}
+	if stats.IsZero(m.InvNorm(0)) {
+		t.Error("nonzero row got zero inverse norm")
+	}
+}
+
+// TestDatasetFlatCaches verifies the dataset memoizes its packing and
+// that ReleaseFlat invalidates it.
+func TestDatasetFlatCaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := &Dataset{Series: flatTestSeries(rng, 4, 24),
+		Temperature: &Temperature{Values: make([]float64, 24)}}
+	m1, err := d.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := d.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("Flat rebuilt the packing on the second call")
+	}
+	d.ReleaseFlat()
+	m3, err := d.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Error("ReleaseFlat did not drop the cached packing")
+	}
+}
+
+// TestDatasetFlatConcurrent hammers the memoization from several
+// goroutines (race-detector coverage for the flatMu critical section).
+func TestDatasetFlatConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := &Dataset{Series: flatTestSeries(rng, 8, 24),
+		Temperature: &Temperature{Values: make([]float64, 24)}}
+	const callers = 8
+	ms := make([]*FlatMatrix, callers)
+	errs := make([]error, callers)
+	done := make(chan int, callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			ms[c], errs[c] = d.Flat()
+			done <- c
+		}(c)
+	}
+	for c := 0; c < callers; c++ {
+		<-done
+	}
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatal(errs[c])
+		}
+		if ms[c] != ms[0] {
+			t.Error("concurrent Flat calls returned different packings")
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/smartmeter/smartbench/internal/stats"
 )
@@ -115,6 +116,10 @@ func CosineSimilarity(x, y []float64) (float64, error) {
 type Dataset struct {
 	Series      []*Series
 	Temperature *Temperature
+
+	// flatMu guards flat, the lazily built packed view (see Flat).
+	flatMu sync.Mutex
+	flat   *FlatMatrix
 }
 
 // Validate checks every series, the temperature series, and that lengths

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench.sh runs the blocked-vs-naive similarity kernel A/B pair
+# (BenchmarkKernelSimilarityBlocked / BenchmarkKernelSimilarityNaive in
+# bench_test.go, the §5.3.4 stress test at n=64 consumers) with
+# -count repetitions and -benchmem, and distills the runs into
+# BENCH_similarity.json: mean ns/op, B/op, allocs/op per variant plus
+# the blocked-over-naive speedup. CI uploads the JSON as an artifact so
+# regressions show up as a number, not a feeling; for a statistical
+# A/B over two checkouts, feed the raw output files to benchstat
+# (golang.org/x/perf) instead.
+#
+#   COUNT=6 ./scripts/bench.sh        # repetitions (default 6)
+#   OUT=BENCH_similarity.json         # output path override
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-6}"
+OUT="${OUT:-BENCH_similarity.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench 'BenchmarkKernelSimilarity(Blocked|Naive)' -count $COUNT -benchmem"
+go test -run '^$' -bench 'BenchmarkKernelSimilarity(Blocked|Naive)$' \
+  -count "$COUNT" -benchmem -timeout 20m . | tee "$RAW"
+
+awk -v out="$OUT" '
+  /^BenchmarkKernelSimilarity(Blocked|Naive)/ {
+    name = $1
+    sub(/^BenchmarkKernelSimilarity/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns[name] += $3; bytes[name] += $5; allocs[name] += $7; runs[name]++
+  }
+  END {
+    if (runs["Blocked"] == 0 || runs["Naive"] == 0) {
+      print "bench.sh: missing Blocked or Naive benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    bn = ns["Blocked"] / runs["Blocked"]
+    nn = ns["Naive"] / runs["Naive"]
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkKernelSimilarity\",\n" >> out
+    printf "  \"consumers\": 64,\n" >> out
+    printf "  \"count\": %d,\n", runs["Blocked"] >> out
+    printf "  \"blocked\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f},\n", \
+      bn, bytes["Blocked"] / runs["Blocked"], allocs["Blocked"] / runs["Blocked"] >> out
+    printf "  \"naive\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.1f},\n", \
+      nn, bytes["Naive"] / runs["Naive"], allocs["Naive"] / runs["Naive"] >> out
+    printf "  \"speedup\": %.2f\n", nn / bn >> out
+    printf "}\n" >> out
+  }
+' "$RAW"
+
+echo "== wrote $OUT"
+cat "$OUT"
