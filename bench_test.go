@@ -21,6 +21,7 @@ import (
 	"github.com/smartmeter/smartbench/internal/engine/mapreduce"
 	"github.com/smartmeter/smartbench/internal/engine/rdd"
 	"github.com/smartmeter/smartbench/internal/engine/rowstore"
+	"github.com/smartmeter/smartbench/internal/exec"
 	"github.com/smartmeter/smartbench/internal/generator"
 	"github.com/smartmeter/smartbench/internal/histogram"
 	"github.com/smartmeter/smartbench/internal/meterdata"
@@ -149,6 +150,34 @@ func BenchmarkKernelSimilarityNaive(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := similarity.ComputeNaive(ds, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineThreeLine and BenchmarkLegacyThreeLine are the
+// pipeline-overhead A/B pair: the cursor-based execution layer versus
+// the direct core.RunParallel baseline over the same in-memory
+// dataset. scripts/bench.sh aggregates them into BENCH_pipeline.json;
+// the pipeline's extract/compute/emit staging and phase instrumentation
+// should cost low single-digit percent.
+func BenchmarkPipelineThreeLine(b *testing.B) {
+	ds := getDataset(b)
+	spec := core.Spec{Task: core.TaskThreeLine, Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(exec.NewDatasetSource(ds), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLegacyThreeLine(b *testing.B) {
+	ds := getDataset(b)
+	spec := core.Spec{Task: core.TaskThreeLine, Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunParallel(ds, spec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -61,6 +61,7 @@ var analyzers = []*Analyzer{
 	globalrandAnalyzer,
 	goroutinecaptureAnalyzer,
 	errdropAnalyzer,
+	enginelayeringAnalyzer,
 }
 
 // runAnalyzers applies every analyzer to the package and returns the

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+// enginelayeringAnalyzer enforces the execution-layer boundary: engine
+// packages (internal/engine/...) model *storage platforms* — how bytes
+// are laid out and extracted — while the analytics live in the task
+// packages (histogram, threeline, par, similarity) and are dispatched
+// by internal/exec. An engine that imports a task package is
+// re-growing a per-engine task switch, which is exactly the
+// duplication the cursor pipeline removed.
+var enginelayeringAnalyzer = &Analyzer{
+	Name: "enginelayering",
+	Doc:  "forbids internal/engine packages from importing task packages; analytics dispatch belongs to internal/exec",
+	Run:  runEnginelayering,
+}
+
+// taskPackages are the analytics packages an engine must not see.
+// Matched by import-path suffix so the check is module-path agnostic.
+var taskPackages = []string{
+	"/internal/histogram",
+	"/internal/threeline",
+	"/internal/par",
+	"/internal/similarity",
+}
+
+func runEnginelayering(p *Pass) {
+	if !strings.Contains(p.Pkg.Path()+"/", "/internal/engine/") {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, task := range taskPackages {
+				if strings.HasSuffix(path, task) {
+					p.Reportf(imp.Pos(), "engine package imports task package %q; route analytics through internal/exec instead", path)
+				}
+			}
+		}
+	}
+}

@@ -71,6 +71,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{globalrandAnalyzer, "globalrand", true},
 		{goroutinecaptureAnalyzer, "goroutinecapture", true},
 		{errdropAnalyzer, "errdrop", true},
+		{enginelayeringAnalyzer, "enginelayering/internal/engine/badengine", true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.dir, func(t *testing.T) {

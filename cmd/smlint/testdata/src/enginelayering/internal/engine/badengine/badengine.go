@@ -1,0 +1,13 @@
+// Package badengine is an engine package that reaches into a task
+// package — the layering violation enginelayering must flag.
+package badengine
+
+import (
+	"fixture.invalid/mod/enginelayering/internal/histogram" // want `engine package imports task package`
+)
+
+// Run re-grows a per-engine task dispatch by calling analytics
+// directly instead of routing through the execution layer.
+func Run(xs []float64) int {
+	return histogram.Compute(xs)
+}

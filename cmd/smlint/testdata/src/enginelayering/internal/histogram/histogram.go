@@ -1,0 +1,6 @@
+// Package histogram is a stand-in task package for the enginelayering
+// fixture; only its import path matters.
+package histogram
+
+// Compute is a placeholder analytics entry point.
+func Compute(xs []float64) int { return len(xs) }

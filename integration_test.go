@@ -5,6 +5,7 @@ package smartbench
 // the paper compute the same benchmark, only differently.
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -156,6 +157,44 @@ func assertResultsEqual(t *testing.T, engine string, got, want *core.Results) {
 				}
 			}
 		}
+	}
+}
+
+// TestErrNotLoadedConsistency verifies that every engine reports a
+// wrapped core.ErrNotLoaded from Run, NewCursor, and Temperature
+// before any data has been loaded, so callers can branch on the
+// sentinel with errors.Is regardless of platform.
+func TestErrNotLoadedConsistency(t *testing.T) {
+	for _, e := range allFiveEngines(t) {
+		t.Run(e.Name(), func(t *testing.T) {
+			checks := []struct {
+				op  string
+				err func() error
+			}{
+				{"Run", func() error {
+					_, err := e.Run(core.Spec{Task: core.TaskHistogram})
+					return err
+				}},
+				{"NewCursor", func() error {
+					_, err := e.NewCursor()
+					return err
+				}},
+				{"Temperature", func() error {
+					_, err := e.Temperature()
+					return err
+				}},
+			}
+			for _, c := range checks {
+				err := c.err()
+				if err == nil {
+					t.Errorf("%s on unloaded engine: no error", c.op)
+					continue
+				}
+				if !errors.Is(err, core.ErrNotLoaded) {
+					t.Errorf("%s on unloaded engine: %v does not wrap core.ErrNotLoaded", c.op, err)
+				}
+			}
+		})
 	}
 }
 

@@ -28,6 +28,7 @@ func init() {
 	register("fig4", "data loading times, partitioned vs unpartitioned", Fig4)
 	register("fig5", "partitioning impact on the file-based engine (3-line)", Fig5)
 	register("fig6", "cold vs warm start with T1/T2/T3 phase breakdown", Fig6)
+	register("phases", "pipeline extract/compute/emit breakdown (3-line, cold)", Phases)
 	register("fig7", "single-threaded execution times, all tasks x engines", Fig7)
 	register("fig8", "memory consumption per task and engine", Fig8)
 	register("fig9", "row layout vs array layout in the row store", Fig9)
@@ -79,6 +80,8 @@ func experimentOrder(id string) int {
 		return 100
 	case "tasksweep":
 		return 101
+	case "phases":
+		return 97
 	}
 	var n int
 	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {

@@ -14,7 +14,6 @@ import (
 	"github.com/smartmeter/smartbench/internal/engine/rowstore"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/stats"
-	"github.com/smartmeter/smartbench/internal/threeline"
 )
 
 // Table1 regenerates the paper's Table 1: which statistical functions
@@ -204,26 +203,74 @@ func Fig6(opts Options) (*Report, error) {
 		if err := e.eng.Warm(); err != nil {
 			return nil, err
 		}
+		var warmRes *core.Results
 		warm, err := Timed(func() error {
-			_, err := e.eng.Run(core.Spec{Task: core.TaskThreeLine})
+			r, err := e.eng.Run(core.Spec{Task: core.TaskThreeLine})
+			warmRes = r
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
-		// Phase breakdown measured with the instrumented library run over
-		// the same data.
-		var t1, t2, t3 time.Duration
-		for _, s := range srcs.ds.Series {
-			_, tm, err := threeline.ComputeTimed(s, srcs.ds.Temperature, threeline.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			t1 += tm.T1Quantiles
-			t2 += tm.T2Regression
-			t3 += tm.T3Adjust
+		// Phase breakdown comes from the execution pipeline's built-in
+		// instrumentation of the warm run itself.
+		if warmRes.Phases == nil {
+			return nil, fmt.Errorf("fig6 %s: run reported no phase instrumentation", e.name)
 		}
-		rep.AddRow(e.name, fmtDur(cold), fmtDur(warm), fmtDur(t1), fmtDur(t2), fmtDur(t3))
+		p := warmRes.Phases
+		rep.AddRow(e.name, fmtDur(cold), fmtDur(warm),
+			fmtDur(p.T1Quantiles), fmtDur(p.T2Regression), fmtDur(p.T3Adjust))
+	}
+	return rep, nil
+}
+
+// Phases reports the execution pipeline's extract/compute/emit
+// breakdown for a cold 3-line run on the three single-server platforms
+// — the cost anatomy behind Figure 6, now measured inside the shared
+// pipeline instead of re-derived by the harness.
+func Phases(opts Options) (*Report, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	srcs, err := opts.makeSources(opts.Scale.BaseConsumers, "phases", false, true)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:      "phases",
+		Title:   "Pipeline phase breakdown (3-line, cold start)",
+		Columns: []string{"engine", "extract", "compute", "emit", "rows", "MB extracted"},
+		Notes: []string{
+			"expected shape: extract dominates cold runs; colstore's binary decode smallest",
+		},
+	}
+	fileE, rowE, colE := singleNodeEngines(&opts, "phases")
+	defer rowE.Close()
+	for _, e := range []struct {
+		name string
+		eng  core.Engine
+		src  *meterdata.Source
+	}{
+		{"filestore (Matlab)", fileE, srcs.part},
+		{"rowstore (MADLib)", rowE, srcs.unpartRPL},
+		{"colstore (System C)", colE, srcs.unpartRPL},
+	} {
+		if _, err := e.eng.Load(e.src); err != nil {
+			return nil, err
+		}
+		if err := e.eng.Release(); err != nil {
+			return nil, err
+		}
+		res, err := e.eng.Run(core.Spec{Task: core.TaskThreeLine})
+		if err != nil {
+			return nil, err
+		}
+		if res.Phases == nil {
+			return nil, fmt.Errorf("phases %s: run reported no phase instrumentation", e.name)
+		}
+		p := res.Phases
+		rep.AddRow(e.name, fmtDur(p.Extract.Wall), fmtDur(p.Compute.Wall), fmtDur(p.Emit.Wall),
+			fmt.Sprint(p.Extract.Rows), fmtMB(p.Extract.Bytes))
 	}
 	return rep, nil
 }

@@ -91,14 +91,21 @@ func (s Spec) WithDefaults() Spec {
 	return s
 }
 
-// Results carries the output of one task execution; exactly one field is
-// populated, matching the Spec's Task.
+// Results carries the output of one task execution; exactly one result
+// field is populated, matching the Spec's Task.
 type Results struct {
 	Task       Task
 	Histograms []*histogram.Result
 	ThreeLines []*threeline.Result
 	Profiles   []*par.Result
 	Similar    []*similarity.Result
+
+	// Phases carries the execution pipeline's per-stage instrumentation
+	// (extract/compute/emit wall clock and volume, plus the 3-line
+	// T1/T2/T3 sub-phases). It is populated by internal/exec — i.e. by
+	// every engine Run — and nil for results produced by the reference
+	// implementations.
+	Phases *Phases
 }
 
 // Count returns the number of per-consumer results produced.
@@ -140,7 +147,17 @@ type Engine interface {
 	// Load ingests a raw data source into engine-native storage. It
 	// replaces any previously loaded data.
 	Load(src *meterdata.Source) (*LoadStats, error)
-	// Run executes one benchmark task against the loaded data.
+	// NewCursor opens a streaming cursor over the loaded data in
+	// ascending household-ID order, using the engine's native extraction
+	// path (warm engines return an in-memory DatasetCursor). It returns
+	// an error wrapping ErrNotLoaded when no data has been loaded.
+	NewCursor() (Cursor, error)
+	// Temperature returns the outdoor temperature series aligned with
+	// the loaded consumption data, or an error wrapping ErrNotLoaded.
+	Temperature() (*timeseries.Temperature, error)
+	// Run executes one benchmark task against the loaded data. Engines
+	// implement it by handing their cursor to the shared execution
+	// pipeline (internal/exec), which populates Results.Phases.
 	Run(spec Spec) (*Results, error)
 	// Release drops all in-memory state, returning the engine to a cold
 	// state (native on-disk storage, if any, is kept).
@@ -241,6 +258,12 @@ const runParallelBlock = 1
 // shared counter (internal/sched) rather than owning static ranges, so
 // an uneven split cannot strand a straggler. Result order matches
 // d.Series order.
+//
+// Engines no longer call this — their Run goes through the cursor
+// pipeline in internal/exec — but it is kept as the pre-pipeline
+// harness baseline: tests pin parallel output against it, and the
+// pipeline-vs-legacy benchmark (scripts/bench.sh, BENCH_pipeline.json)
+// measures the pipeline's overhead relative to it.
 func RunParallel(d *timeseries.Dataset, spec Spec) (*Results, error) {
 	spec = spec.WithDefaults()
 	if spec.Workers <= 1 || spec.Task == TaskSimilarity {

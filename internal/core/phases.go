@@ -1,0 +1,40 @@
+package core
+
+import "time"
+
+// PhaseStat describes one stage of the execution pipeline for a single
+// Run: how long it took and how much data moved through it.
+type PhaseStat struct {
+	// Wall is the stage's accumulated wall-clock time.
+	Wall time.Duration
+	// Rows is the number of consumer series the stage handled.
+	Rows int64
+	// Bytes approximates the payload the stage handled (8 bytes per
+	// reading for decoded series).
+	Bytes int64
+}
+
+// Phases is the per-stage instrumentation attached to every Results by
+// the execution pipeline. The three stages mirror the paper's account of
+// where engine time goes: Extract is the engine-native decode (file
+// scan, tuple decode, columnar decode, cluster assembly job), Compute is
+// the task kernel, and Emit is result assembly/merge.
+//
+// For the 3-line task the compute stage additionally records the
+// paper's Figure 6 sub-phases: T1 percentile extraction, T2 segmented
+// regression, T3 continuity adjustment, summed across consumers (and
+// across workers when the compute stage fans out).
+type Phases struct {
+	Extract PhaseStat
+	Compute PhaseStat
+	Emit    PhaseStat
+
+	T1Quantiles  time.Duration
+	T2Regression time.Duration
+	T3Adjust     time.Duration
+}
+
+// Total returns the summed wall-clock time of all three stages.
+func (p *Phases) Total() time.Duration {
+	return p.Extract.Wall + p.Compute.Wall + p.Emit.Wall
+}

@@ -420,6 +420,18 @@ func (s Stats) PeakMemory() int64 {
 	return total
 }
 
+// MemoryInUse returns the bytes currently allocated across all nodes
+// (task working memory plus long-lived AllocNode pins). Unlike
+// PeakMemory it falls back to zero once everything is freed, so tests
+// can assert that caches were released.
+func (c *Cluster) MemoryInUse() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		total += n.memUsed.Load()
+	}
+	return total
+}
+
 // ResetStats zeroes all counters (between experiment runs).
 func (c *Cluster) ResetStats() {
 	c.bytesMoved.Store(0)

@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 
 	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
@@ -129,25 +130,50 @@ func (e *Engine) Release() error {
 	return nil
 }
 
-// Run implements core.Engine.
-func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
-	spec = spec.WithDefaults()
-	if e.decoded == nil {
-		if e.image == nil {
-			if _, err := os.Stat(e.path); err != nil {
-				return nil, core.ErrNotLoaded
-			}
-			if err := e.Remap(); err != nil {
-				return nil, err
-			}
-		}
-		ds, err := decodeSegments(e.image)
-		if err != nil {
-			return nil, err
-		}
-		e.decoded = ds
+// ensureImage maps the segment file into memory if it is not already.
+func (e *Engine) ensureImage() error {
+	if e.image != nil {
+		return nil
 	}
-	return core.RunParallel(e.decoded, spec)
+	if _, err := os.Stat(e.path); err != nil {
+		return fmt.Errorf("colstore: %w", core.ErrNotLoaded)
+	}
+	return e.Remap()
+}
+
+// Run implements core.Engine by handing the engine's cursor to the
+// shared execution pipeline.
+func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
+	return exec.Run(e, spec)
+}
+
+// NewCursor implements core.Engine: decoded columns after Warm (or a
+// previous cold run), otherwise a cursor decoding one consumer column
+// per Next straight from the segment image.
+func (e *Engine) NewCursor() (core.Cursor, error) {
+	if e.decoded != nil {
+		return core.NewDatasetCursor(e.decoded), nil
+	}
+	if err := e.ensureImage(); err != nil {
+		return nil, err
+	}
+	return newSegmentCursor(e, e.image)
+}
+
+// Temperature implements core.Engine, decoding the temperature column
+// from the segment image when no decoded dataset is resident.
+func (e *Engine) Temperature() (*timeseries.Temperature, error) {
+	if e.decoded != nil {
+		return e.decoded.Temperature, nil
+	}
+	if err := e.ensureImage(); err != nil {
+		return nil, err
+	}
+	_, n, err := parseHeader(e.image)
+	if err != nil {
+		return nil, err
+	}
+	return &timeseries.Temperature{Values: decodeColumn(e.image[headerSize:headerSize+8*n], n)}, nil
 }
 
 var _ core.Engine = (*Engine)(nil)
@@ -187,20 +213,30 @@ func encodeSegments(ds *timeseries.Dataset) ([]byte, error) {
 	return img, nil
 }
 
-func decodeSegments(img []byte) (*timeseries.Dataset, error) {
+// parseHeader validates the segment image and returns its consumer
+// count and series length.
+func parseHeader(img []byte) (consumers, n int, err error) {
 	if len(img) < headerSize {
-		return nil, fmt.Errorf("%w: %d bytes", errCorrupt, len(img))
+		return 0, 0, fmt.Errorf("%w: %d bytes", errCorrupt, len(img))
 	}
 	for i, b := range magic {
 		if img[i] != b {
-			return nil, fmt.Errorf("%w: bad magic", errCorrupt)
+			return 0, 0, fmt.Errorf("%w: bad magic", errCorrupt)
 		}
 	}
-	consumers := int(binary.LittleEndian.Uint32(img[8:]))
-	n := int(binary.LittleEndian.Uint32(img[12:]))
+	consumers = int(binary.LittleEndian.Uint32(img[8:]))
+	n = int(binary.LittleEndian.Uint32(img[12:]))
 	want := headerSize + 8*n + consumers*(8+8*n)
 	if len(img) != want {
-		return nil, fmt.Errorf("%w: size %d, want %d", errCorrupt, len(img), want)
+		return 0, 0, fmt.Errorf("%w: size %d, want %d", errCorrupt, len(img), want)
+	}
+	return consumers, n, nil
+}
+
+func decodeSegments(img []byte) (*timeseries.Dataset, error) {
+	consumers, n, err := parseHeader(img)
+	if err != nil {
+		return nil, err
 	}
 	off := headerSize
 	temp := &timeseries.Temperature{Values: decodeColumn(img[off:off+8*n], n)}
@@ -243,13 +279,8 @@ func decodeColumnInto(dst []float64, b []byte) {
 // expensive to update".
 func (e *Engine) Append(delta *timeseries.Dataset) error {
 	if e.decoded == nil {
-		if e.image == nil {
-			if _, err := os.Stat(e.path); err != nil {
-				return core.ErrNotLoaded
-			}
-			if err := e.Remap(); err != nil {
-				return err
-			}
+		if err := e.ensureImage(); err != nil {
+			return err
 		}
 		ds, err := decodeSegments(e.image)
 		if err != nil {

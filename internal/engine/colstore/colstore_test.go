@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"errors"
 	"math"
 	"os"
 	"testing"
@@ -192,7 +193,7 @@ func TestEngineWarm(t *testing.T) {
 
 func TestEngineRunWithoutLoad(t *testing.T) {
 	e := New(t.TempDir())
-	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != core.ErrNotLoaded {
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("err = %v, want ErrNotLoaded", err)
 	}
 }
@@ -262,7 +263,7 @@ func TestAppendRewritesSegments(t *testing.T) {
 
 func TestAppendValidation(t *testing.T) {
 	e := New(t.TempDir())
-	if err := e.Append(&timeseries.Dataset{}); err != core.ErrNotLoaded {
+	if err := e.Append(&timeseries.Dataset{}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("append before load: %v", err)
 	}
 	src, _ := writeSource(t, 2, 5)

@@ -1,0 +1,80 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"io"
+
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// segmentCursor decodes one consumer column per Next straight out of
+// the segment image. All rows land in one contiguous row-major buffer,
+// so when the pipeline materializes the cursor for similarity the
+// FlatMatrix packing adopts the buffer zero-copy — the column store
+// hands its columns to the blocked kernel without a repack. Draining
+// the cursor installs the decoded dataset on the engine, keeping the
+// old cold-run caching: the next Run is warm.
+type segmentCursor struct {
+	e         *Engine
+	img       []byte
+	consumers int
+	n         int
+	temp      *timeseries.Temperature
+	flat      []float64
+	series    []*timeseries.Series
+	i         int
+	closed    bool
+}
+
+func newSegmentCursor(e *Engine, img []byte) (*segmentCursor, error) {
+	consumers, n, err := parseHeader(img)
+	if err != nil {
+		return nil, err
+	}
+	temp := &timeseries.Temperature{Values: decodeColumn(img[headerSize:headerSize+8*n], n)}
+	return &segmentCursor{
+		e:         e,
+		img:       img,
+		consumers: consumers,
+		n:         n,
+		temp:      temp,
+		flat:      make([]float64, consumers*n),
+	}, nil
+}
+
+func (c *segmentCursor) Next() (*timeseries.Series, error) {
+	if c.closed || c.i >= c.consumers {
+		return nil, io.EOF
+	}
+	off := headerSize + 8*c.n + c.i*(8+8*c.n)
+	id := timeseries.ID(binary.LittleEndian.Uint64(c.img[off:]))
+	row := c.flat[c.i*c.n : (c.i+1)*c.n]
+	decodeColumnInto(row, c.img[off+8:off+8+8*c.n])
+	s := &timeseries.Series{ID: id, Readings: row}
+	c.series = append(c.series, s)
+	c.i++
+	if c.i == c.consumers && c.e.decoded == nil {
+		c.e.decoded = &timeseries.Dataset{
+			Series:      append([]*timeseries.Series(nil), c.series...),
+			Temperature: c.temp,
+		}
+	}
+	return s, nil
+}
+
+func (c *segmentCursor) Reset() error {
+	// The flat buffer is reused; re-decoding writes identical values.
+	c.i = 0
+	c.series = c.series[:0]
+	c.closed = false
+	return nil
+}
+
+func (c *segmentCursor) Close() error {
+	c.closed = true
+	c.series = nil
+	return nil
+}
+
+// SizeHint is exact: the header records the consumer count.
+func (c *segmentCursor) SizeHint() (int, bool) { return c.consumers, true }

@@ -1,0 +1,74 @@
+package colstore
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+)
+
+func TestCursorConformance(t *testing.T) {
+	src, _ := writeSource(t, 5, 10)
+
+	t.Run("ColdSegmentCursor", func(t *testing.T) {
+		e := New(t.TempDir())
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.Run(t, func(t *testing.T) core.Cursor {
+			// Draining a segment cursor installs the decoded dataset; drop
+			// it so every sub-check exercises the image-decoding cursor.
+			e.decoded = nil
+			cur, err := e.NewCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := cur.(*segmentCursor); !ok {
+				t.Fatalf("cold engine yielded %T, want *segmentCursor", cur)
+			}
+			return cur
+		})
+	})
+
+	t.Run("WarmDatasetCursor", func(t *testing.T) {
+		e := New(t.TempDir())
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.Run(t, func(t *testing.T) core.Cursor {
+			cur, err := e.NewCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cur
+		})
+	})
+}
+
+func TestSegmentCursorInstallsDecoded(t *testing.T) {
+	src, _ := writeSource(t, 4, 10)
+	e := New(t.TempDir())
+	if _, err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	e.decoded = nil
+	cur, err := e.NewCursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := cur.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.decoded == nil {
+		t.Fatal("draining the segment cursor did not cache the decoded dataset")
+	}
+	if got := len(e.decoded.Series); got != 4 {
+		t.Fatalf("cached dataset has %d series, want 4", got)
+	}
+}

@@ -9,8 +9,10 @@
 package dfs
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -201,6 +203,17 @@ func (s *Split) Data() []byte {
 		out = append(out, b.Data...)
 	}
 	return out
+}
+
+// Reader streams the split's blocks in order without concatenating them
+// into a fresh buffer — the zero-copy way for map tasks to scan their
+// input.
+func (s *Split) Reader() io.Reader {
+	readers := make([]io.Reader, len(s.Blocks))
+	for i, b := range s.Blocks {
+		readers[i] = bytes.NewReader(b.Data)
+	}
+	return io.MultiReader(readers...)
 }
 
 // KillNode marks a node's replicas as lost, like a DataNode crash. A

@@ -1,0 +1,168 @@
+package filestore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// fileCursor streams a partitioned source one consumer file at a time —
+// the Matlab small-files path (Figure 5). Memory stays flat: only the
+// current file's series are resident while the pipeline computes.
+type fileCursor struct {
+	src     *meterdata.Source
+	paths   []string
+	next    int // next file index
+	pending []*timeseries.Series
+	closed  bool
+}
+
+func newFileCursor(src *meterdata.Source) *fileCursor {
+	return &fileCursor{src: src, paths: src.Paths()}
+}
+
+func (c *fileCursor) Next() (*timeseries.Series, error) {
+	if c.closed {
+		return nil, io.EOF
+	}
+	for len(c.pending) == 0 {
+		if c.next >= len(c.paths) {
+			return nil, io.EOF
+		}
+		series, err := meterdata.ReadSeriesFile(c.paths[c.next], c.src.Format)
+		if err != nil {
+			return nil, fmt.Errorf("filestore: %w", err)
+		}
+		c.next++
+		c.pending = series
+	}
+	s := c.pending[0]
+	c.pending = c.pending[1:]
+	return s, nil
+}
+
+func (c *fileCursor) Reset() error {
+	c.next = 0
+	c.pending = nil
+	c.closed = false
+	return nil
+}
+
+func (c *fileCursor) Close() error {
+	c.closed = true
+	c.pending = nil
+	return nil
+}
+
+// SizeHint reports one consumer per file, exact for partitioned sources.
+func (c *fileCursor) SizeHint() (int, bool) { return len(c.paths), true }
+
+// indexCursor reproduces the paper's big-file Matlab path (§5.3.1):
+// "Matlab reads the entire large file into an index which is then used
+// to extract individual consumers' data; this is slower than reading
+// small files one-by-one". The whole unpartitioned file is read into an
+// in-memory reading index once, and every Next extracts one consumer by
+// scanning that index end-to-end — the super-linear degradation of
+// Figure 5 lives here, in the cursor, not in task code.
+type indexCursor struct {
+	src    *meterdata.Source
+	temp   *timeseries.Temperature
+	index  []meterdata.Reading
+	ids    []timeseries.ID
+	i      int
+	built  bool
+	closed bool
+}
+
+func newIndexCursor(src *meterdata.Source) *indexCursor {
+	return &indexCursor{src: src}
+}
+
+func (c *indexCursor) build() error {
+	temp, err := meterdata.ReadTemperature(c.src.Dir)
+	if err != nil {
+		return fmt.Errorf("filestore: %w", err)
+	}
+	var index []meterdata.Reading
+	var ids []timeseries.ID
+	seen := map[timeseries.ID]bool{}
+	for _, path := range c.src.Paths() {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("filestore: %w", err)
+		}
+		err = meterdata.ScanReadings(f, func(r meterdata.Reading) error {
+			index = append(index, r)
+			if !seen[r.ID] {
+				seen[r.ID] = true
+				ids = append(ids, r.ID)
+			}
+			return nil
+		})
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("filestore: %w", err)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	c.temp, c.index, c.ids = temp, index, ids
+	c.built = true
+	return nil
+}
+
+func (c *indexCursor) Next() (*timeseries.Series, error) {
+	if c.closed {
+		return nil, io.EOF
+	}
+	if !c.built {
+		if err := c.build(); err != nil {
+			return nil, err
+		}
+	}
+	if c.i >= len(c.ids) {
+		return nil, io.EOF
+	}
+	id := c.ids[c.i]
+	// One full index scan per consumer, as the paper describes.
+	a := meterdata.NewAssembler(len(c.temp.Values))
+	for _, r := range c.index {
+		if r.ID != id {
+			continue
+		}
+		if err := a.Add(r); err != nil {
+			return nil, fmt.Errorf("filestore: %w", err)
+		}
+	}
+	series := a.Series()
+	if len(series) != 1 {
+		return nil, fmt.Errorf("filestore: index scan for household %d yielded %d series", id, len(series))
+	}
+	c.i++
+	return series[0], nil
+}
+
+func (c *indexCursor) Reset() error {
+	// The index survives a rewind; only the consumer pointer moves.
+	c.i = 0
+	c.closed = false
+	return nil
+}
+
+func (c *indexCursor) Close() error {
+	c.closed = true
+	c.index, c.ids = nil, nil
+	c.built = false
+	c.i = 0
+	return nil
+}
+
+func (c *indexCursor) SizeHint() (int, bool) {
+	if !c.built {
+		return 0, false
+	}
+	return len(c.ids), true
+}

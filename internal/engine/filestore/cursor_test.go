@@ -1,0 +1,91 @@
+package filestore
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+)
+
+func TestCursorConformance(t *testing.T) {
+	ds := makeDataset(t, 5, 10)
+
+	t.Run("PartitionedFileCursor", func(t *testing.T) {
+		src, err := meterdata.WritePartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New()
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.Run(t, func(t *testing.T) core.Cursor {
+			cur, err := e.NewCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cur
+		})
+	})
+
+	t.Run("UnpartitionedIndexCursor", func(t *testing.T) {
+		src, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New()
+		if _, err := e.LoadDirect(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.Run(t, func(t *testing.T) core.Cursor {
+			cur, err := e.NewCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := cur.(*indexCursor); !ok {
+				t.Fatalf("unpartitioned reading-per-line source yielded %T, want *indexCursor", cur)
+			}
+			return cur
+		})
+	})
+
+	t.Run("SeriesPerLineLazyCursor", func(t *testing.T) {
+		src, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatSeriesPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New()
+		if _, err := e.LoadDirect(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.Run(t, func(t *testing.T) core.Cursor {
+			cur, err := e.NewCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cur
+		})
+	})
+
+	t.Run("WarmDatasetCursor", func(t *testing.T) {
+		src, err := meterdata.WritePartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New()
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.Run(t, func(t *testing.T) core.Cursor {
+			cur, err := e.NewCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cur
+		})
+	})
+}

@@ -24,9 +24,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
@@ -127,7 +127,7 @@ func (e *Engine) countStats(src *meterdata.Source) (*core.LoadStats, error) {
 // matrices before timing an algorithm (Figure 6's warm start).
 func (e *Engine) Warm() error {
 	if e.src == nil {
-		return core.ErrNotLoaded
+		return fmt.Errorf("filestore: %w", core.ErrNotLoaded)
 	}
 	ds, err := meterdata.ReadDataset(e.src)
 	if err != nil {
@@ -143,171 +143,56 @@ func (e *Engine) Release() error {
 	return nil
 }
 
-// Run implements core.Engine.
+// Run implements core.Engine by handing the engine's cursor to the
+// shared execution pipeline.
 func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
 	if e.src == nil {
-		return nil, core.ErrNotLoaded
+		return nil, fmt.Errorf("filestore: %w", core.ErrNotLoaded)
 	}
-	spec = spec.WithDefaults()
+	return exec.Run(e, spec)
+}
 
-	// Warm path: everything is already in memory arrays.
+// NewCursor implements core.Engine. The cursor is the engine's native
+// extraction path: in-memory arrays after Warm, one consumer file at a
+// time for a partitioned source, and the paper's big-file index scan
+// for an unpartitioned reading-per-line source (§5.3.1).
+func (e *Engine) NewCursor() (core.Cursor, error) {
+	if e.src == nil {
+		return nil, fmt.Errorf("filestore: %w", core.ErrNotLoaded)
+	}
 	if e.cache != nil {
-		return core.RunParallel(e.cache, spec)
+		return core.NewDatasetCursor(e.cache), nil
 	}
-
-	// Cold paths. Similarity always needs every series resident.
-	if spec.Task == core.TaskSimilarity || !e.src.Partitioned {
-		ds, err := e.materializeCold()
-		if err != nil {
-			return nil, err
-		}
-		return core.RunParallel(ds, spec)
+	if e.src.Partitioned {
+		return newFileCursor(e.src), nil
 	}
-
-	// Partitioned cold path: stream one consumer file at a time and run
-	// the per-consumer task directly on it, keeping memory flat.
-	temp, err := meterdata.ReadTemperature(e.src.Dir)
-	if err != nil {
-		return nil, fmt.Errorf("filestore: %w", err)
+	if e.src.Format == meterdata.FormatReadingPerLine {
+		return newIndexCursor(e.src), nil
 	}
-	out := &core.Results{Task: spec.Task}
-	if spec.Workers <= 1 {
-		for _, path := range e.src.Paths() {
-			if err := e.runFile(path, temp, spec, out); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	}
-	return e.runFilesParallel(temp, spec)
-}
-
-// materializeCold builds the full dataset the way the modelled platform
-// would. For an unpartitioned reading-per-line file it reproduces the
-// behaviour the paper observed in Matlab (§5.3.1): "Matlab reads the
-// entire large file into an index which is then used to extract
-// individual consumers' data; this is slower than reading small files
-// one-by-one" — the index is scanned once per consumer, so the big-file
-// path degrades super-linearly with consumer count (Figure 5).
-func (e *Engine) materializeCold() (*timeseries.Dataset, error) {
-	if e.src.Partitioned || e.src.Format != meterdata.FormatReadingPerLine {
-		ds, err := meterdata.ReadDataset(e.src)
+	// Unpartitioned series-per-line: one sequential read of the file.
+	src := e.src
+	return core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+		ds, err := meterdata.ReadDataset(src)
 		if err != nil {
 			return nil, fmt.Errorf("filestore: %w", err)
 		}
-		return ds, nil
+		return ds.Series, nil
+	}, nil), nil
+}
+
+// Temperature implements core.Engine.
+func (e *Engine) Temperature() (*timeseries.Temperature, error) {
+	if e.cache != nil {
+		return e.cache.Temperature, nil
+	}
+	if e.src == nil {
+		return nil, fmt.Errorf("filestore: %w", core.ErrNotLoaded)
 	}
 	temp, err := meterdata.ReadTemperature(e.src.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("filestore: %w", err)
 	}
-	// Pass 1: the whole-file index.
-	var index []meterdata.Reading
-	var ids []timeseries.ID
-	seen := map[timeseries.ID]bool{}
-	for _, path := range e.src.Paths() {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, fmt.Errorf("filestore: %w", err)
-		}
-		err = meterdata.ScanReadings(f, func(r meterdata.Reading) error {
-			index = append(index, r)
-			if !seen[r.ID] {
-				seen[r.ID] = true
-				ids = append(ids, r.ID)
-			}
-			return nil
-		})
-		_ = f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("filestore: %w", err)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	// Pass 2: extract each consumer by scanning the index.
-	series := make([]*timeseries.Series, 0, len(ids))
-	for _, id := range ids {
-		readings := make([]float64, len(temp.Values))
-		for _, r := range index {
-			if r.ID != id {
-				continue
-			}
-			if r.Hour < 0 || r.Hour >= len(readings) {
-				return nil, fmt.Errorf("filestore: hour %d outside series", r.Hour)
-			}
-			readings[r.Hour] = r.Consumption
-		}
-		series = append(series, &timeseries.Series{ID: id, Readings: readings})
-	}
-	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
-}
-
-func (e *Engine) runFile(path string, temp *timeseries.Temperature, spec core.Spec, out *core.Results) error {
-	series, err := meterdata.ReadSeriesFile(path, e.src.Format)
-	if err != nil {
-		return fmt.Errorf("filestore: %w", err)
-	}
-	for _, s := range series {
-		one := &timeseries.Dataset{Series: []*timeseries.Series{s}, Temperature: temp}
-		r, err := core.RunReference(one, spec)
-		if err != nil {
-			return err
-		}
-		out.Histograms = append(out.Histograms, r.Histograms...)
-		out.ThreeLines = append(out.ThreeLines, r.ThreeLines...)
-		out.Profiles = append(out.Profiles, r.Profiles...)
-	}
-	return nil
-}
-
-// runFilesParallel processes per-consumer files with spec.Workers
-// goroutines, like running several Matlab instances side by side
-// (§5.3.4: "we start a single instance... manually run multiple
-// instances of Matlab").
-func (e *Engine) runFilesParallel(temp *timeseries.Temperature, spec core.Spec) (*core.Results, error) {
-	paths := e.src.Paths()
-	parts := make([]*core.Results, spec.Workers)
-	errs := make([]error, spec.Workers)
-	done := make(chan struct{})
-	per := (len(paths) + spec.Workers - 1) / spec.Workers
-	launched := 0
-	for w := 0; w < spec.Workers; w++ {
-		lo, hi := w*per, (w+1)*per
-		if hi > len(paths) {
-			hi = len(paths)
-		}
-		if lo >= hi {
-			break
-		}
-		launched++
-		go func(w, lo, hi int) {
-			defer func() { done <- struct{}{} }()
-			part := &core.Results{Task: spec.Task}
-			for _, p := range paths[lo:hi] {
-				if err := e.runFile(p, temp, spec, part); err != nil {
-					errs[w] = err
-					return
-				}
-			}
-			parts[w] = part
-		}(w, lo, hi)
-	}
-	for i := 0; i < launched; i++ {
-		<-done
-	}
-	out := &core.Results{Task: spec.Task}
-	for w, part := range parts {
-		if errs[w] != nil {
-			return nil, errs[w]
-		}
-		if part == nil {
-			continue
-		}
-		out.Histograms = append(out.Histograms, part.Histograms...)
-		out.ThreeLines = append(out.ThreeLines, part.ThreeLines...)
-		out.Profiles = append(out.Profiles, part.Profiles...)
-	}
-	return out, nil
+	return temp, nil
 }
 
 // CleanSplitDir removes the scratch directory created by Load for an
@@ -329,7 +214,7 @@ var _ core.Engine = (*Engine)(nil)
 // series-per-line files).
 func (e *Engine) Append(delta *timeseries.Dataset) error {
 	if e.src == nil {
-		return core.ErrNotLoaded
+		return fmt.Errorf("filestore: %w", core.ErrNotLoaded)
 	}
 	temp, err := meterdata.ReadTemperature(e.src.Dir)
 	if err != nil {

@@ -1,6 +1,7 @@
 package filestore
 
 import (
+	"errors"
 	"math"
 	"path/filepath"
 	"testing"
@@ -189,10 +190,10 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 func TestRunWithoutLoad(t *testing.T) {
 	e := New()
-	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != core.ErrNotLoaded {
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("err = %v, want ErrNotLoaded", err)
 	}
-	if err := e.Warm(); err != core.ErrNotLoaded {
+	if err := e.Warm(); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("warm err = %v", err)
 	}
 }
@@ -263,7 +264,7 @@ func TestAppendToSeriesPerLineSource(t *testing.T) {
 
 func TestAppendWithoutLoad(t *testing.T) {
 	e := New()
-	if err := e.Append(&timeseries.Dataset{}); err != core.ErrNotLoaded {
+	if err := e.Append(&timeseries.Dataset{}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("err = %v", err)
 	}
 }

@@ -1,0 +1,40 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+)
+
+func TestCursorConformance(t *testing.T) {
+	srcs, _ := makeSources(t, 5, 10)
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			fs := testFS(t, 4)
+			e := New(fs)
+			if _, err := e.Load(src); err != nil {
+				t.Fatal(err)
+			}
+			cursortest.Run(t, func(t *testing.T) core.Cursor {
+				cur, err := e.NewCursor()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cur
+			})
+		})
+	}
+}
+
+func TestNewCursorRejectsStyleFormatMismatch(t *testing.T) {
+	srcs, _ := makeSources(t, 3, 10)
+	fs := testFS(t, 2)
+	e := New(fs, WithStyle(StyleUDF))
+	if _, err := e.Load(srcs["format1"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.NewCursor(); err == nil {
+		t.Fatal("UDF style over reading-per-line input did not error")
+	}
+}

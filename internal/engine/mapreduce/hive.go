@@ -5,16 +5,12 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"sync"
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/distsim"
 	"github.com/smartmeter/smartbench/internal/engine/dfs"
-	"github.com/smartmeter/smartbench/internal/histogram"
+	"github.com/smartmeter/smartbench/internal/exec"
 	"github.com/smartmeter/smartbench/internal/meterdata"
-	"github.com/smartmeter/smartbench/internal/par"
-	"github.com/smartmeter/smartbench/internal/similarity"
-	"github.com/smartmeter/smartbench/internal/threeline"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
@@ -176,44 +172,84 @@ func (e *Engine) effectiveStyle() (Style, error) {
 	}
 }
 
-// Run implements core.Engine.
+// Run implements core.Engine by handing the engine's cursor to the
+// shared execution pipeline.
 func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
 	if len(e.inputs) == 0 {
-		return nil, core.ErrNotLoaded
+		return nil, fmt.Errorf("mapreduce: %w", core.ErrNotLoaded)
 	}
-	spec = spec.WithDefaults()
-	// Small-table distribution: every job ships the temperature series to
-	// each node once, like Hive distributing a map-join table.
-	e.broadcastTemperature()
+	return exec.Run(e, spec)
+}
 
-	if spec.Task == core.TaskSimilarity {
-		return e.runSimilarity(spec)
+// NewCursor implements core.Engine. Extraction is the engine's
+// series-assembly MapReduce job in the style resolved from the loaded
+// format (§5.4.2): UDAF shuffles readings by household and assembles
+// reduce-side, the generic UDF reads whole series map-only, and UDTF
+// aggregates map-side over non-splittable files. The job runs once on
+// first Next; every plan ships the temperature series to each node
+// first, like Hive distributing a map-join table.
+func (e *Engine) NewCursor() (core.Cursor, error) {
+	if len(e.inputs) == 0 {
+		return nil, fmt.Errorf("mapreduce: %w", core.ErrNotLoaded)
 	}
 	style, err := e.effectiveStyle()
 	if err != nil {
 		return nil, err
 	}
-	var values []interface{}
 	switch style {
 	case StyleUDF:
 		if e.format != meterdata.FormatSeriesPerLine {
 			return nil, fmt.Errorf("mapreduce: UDF style needs series-per-line input, have %v", e.format)
 		}
-		values, err = e.runUDF(spec)
-	case StyleUDTF:
-		values, err = e.runUDTF(spec)
-	case StyleUDAF:
+	case StyleUDAF, StyleUDTF:
 		if e.format != meterdata.FormatReadingPerLine {
-			return nil, fmt.Errorf("mapreduce: UDAF style needs reading-per-line input, have %v", e.format)
+			return nil, fmt.Errorf("mapreduce: %v style needs reading-per-line input, have %v", style, e.format)
 		}
-		values, err = e.runUDAF(spec)
 	default:
 		return nil, fmt.Errorf("mapreduce: unsupported style %v", style)
 	}
-	if err != nil {
-		return nil, err
+	return core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+		e.broadcastTemperature()
+		var values []interface{}
+		var err error
+		switch style {
+		case StyleUDF:
+			values, err = e.extractUDF()
+		case StyleUDTF:
+			values, err = e.extractUDTF()
+		default:
+			values, err = e.extractUDAF()
+		}
+		if err != nil {
+			return nil, err
+		}
+		series := make([]*timeseries.Series, 0, len(values))
+		for _, v := range values {
+			s, ok := v.(*timeseries.Series)
+			if !ok {
+				return nil, fmt.Errorf("mapreduce: expected series value, got %T", v)
+			}
+			series = append(series, s)
+		}
+		sort.Slice(series, func(i, j int) bool { return series[i].ID < series[j].ID })
+		return series, nil
+	}, nil), nil
+}
+
+// Temperature implements core.Engine.
+func (e *Engine) Temperature() (*timeseries.Temperature, error) {
+	if e.temp == nil {
+		return nil, fmt.Errorf("mapreduce: %w", core.ErrNotLoaded)
 	}
-	return assembleResults(spec, values)
+	return e.temp, nil
+}
+
+// ParallelHint implements exec.ParallelHinter: the cluster's total task
+// slots, so node-count sweeps keep scaling compute when the spec leaves
+// Workers unset.
+func (e *Engine) ParallelHint() int {
+	cfg := e.fs.Cluster().Config()
+	return cfg.Nodes * cfg.SlotsPerNode
 }
 
 func (e *Engine) broadcastTemperature() {
@@ -226,41 +262,25 @@ func (e *Engine) broadcastTemperature() {
 	cluster.TransferConcurrent(moves)
 }
 
-// computeOne runs the per-consumer analytic for one assembled series.
-func (e *Engine) computeOne(s *timeseries.Series, spec core.Spec) (interface{}, error) {
-	one := &timeseries.Dataset{Series: []*timeseries.Series{s}, Temperature: e.temp}
-	r, err := core.RunReference(one, spec)
-	if err != nil {
-		return nil, err
-	}
-	switch spec.Task {
-	case core.TaskHistogram:
-		return r.Histograms[0], nil
-	case core.TaskThreeLine:
-		return r.ThreeLines[0], nil
-	case core.TaskPAR:
-		return r.Profiles[0], nil
-	default:
-		return nil, fmt.Errorf("mapreduce: computeOne cannot run %v", spec.Task)
-	}
-}
-
 // hourValue is the UDAF intermediate value: one reading.
 type hourValue struct {
 	hour int
 	cons float64
 }
 
-// runUDAF is the format-1 plan: map parses rows and emits
-// (household, reading); reduce assembles the series and computes.
-func (e *Engine) runUDAF(spec core.Spec) ([]interface{}, error) {
+// extractUDAF is the format-1 plan: map parses rows and emits
+// (household, reading); a shuffle groups readings by household; reduce
+// assembles each series. The I/O-intensive shuffle is exactly why
+// format 1 is slowest in Figures 13 and 16.
+func (e *Engine) extractUDAF() ([]interface{}, error) {
+	tempLen := len(e.temp.Values)
 	job := &Job{
 		FS:         e.fs,
 		Inputs:     e.inputs,
 		Splittable: true,
 		Reducers:   e.reducers,
 		Map: func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error {
-			return meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
+			return meterdata.ScanReadings(split.Reader(), func(r meterdata.Reading) error {
 				return emit(Pair{
 					Key:   int64(r.ID),
 					Value: hourValue{hour: r.Hour, cons: r.Consumption},
@@ -269,90 +289,57 @@ func (e *Engine) runUDAF(spec core.Spec) ([]interface{}, error) {
 			})
 		},
 		Reduce: func(key int64, values []interface{}, ctx *distsim.TaskCtx, emit func(interface{})) error {
-			readings := make([]float64, len(e.temp.Values))
+			a := meterdata.NewAssembler(tempLen)
 			for _, v := range values {
 				hv, ok := v.(hourValue)
 				if !ok {
 					return fmt.Errorf("mapreduce: unexpected UDAF value %T", v)
 				}
-				if hv.hour < 0 || hv.hour >= len(readings) {
-					return fmt.Errorf("mapreduce: hour %d outside series", hv.hour)
+				r := meterdata.Reading{ID: timeseries.ID(key), Hour: hv.hour, Consumption: hv.cons}
+				if err := a.Add(r); err != nil {
+					return fmt.Errorf("mapreduce: %w", err)
 				}
-				readings[hv.hour] = hv.cons
 			}
-			s := &timeseries.Series{ID: timeseries.ID(key), Readings: readings}
-			out, err := e.computeOne(s, spec)
-			if err != nil {
-				return err
+			for _, s := range a.Series() {
+				emit(s)
 			}
-			emit(out)
 			return nil
 		},
 	}
 	return job.Run()
 }
 
-// runUDF is the format-2 plan: map-only, one series per line.
-func (e *Engine) runUDF(spec core.Spec) ([]interface{}, error) {
+// extractUDF is the format-2 plan: map-only, one whole series per line,
+// no shuffle.
+func (e *Engine) extractUDF() ([]interface{}, error) {
 	job := &Job{
 		FS:         e.fs,
 		Inputs:     e.inputs,
 		Splittable: true,
 		Map: func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error {
-			return meterdata.ScanSeries(strings.NewReader(string(split.Data())), func(s *timeseries.Series) error {
-				out, err := e.computeOne(s, spec)
-				if err != nil {
-					return err
-				}
-				return emit(Pair{Key: int64(s.ID), Value: out, Bytes: 64})
+			return meterdata.ScanSeries(split.Reader(), func(s *timeseries.Series) error {
+				return emit(Pair{Key: int64(s.ID), Value: s, Bytes: int64(len(s.Readings) * 8)})
 			})
 		},
 	}
-	values, err := job.Run()
-	if err != nil {
-		return nil, err
-	}
-	return values, nil
+	return job.Run()
 }
 
-// runUDTF is the format-3 plan: map-only over non-splittable files with
-// map-side aggregation (each household is whole within one file).
-func (e *Engine) runUDTF(spec core.Spec) ([]interface{}, error) {
-	if e.format != meterdata.FormatReadingPerLine {
-		return nil, fmt.Errorf("mapreduce: UDTF style needs reading-per-line input, have %v", e.format)
-	}
+// extractUDTF is the format-3 plan: map-only over non-splittable files
+// with map-side aggregation (each household is whole within one file).
+func (e *Engine) extractUDTF() ([]interface{}, error) {
+	tempLen := len(e.temp.Values)
 	job := &Job{
 		FS:         e.fs,
 		Inputs:     e.inputs,
 		Splittable: false, // the customized isSplitable()==false input format
 		Map: func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error {
-			byID := make(map[timeseries.ID][]float64)
-			err := meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
-				readings := byID[r.ID]
-				if readings == nil {
-					readings = make([]float64, len(e.temp.Values))
-				}
-				if r.Hour < 0 || r.Hour >= len(readings) {
-					return fmt.Errorf("mapreduce: hour %d outside series", r.Hour)
-				}
-				readings[r.Hour] = r.Consumption
-				byID[r.ID] = readings
-				return nil
-			})
-			if err != nil {
+			a := meterdata.NewAssembler(tempLen)
+			if err := meterdata.ScanReadings(split.Reader(), a.Add); err != nil {
 				return err
 			}
-			ids := make([]timeseries.ID, 0, len(byID))
-			for id := range byID {
-				ids = append(ids, id)
-			}
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-			for _, id := range ids {
-				out, err := e.computeOne(&timeseries.Series{ID: id, Readings: byID[id]}, spec)
-				if err != nil {
-					return err
-				}
-				if err := emit(Pair{Key: int64(id), Value: out, Bytes: 64}); err != nil {
+			for _, s := range a.Series() {
+				if err := emit(Pair{Key: int64(s.ID), Value: s, Bytes: int64(tempLen * 8)}); err != nil {
 					return err
 				}
 			}
@@ -360,188 +347,6 @@ func (e *Engine) runUDTF(spec core.Spec) ([]interface{}, error) {
 		},
 	}
 	return job.Run()
-}
-
-// runSimilarity implements the paper's Hive similarity plan: a self-join
-// whose query plan does not exploit map-side joins, so the full series
-// table is shuffled to every reduce partition before pairwise scoring.
-func (e *Engine) runSimilarity(spec core.Spec) (*core.Results, error) {
-	series, homeNode, err := e.collectSeries()
-	if err != nil {
-		return nil, err
-	}
-	if len(series) < 2 {
-		return nil, similarity.ErrTooFew
-	}
-	cluster := e.fs.Cluster()
-	reducers := e.reducers
-	if reducers <= 0 {
-		reducers = cluster.Nodes()
-	}
-	var totalBytes int64
-	for _, s := range series {
-		totalBytes += int64(len(s.Readings) * 8)
-	}
-	// Reduce-side join: every partition receives the whole probe table.
-	var moves []distsim.Move
-	for p := 0; p < reducers; p++ {
-		node := p % cluster.Nodes()
-		for i := range series {
-			moves = append(moves, distsim.Move{From: homeNode[i], To: node, Bytes: int64(len(series[i].Readings) * 8)})
-		}
-	}
-	cluster.TransferConcurrent(moves)
-	// Pack the replicated probe table once for the blocked kernel; every
-	// reduce partition scans it read-only via similarity.TopKRow.
-	m, err := timeseries.PackMatrix(series)
-	if err != nil {
-		return nil, fmt.Errorf("mapreduce: %w", err)
-	}
-	sink := &resultSink{}
-	tasks := make([]distsim.Task, reducers)
-	for p := 0; p < reducers; p++ {
-		p := p
-		tasks[p] = distsim.Task{
-			PreferredNodes: []int{p % cluster.Nodes()},
-			Fn: func(ctx *distsim.TaskCtx) error {
-				ctx.Alloc(totalBytes)
-				defer ctx.Free(totalBytes)
-				// Reduce-side join work: every partition scans the whole
-				// replicated probe table (the cost a map-side join avoids).
-				ctx.Compute(totalBytes)
-				for i, s := range series {
-					if int(hashKey(int64(s.ID))%uint64(reducers)) != p {
-						continue
-					}
-					sink.add(&similarity.Result{ID: s.ID, Matches: similarity.TopKRow(m, i, spec.K)})
-				}
-				return nil
-			},
-		}
-	}
-	if err := cluster.Run(tasks); err != nil {
-		return nil, err
-	}
-	out := &core.Results{Task: core.TaskSimilarity}
-	for _, v := range sink.out {
-		out.Similar = append(out.Similar, v.(*similarity.Result))
-	}
-	sort.Slice(out.Similar, func(i, j int) bool { return out.Similar[i].ID < out.Similar[j].ID })
-	return out, nil
-}
-
-// collectSeries assembles every series from the loaded DFS files and
-// reports the node where each series was assembled (for shuffle cost).
-func (e *Engine) collectSeries() ([]*timeseries.Series, []int, error) {
-	splits, err := e.fs.Splits(e.inputs, e.format == meterdata.FormatSeriesPerLine || !e.grouped)
-	if err != nil {
-		return nil, nil, err
-	}
-	type located struct {
-		s    *timeseries.Series
-		node int
-	}
-	sink := struct {
-		mu  sync.Mutex
-		all []located
-	}{}
-	partial := struct {
-		mu sync.Mutex
-		m  map[timeseries.ID][]float64
-		n  map[timeseries.ID]int
-	}{m: map[timeseries.ID][]float64{}, n: map[timeseries.ID]int{}}
-
-	tasks := make([]distsim.Task, len(splits))
-	for i := range splits {
-		split := &splits[i]
-		tasks[i] = distsim.Task{
-			PreferredNodes: split.PreferredNodes,
-			Fn: func(ctx *distsim.TaskCtx) error {
-				for _, b := range split.Blocks {
-					ctx.ReadBlock(b.Nodes, int64(len(b.Data)))
-				}
-				ctx.Compute(split.Bytes())
-				switch e.format {
-				case meterdata.FormatSeriesPerLine:
-					return meterdata.ScanSeries(strings.NewReader(string(split.Data())), func(s *timeseries.Series) error {
-						sink.mu.Lock()
-						sink.all = append(sink.all, located{s: s, node: ctx.Node()})
-						sink.mu.Unlock()
-						return nil
-					})
-				case meterdata.FormatReadingPerLine:
-					return meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
-						partial.mu.Lock()
-						defer partial.mu.Unlock()
-						readings := partial.m[r.ID]
-						if readings == nil {
-							readings = make([]float64, len(e.temp.Values))
-							partial.m[r.ID] = readings
-							partial.n[r.ID] = ctx.Node()
-						}
-						if r.Hour < 0 || r.Hour >= len(readings) {
-							return fmt.Errorf("mapreduce: hour %d outside series", r.Hour)
-						}
-						readings[r.Hour] = r.Consumption
-						return nil
-					})
-				default:
-					return fmt.Errorf("mapreduce: unknown format %v", e.format)
-				}
-			},
-		}
-	}
-	if err := e.fs.Cluster().Run(tasks); err != nil {
-		return nil, nil, err
-	}
-	var series []*timeseries.Series
-	var nodes []int
-	for _, l := range sink.all {
-		series = append(series, l.s)
-		nodes = append(nodes, l.node)
-	}
-	for id, readings := range partial.m {
-		series = append(series, &timeseries.Series{ID: id, Readings: readings})
-		nodes = append(nodes, partial.n[id])
-	}
-	// Deterministic order by ID.
-	idx := make([]int, len(series))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return series[idx[a]].ID < series[idx[b]].ID })
-	outS := make([]*timeseries.Series, len(series))
-	outN := make([]int, len(series))
-	for i, j := range idx {
-		outS[i], outN[i] = series[j], nodes[j]
-	}
-	return outS, outN, nil
-}
-
-// assembleResults converts job output values into core.Results sorted
-// by household ID.
-func assembleResults(spec core.Spec, values []interface{}) (*core.Results, error) {
-	out := &core.Results{Task: spec.Task}
-	switch spec.Task {
-	case core.TaskHistogram:
-		for _, v := range values {
-			out.Histograms = append(out.Histograms, v.(*histogram.Result))
-		}
-		sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].ID < out.Histograms[j].ID })
-	case core.TaskThreeLine:
-		for _, v := range values {
-			out.ThreeLines = append(out.ThreeLines, v.(*threeline.Result))
-		}
-		sort.Slice(out.ThreeLines, func(i, j int) bool { return out.ThreeLines[i].ID < out.ThreeLines[j].ID })
-	case core.TaskPAR:
-		for _, v := range values {
-			out.Profiles = append(out.Profiles, v.(*par.Result))
-		}
-		sort.Slice(out.Profiles, func(i, j int) bool { return out.Profiles[i].ID < out.Profiles[j].ID })
-	default:
-		return nil, fmt.Errorf("mapreduce: cannot assemble %v", spec.Task)
-	}
-	return out, nil
 }
 
 var _ core.Engine = (*Engine)(nil)

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -182,7 +183,7 @@ func TestHiveUDAFShufflesMoreThanUDF(t *testing.T) {
 
 func TestHiveRunWithoutLoad(t *testing.T) {
 	e := New(testFS(t, 2))
-	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != core.ErrNotLoaded {
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("err = %v", err)
 	}
 	if err := e.Release(); err != nil {

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"sync"
 
 	"github.com/smartmeter/smartbench/internal/distsim"
 	"github.com/smartmeter/smartbench/internal/engine/dfs"
@@ -215,17 +214,4 @@ func hashKey(k int64) uint64 {
 	}
 	h.Write(buf[:])
 	return h.Sum64()
-}
-
-// concurrent-safe append helper used by engines collecting results from
-// parallel tasks.
-type resultSink struct {
-	mu  sync.Mutex
-	out []interface{}
-}
-
-func (r *resultSink) add(v interface{}) {
-	r.mu.Lock()
-	r.out = append(r.out, v)
-	r.mu.Unlock()
 }

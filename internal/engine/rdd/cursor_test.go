@@ -1,0 +1,53 @@
+package rdd
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+)
+
+func TestCursorConformance(t *testing.T) {
+	srcs, _ := makeSources(t, 5, 10)
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			_, fs := testCtx(t, 4)
+			e := New(fs)
+			if _, err := e.Load(src); err != nil {
+				t.Fatal(err)
+			}
+			cursortest.Run(t, func(t *testing.T) core.Cursor {
+				cur, err := e.NewCursor()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cur
+			})
+		})
+	}
+}
+
+func TestCursorCloseUnpersists(t *testing.T) {
+	srcs, _ := makeSources(t, 4, 10)
+	_, fs := testCtx(t, 4)
+	e := New(fs)
+	if _, err := e.Load(srcs["format2"]); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := e.NewCursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Cluster().MemoryInUse(); got == 0 {
+		t.Fatal("persisted RDD holds no executor memory")
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Cluster().MemoryInUse(); got != 0 {
+		t.Fatalf("executor memory still in use after Close: %d bytes", got)
+	}
+}

@@ -5,16 +5,12 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"sync"
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/distsim"
 	"github.com/smartmeter/smartbench/internal/engine/dfs"
-	"github.com/smartmeter/smartbench/internal/histogram"
+	"github.com/smartmeter/smartbench/internal/exec"
 	"github.com/smartmeter/smartbench/internal/meterdata"
-	"github.com/smartmeter/smartbench/internal/par"
-	"github.com/smartmeter/smartbench/internal/similarity"
-	"github.com/smartmeter/smartbench/internal/threeline"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
@@ -110,168 +106,69 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 // Release implements core.Engine.
 func (e *Engine) Release() error { return nil }
 
-// Run implements core.Engine.
+// Run implements core.Engine by handing the engine's cursor to the
+// shared execution pipeline.
 func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
 	if len(e.inputs) == 0 {
-		return nil, core.ErrNotLoaded
+		return nil, fmt.Errorf("rdd: %w", core.ErrNotLoaded)
 	}
-	spec = spec.WithDefaults()
-	// Ship the temperature series to the executors once per job.
-	tempBC := e.ctx.Broadcast(e.temp, int64(len(e.temp.Values)*8))
-	temp := tempBC.Value.(*timeseries.Temperature)
+	return exec.Run(e, spec)
+}
 
-	if spec.Task == core.TaskSimilarity {
-		return e.runSimilarity(spec, temp)
+// NewCursor implements core.Engine. Extraction is the engine's RDD
+// job: broadcast the temperature series, parse the DFS splits into one
+// series per consumer (format-dependent plan — straight scan, map-side
+// group, or a shuffle by household), persist the parsed RDD in
+// executor memory for the duration of the job (the footprint that
+// exceeds Hive's in Figure 15), and collect driver-side. Close
+// unpersists the cached partitions.
+func (e *Engine) NewCursor() (core.Cursor, error) {
+	if len(e.inputs) == 0 {
+		return nil, fmt.Errorf("rdd: %w", core.ErrNotLoaded)
 	}
-
-	var collected []Record
-	switch {
-	case e.format == meterdata.FormatSeriesPerLine, e.grouped:
-		// Map-only plan: parse and compute are narrow transformations, so
-		// they pipeline into a single stage (as Spark fuses them). The
-		// parsed input stays cached in executor memory for the duration of
-		// the job, which is what makes Spark's footprint exceed Hive's
-		// (Figure 15).
-		cache := newNodeCache(e.ctx.Cluster)
-		defer cache.release()
-		out, err := e.fusedCompute(spec, temp, cache)
+	var pinned *Dataset
+	return core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+		// Ship the temperature series to the executors once per job.
+		e.ctx.Broadcast(e.temp, int64(len(e.temp.Values)*8))
+		ds, err := e.allSeries()
 		if err != nil {
 			return nil, err
 		}
-		collected = out.Collect()
-	default:
-		// Format 1: parse readings, shuffle by household, assemble,
-		// compute.
-		splits, err := e.fs.Splits(e.inputs, true)
-		if err != nil {
-			return nil, err
-		}
-		readings, err := e.ctx.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
-			return meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
-				emit(Record{Key: int64(r.ID), Value: [2]float64{float64(r.Hour), r.Consumption}, Bytes: 16})
-				return nil
-			})
-		})
-		if err != nil {
-			return nil, err
-		}
-		readings.Persist()
-		defer readings.Unpersist()
-		grouped, err := readings.GroupByKey(0)
-		if err != nil {
-			return nil, err
-		}
-		out, err := grouped.MapPartitions(func(part []Record, _ *distsim.TaskCtx) ([]Record, error) {
-			var res []Record
-			for _, rec := range part {
-				values := rec.Value.([]interface{})
-				series := &timeseries.Series{
-					ID:       timeseries.ID(rec.Key),
-					Readings: make([]float64, len(temp.Values)),
-				}
-				for _, v := range values {
-					hv := v.([2]float64)
-					h := int(hv[0])
-					if h < 0 || h >= len(series.Readings) {
-						return nil, fmt.Errorf("rdd: hour %d outside series", h)
-					}
-					series.Readings[h] = hv[1]
-				}
-				out, err := computeOne(series, temp, spec)
-				if err != nil {
-					return nil, err
-				}
-				res = append(res, Record{Key: rec.Key, Value: out, Bytes: 64})
+		ds.Persist()
+		pinned = ds
+		records := ds.Collect()
+		series := make([]*timeseries.Series, 0, len(records))
+		for _, rec := range records {
+			s, ok := rec.Value.(*timeseries.Series)
+			if !ok {
+				return nil, fmt.Errorf("rdd: expected series record, got %T", rec.Value)
 			}
-			return res, nil
-		})
-		if err != nil {
-			return nil, err
+			series = append(series, s)
 		}
-		collected = out.Collect()
+		sort.Slice(series, func(i, j int) bool { return series[i].ID < series[j].ID })
+		return series, nil
+	}, func() {
+		if pinned != nil {
+			pinned.Unpersist()
+			pinned = nil
+		}
+	}), nil
+}
+
+// Temperature implements core.Engine.
+func (e *Engine) Temperature() (*timeseries.Temperature, error) {
+	if e.temp == nil {
+		return nil, fmt.Errorf("rdd: %w", core.ErrNotLoaded)
 	}
-	return assembleResults(spec, collected)
+	return e.temp, nil
 }
 
-// nodeCache tracks per-node bytes pinned in executor memory for the
-// duration of one job (cached parsed input).
-type nodeCache struct {
-	cluster *distsim.Cluster
-	mu      sync.Mutex
-	bytes   map[int]int64
-}
-
-func newNodeCache(cluster *distsim.Cluster) *nodeCache {
-	return &nodeCache{cluster: cluster, bytes: make(map[int]int64)}
-}
-
-func (nc *nodeCache) add(node int, b int64) {
-	nc.mu.Lock()
-	nc.bytes[node] += b
-	nc.mu.Unlock()
-	nc.cluster.AllocNode(node, b)
-}
-
-func (nc *nodeCache) release() {
-	nc.mu.Lock()
-	defer nc.mu.Unlock()
-	for n, b := range nc.bytes {
-		nc.cluster.FreeNode(n, b)
-	}
-	nc.bytes = make(map[int]int64)
-}
-
-// fusedCompute runs the map-only plan in one pipelined stage: parse each
-// split's series, cache them, and compute the per-consumer analytic.
-func (e *Engine) fusedCompute(spec core.Spec, temp *timeseries.Temperature, cache *nodeCache) (*Dataset, error) {
-	splittable := e.format == meterdata.FormatSeriesPerLine
-	splits, err := e.fs.Splits(e.inputs, splittable)
-	if err != nil {
-		return nil, err
-	}
-	tempLen := len(temp.Values)
-	return e.ctx.FromSplitsCtx(splits, func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Record)) error {
-		compute := func(s *timeseries.Series) error {
-			cache.add(ctx.Node(), int64(len(s.Readings)*8))
-			v, err := computeOne(s, temp, spec)
-			if err != nil {
-				return err
-			}
-			emit(Record{Key: int64(s.ID), Value: v, Bytes: 64})
-			return nil
-		}
-		if splittable {
-			return meterdata.ScanSeries(strings.NewReader(string(split.Data())), compute)
-		}
-		// Grouped (format 3): aggregate readings map-side, then compute.
-		byID := make(map[timeseries.ID][]float64)
-		err := meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
-			readings := byID[r.ID]
-			if readings == nil {
-				readings = make([]float64, tempLen)
-				byID[r.ID] = readings
-			}
-			if r.Hour < 0 || r.Hour >= tempLen {
-				return fmt.Errorf("rdd: hour %d outside series", r.Hour)
-			}
-			readings[r.Hour] = r.Consumption
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		ids := make([]timeseries.ID, 0, len(byID))
-		for id := range byID {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			if err := compute(&timeseries.Series{ID: id, Readings: byID[id]}); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+// ParallelHint implements exec.ParallelHinter: the cluster's total task
+// slots, so node-count sweeps keep scaling compute when the spec leaves
+// Workers unset.
+func (e *Engine) ParallelHint() int {
+	cfg := e.fs.Cluster().Config()
+	return cfg.Nodes * cfg.SlotsPerNode
 }
 
 // seriesDataset parses series-per-line inputs into a Record-per-series
@@ -282,7 +179,7 @@ func (e *Engine) seriesDataset(splittable bool) (*Dataset, error) {
 		return nil, err
 	}
 	return e.ctx.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
-		return meterdata.ScanSeries(strings.NewReader(string(split.Data())), func(s *timeseries.Series) error {
+		return meterdata.ScanSeries(split.Reader(), func(s *timeseries.Series) error {
 			emit(Record{Key: int64(s.ID), Value: s, Bytes: int64(len(s.Readings) * 8)})
 			return nil
 		})
@@ -290,7 +187,8 @@ func (e *Engine) seriesDataset(splittable bool) (*Dataset, error) {
 }
 
 // groupedSeriesDataset parses format-3 inputs (reading-per-line,
-// household-complete files) with one non-splittable partition per file.
+// household-complete files) with one non-splittable partition per file,
+// assembling each file's readings map-side.
 func (e *Engine) groupedSeriesDataset() (*Dataset, error) {
 	splits, err := e.fs.Splits(e.inputs, false)
 	if err != nil {
@@ -298,128 +196,15 @@ func (e *Engine) groupedSeriesDataset() (*Dataset, error) {
 	}
 	tempLen := len(e.temp.Values)
 	return e.ctx.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
-		byID := make(map[timeseries.ID][]float64)
-		err := meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
-			readings := byID[r.ID]
-			if readings == nil {
-				readings = make([]float64, tempLen)
-				byID[r.ID] = readings
-			}
-			if r.Hour < 0 || r.Hour >= tempLen {
-				return fmt.Errorf("rdd: hour %d outside series", r.Hour)
-			}
-			readings[r.Hour] = r.Consumption
-			return nil
-		})
-		if err != nil {
+		a := meterdata.NewAssembler(tempLen)
+		if err := meterdata.ScanReadings(split.Reader(), a.Add); err != nil {
 			return err
 		}
-		ids := make([]timeseries.ID, 0, len(byID))
-		for id := range byID {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			emit(Record{Key: int64(id), Value: &timeseries.Series{ID: id, Readings: byID[id]},
-				Bytes: int64(tempLen * 8)})
+		for _, s := range a.Series() {
+			emit(Record{Key: int64(s.ID), Value: s, Bytes: int64(tempLen * 8)})
 		}
 		return nil
 	})
-}
-
-// computePartitions returns a MapPartitions body running the
-// per-consumer analytic on Record values holding *timeseries.Series.
-func computePartitions(temp *timeseries.Temperature, spec core.Spec) func([]Record, *distsim.TaskCtx) ([]Record, error) {
-	return func(part []Record, _ *distsim.TaskCtx) ([]Record, error) {
-		out := make([]Record, 0, len(part))
-		for _, rec := range part {
-			s, ok := rec.Value.(*timeseries.Series)
-			if !ok {
-				return nil, fmt.Errorf("rdd: expected series record, got %T", rec.Value)
-			}
-			v, err := computeOne(s, temp, spec)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Record{Key: rec.Key, Value: v, Bytes: 64})
-		}
-		return out, nil
-	}
-}
-
-func computeOne(s *timeseries.Series, temp *timeseries.Temperature, spec core.Spec) (interface{}, error) {
-	one := &timeseries.Dataset{Series: []*timeseries.Series{s}, Temperature: temp}
-	r, err := core.RunReference(one, spec)
-	if err != nil {
-		return nil, err
-	}
-	switch spec.Task {
-	case core.TaskHistogram:
-		return r.Histograms[0], nil
-	case core.TaskThreeLine:
-		return r.ThreeLines[0], nil
-	case core.TaskPAR:
-		return r.Profiles[0], nil
-	default:
-		return nil, fmt.Errorf("rdd: computeOne cannot run %v", spec.Task)
-	}
-}
-
-// runSimilarity is the paper's Spark plan: broadcast the full series
-// table, then a map-side join computes each partition's top-k locally —
-// no reduce-side shuffle of the probe table.
-func (e *Engine) runSimilarity(spec core.Spec, temp *timeseries.Temperature) (*core.Results, error) {
-	series, err := e.allSeries()
-	if err != nil {
-		return nil, err
-	}
-	if series.Count() < 2 {
-		return nil, similarity.ErrTooFew
-	}
-	// Build the broadcast table: all series packed into the blocked
-	// kernel's flat row-major matrix, inverse norms precomputed once.
-	var all []*timeseries.Series
-	for _, rec := range series.Collect() {
-		all = append(all, rec.Value.(*timeseries.Series))
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
-	var bytes int64
-	for _, s := range all {
-		bytes += int64(len(s.Readings) * 8)
-	}
-	m, err := timeseries.PackMatrix(all)
-	if err != nil {
-		return nil, fmt.Errorf("rdd: %w", err)
-	}
-	rowOf := make(map[timeseries.ID]int, len(all))
-	for i, s := range all {
-		rowOf[s.ID] = i
-	}
-	bc := e.ctx.Broadcast(m, bytes)
-	table := bc.Value.(*timeseries.FlatMatrix)
-
-	out, err := series.MapPartitions(func(part []Record, ctx *distsim.TaskCtx) ([]Record, error) {
-		ctx.Alloc(bytes) // the broadcast copy resident on this node
-		defer ctx.Free(bytes)
-		res := make([]Record, 0, len(part))
-		for _, rec := range part {
-			s := rec.Value.(*timeseries.Series)
-			q, ok := rowOf[s.ID]
-			if !ok {
-				return nil, fmt.Errorf("rdd: series %d missing from broadcast table", s.ID)
-			}
-			res = append(res, Record{
-				Key:   int64(s.ID),
-				Value: &similarity.Result{ID: s.ID, Matches: similarity.TopKRow(table, q, spec.K)},
-				Bytes: int64(spec.K * 16),
-			})
-		}
-		return res, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return assembleResults(spec, out.Collect())
 }
 
 // allSeries assembles one Record per series regardless of input format.
@@ -430,12 +215,13 @@ func (e *Engine) allSeries() (*Dataset, error) {
 	case e.grouped:
 		return e.groupedSeriesDataset()
 	default:
+		// Format 1: parse readings, shuffle by household, assemble.
 		splits, err := e.fs.Splits(e.inputs, true)
 		if err != nil {
 			return nil, err
 		}
 		readings, err := e.ctx.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
-			return meterdata.ScanReadings(strings.NewReader(string(split.Data())), func(r meterdata.Reading) error {
+			return meterdata.ScanReadings(split.Reader(), func(r meterdata.Reading) error {
 				emit(Record{Key: int64(r.ID), Value: [2]float64{float64(r.Hour), r.Consumption}, Bytes: 16})
 				return nil
 			})
@@ -449,43 +235,27 @@ func (e *Engine) allSeries() (*Dataset, error) {
 		}
 		tempLen := len(e.temp.Values)
 		return grouped.MapPartitions(func(part []Record, _ *distsim.TaskCtx) ([]Record, error) {
-			out := make([]Record, 0, len(part))
+			a := meterdata.NewAssembler(tempLen)
 			for _, rec := range part {
-				s := &timeseries.Series{ID: timeseries.ID(rec.Key), Readings: make([]float64, tempLen)}
 				for _, v := range rec.Value.([]interface{}) {
 					hv := v.([2]float64)
-					h := int(hv[0])
-					if h < 0 || h >= tempLen {
-						return nil, fmt.Errorf("rdd: hour %d outside series", h)
+					r := meterdata.Reading{
+						ID:          timeseries.ID(rec.Key),
+						Hour:        int(hv[0]),
+						Consumption: hv[1],
 					}
-					s.Readings[h] = hv[1]
+					if err := a.Add(r); err != nil {
+						return nil, fmt.Errorf("rdd: %w", err)
+					}
 				}
-				out = append(out, Record{Key: rec.Key, Value: s, Bytes: int64(tempLen * 8)})
+			}
+			out := make([]Record, 0, a.Len())
+			for _, s := range a.Series() {
+				out = append(out, Record{Key: int64(s.ID), Value: s, Bytes: int64(tempLen * 8)})
 			}
 			return out, nil
 		})
 	}
-}
-
-// assembleResults converts collected records into sorted core.Results.
-func assembleResults(spec core.Spec, records []Record) (*core.Results, error) {
-	out := &core.Results{Task: spec.Task}
-	sort.Slice(records, func(i, j int) bool { return records[i].Key < records[j].Key })
-	for _, rec := range records {
-		switch spec.Task {
-		case core.TaskHistogram:
-			out.Histograms = append(out.Histograms, rec.Value.(*histogram.Result))
-		case core.TaskThreeLine:
-			out.ThreeLines = append(out.ThreeLines, rec.Value.(*threeline.Result))
-		case core.TaskPAR:
-			out.Profiles = append(out.Profiles, rec.Value.(*par.Result))
-		case core.TaskSimilarity:
-			out.Similar = append(out.Similar, rec.Value.(*similarity.Result))
-		default:
-			return nil, fmt.Errorf("rdd: cannot assemble %v", spec.Task)
-		}
-	}
-	return out, nil
 }
 
 var _ core.Engine = (*Engine)(nil)

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -155,7 +156,7 @@ func TestSparkMemoryExceedsZeroWhenPersisted(t *testing.T) {
 func TestSparkRunWithoutLoad(t *testing.T) {
 	_, fs := testCtx(t, 2)
 	e := New(fs)
-	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != core.ErrNotLoaded {
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("err = %v", err)
 	}
 	if err := e.Release(); err != nil {

@@ -1,0 +1,47 @@
+package rowstore
+
+import (
+	"io"
+
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// scanCursor extracts one consumer per Next with an index scan through
+// the buffer pool — the engine's native cold path. The pool is
+// single-threaded (one database connection per worker in the paper), so
+// extraction stays serial here; the pipeline fans out only the compute
+// stage.
+type scanCursor struct {
+	e      *Engine
+	i      int
+	closed bool
+}
+
+func (c *scanCursor) Next() (*timeseries.Series, error) {
+	if c.closed || c.i >= len(c.e.ids) {
+		return nil, io.EOF
+	}
+	s, temp, err := c.e.table.readSeries(c.e.ids[c.i])
+	if err != nil {
+		return nil, err
+	}
+	if c.e.temp == nil {
+		c.e.temp = temp
+	}
+	c.i++
+	return s, nil
+}
+
+func (c *scanCursor) Reset() error {
+	c.i = 0
+	c.closed = false
+	return nil
+}
+
+func (c *scanCursor) Close() error {
+	c.closed = true
+	return nil
+}
+
+// SizeHint is exact: the B+tree knows every household.
+func (c *scanCursor) SizeHint() (int, bool) { return len(c.e.ids), true }

@@ -1,0 +1,63 @@
+package rowstore
+
+import (
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+)
+
+func TestCursorConformance(t *testing.T) {
+	src, _ := writeSource(t, 5, 10)
+
+	t.Run("ColdScanCursor", func(t *testing.T) {
+		e := New(t.TempDir())
+		defer e.Close()
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.Run(t, func(t *testing.T) core.Cursor {
+			cur, err := e.NewCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := cur.(*scanCursor); !ok {
+				t.Fatalf("cold engine yielded %T, want *scanCursor", cur)
+			}
+			return cur
+		})
+	})
+
+	t.Run("ArrayLayoutScanCursor", func(t *testing.T) {
+		e := New(t.TempDir(), WithLayout(LayoutArrays))
+		defer e.Close()
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.Run(t, func(t *testing.T) core.Cursor {
+			cur, err := e.NewCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cur
+		})
+	})
+
+	t.Run("WarmDatasetCursor", func(t *testing.T) {
+		e := New(t.TempDir())
+		defer e.Close()
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.Run(t, func(t *testing.T) core.Cursor {
+			cur, err := e.NewCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cur
+		})
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
@@ -26,6 +27,7 @@ type Engine struct {
 	table *table
 	ids   []timeseries.ID
 	cache *timeseries.Dataset
+	temp  *timeseries.Temperature
 }
 
 // Option configures the engine.
@@ -134,6 +136,7 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 		e.ids = append(e.ids, s.ID)
 	}
 	e.cache = nil
+	e.temp = ds.Temperature
 	return &core.LoadStats{
 		Consumers:    len(ds.Series),
 		Readings:     readings,
@@ -180,6 +183,7 @@ func (e *Engine) Open() error {
 	e.pf, e.bp, e.table = pf, bp, tb
 	e.ids = ids
 	e.cache = nil
+	e.temp = nil
 	return nil
 }
 
@@ -188,7 +192,7 @@ func (e *Engine) Open() error {
 // extract the data we need").
 func (e *Engine) Warm() error {
 	if e.table == nil {
-		return core.ErrNotLoaded
+		return fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
 	}
 	ds, err := e.materialize()
 	if err != nil {
@@ -202,6 +206,7 @@ func (e *Engine) Warm() error {
 // buffer pool, so the next Run pays cold-start I/O again.
 func (e *Engine) Release() error {
 	e.cache = nil
+	e.temp = nil
 	if e.bp != nil {
 		return e.bp.reset()
 	}
@@ -223,6 +228,7 @@ func (e *Engine) closeStorage() error {
 	err := e.pf.close()
 	e.pf, e.bp, e.table = nil, nil, nil
 	e.cache = nil
+	e.temp = nil
 	return err
 }
 
@@ -241,57 +247,56 @@ func (e *Engine) materialize() (*timeseries.Dataset, error) {
 		}
 	}
 	if temp == nil {
-		return nil, core.ErrNotLoaded
+		return nil, fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
 	}
 	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
 }
 
-// Run implements core.Engine. Cold runs extract each consumer with an
+// Run implements core.Engine by handing the engine's cursor to the
+// shared execution pipeline. Cold runs extract each consumer with an
 // index scan and decode tuples one at a time; warm runs reuse the
 // in-memory arrays built by Warm.
 func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
 	if e.table == nil {
-		return nil, core.ErrNotLoaded
+		return nil, fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
 	}
-	spec = spec.WithDefaults()
+	return exec.Run(e, spec)
+}
+
+// NewCursor implements core.Engine: in-memory arrays after Warm,
+// otherwise a serial index-scan cursor through the buffer pool.
+func (e *Engine) NewCursor() (core.Cursor, error) {
+	if e.table == nil {
+		return nil, fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
+	}
 	if e.cache != nil {
-		return core.RunParallel(e.cache, spec)
+		return core.NewDatasetCursor(e.cache), nil
 	}
-	// Similarity needs all series resident at once.
-	if spec.Task == core.TaskSimilarity {
-		ds, err := e.materialize()
-		if err != nil {
-			return nil, err
-		}
-		return core.RunParallel(ds, spec)
+	return &scanCursor{e: e}, nil
+}
+
+// Temperature implements core.Engine. The temperature column is read
+// alongside the first consumer's tuples and cached until the next
+// Load/Open/Release.
+func (e *Engine) Temperature() (*timeseries.Temperature, error) {
+	if e.cache != nil {
+		return e.cache.Temperature, nil
 	}
-	if spec.Workers > 1 {
-		// The buffer pool is single-threaded (one database connection per
-		// worker in the paper); parallel cold runs materialize first and
-		// then fan out, like MADLib workers reading from a warmed table.
-		ds, err := e.materialize()
-		if err != nil {
-			return nil, err
-		}
-		return core.RunParallel(ds, spec)
+	if e.table == nil {
+		return nil, fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
 	}
-	// Single-threaded cold path: stream consumer by consumer off disk.
-	out := &core.Results{Task: spec.Task}
-	for _, id := range e.ids {
-		s, temp, err := e.table.readSeries(id)
-		if err != nil {
-			return nil, err
-		}
-		one := &timeseries.Dataset{Series: []*timeseries.Series{s}, Temperature: temp}
-		r, err := core.RunReference(one, spec)
-		if err != nil {
-			return nil, err
-		}
-		out.Histograms = append(out.Histograms, r.Histograms...)
-		out.ThreeLines = append(out.ThreeLines, r.ThreeLines...)
-		out.Profiles = append(out.Profiles, r.Profiles...)
+	if e.temp != nil {
+		return e.temp, nil
 	}
-	return out, nil
+	if len(e.ids) == 0 {
+		return nil, fmt.Errorf("rowstore: table holds no households")
+	}
+	_, temp, err := e.table.readSeries(e.ids[0])
+	if err != nil {
+		return nil, err
+	}
+	e.temp = temp
+	return temp, nil
 }
 
 // Layout returns the engine's physical schema.
@@ -311,7 +316,7 @@ var _ core.Engine = (*Engine)(nil)
 // inserts (cheap — the write-optimized side of the trade-off).
 func (e *Engine) Append(delta *timeseries.Dataset) error {
 	if e.table == nil {
-		return core.ErrNotLoaded
+		return fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
 	}
 	if len(delta.Series) != len(e.ids) {
 		return fmt.Errorf("rowstore: delta has %d households, table has %d", len(delta.Series), len(e.ids))
@@ -330,6 +335,7 @@ func (e *Engine) Append(delta *timeseries.Dataset) error {
 	}
 	e.table.setSeriesLen(e.table.seriesLen + n)
 	e.cache = nil
+	e.temp = nil
 	return writeMeta(e.bp, metaPage{
 		layout:    e.table.layout,
 		heapFirst: e.table.heap.first,

@@ -1,6 +1,7 @@
 package rowstore
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -186,10 +187,10 @@ func TestEngineWarmAndRelease(t *testing.T) {
 
 func TestEngineRunWithoutLoad(t *testing.T) {
 	e := New(t.TempDir())
-	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err != core.ErrNotLoaded {
+	if _, err := e.Run(core.Spec{Task: core.TaskHistogram}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("err = %v, want ErrNotLoaded", err)
 	}
-	if err := e.Warm(); err != core.ErrNotLoaded {
+	if err := e.Warm(); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("warm err = %v", err)
 	}
 }
@@ -420,7 +421,7 @@ func TestAppendValidation(t *testing.T) {
 	defer e.Close()
 	empty := New(t.TempDir())
 	defer empty.Close()
-	if err := empty.Append(&timeseries.Dataset{}); err != core.ErrNotLoaded {
+	if err := empty.Append(&timeseries.Dataset{}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("append before load: %v", err)
 	}
 	if _, err := e.Load(src); err != nil {

@@ -1,0 +1,158 @@
+// Package cursortest is a conformance suite for core.Cursor
+// implementations. Every engine's cursor is run through the same
+// checks: it exhausts to io.EOF and stays exhausted, Reset replays the
+// identical sequence, Close is idempotent, and a partial read followed
+// by Close leaks neither goroutines nor file descriptors.
+package cursortest
+
+import (
+	"errors"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// snapshot is one drained series, with readings copied out so a
+// replay's buffer reuse cannot alias the first pass.
+type snapshot struct {
+	id       timeseries.ID
+	readings []float64
+}
+
+// Run exercises one cursor implementation. open must return a fresh
+// cursor positioned at the first consumer; it is called once per
+// sub-check.
+func Run(t *testing.T, open func(t *testing.T) core.Cursor) {
+	t.Helper()
+
+	t.Run("ExhaustsAndStaysExhausted", func(t *testing.T) {
+		cur := open(t)
+		defer func() { _ = cur.Close() }()
+		first := drain(t, cur)
+		if len(first) == 0 {
+			t.Fatal("cursor yielded no series")
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := cur.Next(); !errors.Is(err, io.EOF) {
+				t.Fatalf("Next after EOF #%d: err = %v, want io.EOF", i+1, err)
+			}
+		}
+		for i := 1; i < len(first); i++ {
+			if first[i-1].id >= first[i].id {
+				t.Fatalf("IDs not strictly ascending: %d then %d", first[i-1].id, first[i].id)
+			}
+		}
+	})
+
+	t.Run("ResetReplaysIdentically", func(t *testing.T) {
+		cur := open(t)
+		defer func() { _ = cur.Close() }()
+		first := drain(t, cur)
+		if err := cur.Reset(); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		second := drain(t, cur)
+		if len(first) != len(second) {
+			t.Fatalf("replay yielded %d series, first pass %d", len(second), len(first))
+		}
+		for i := range first {
+			if first[i].id != second[i].id {
+				t.Fatalf("series %d: replay ID %d, first pass %d", i, second[i].id, first[i].id)
+			}
+			if len(first[i].readings) != len(second[i].readings) {
+				t.Fatalf("series %d: replay has %d readings, first pass %d",
+					i, len(second[i].readings), len(first[i].readings))
+			}
+			for j := range first[i].readings {
+				if !stats.ExactEqual(first[i].readings[j], second[i].readings[j]) {
+					t.Fatalf("series %d reading %d: replay %v, first pass %v",
+						i, j, second[i].readings[j], first[i].readings[j])
+				}
+			}
+		}
+	})
+
+	t.Run("CloseIdempotent", func(t *testing.T) {
+		cur := open(t)
+		if _, err := cur.Next(); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatalf("Next: %v", err)
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		if _, err := cur.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("Next after Close: err = %v, want io.EOF", err)
+		}
+	})
+
+	t.Run("PartialReadCloseLeaksNothing", func(t *testing.T) {
+		goroutines := runtime.NumGoroutine()
+		fds := openFDs(t)
+		cur := open(t)
+		if _, err := cur.Next(); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatalf("Next: %v", err)
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		waitStable(t, "goroutines", goroutines, func() int { return runtime.NumGoroutine() })
+		if fds >= 0 {
+			waitStable(t, "fds", fds, func() int { return openFDs(t) })
+		}
+	})
+}
+
+// drain reads the cursor to io.EOF, snapshotting every series.
+func drain(t *testing.T, cur core.Cursor) []snapshot {
+	t.Helper()
+	var out []snapshot
+	for {
+		s, err := cur.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, snapshot{
+			id:       s.ID,
+			readings: append([]float64(nil), s.Readings...),
+		})
+	}
+}
+
+// openFDs counts this process's open file descriptors, or -1 when the
+// platform offers no /proc.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// waitStable retries until the counter drops back to the baseline (GC
+// and runtime bookkeeping can lag a Close).
+func waitStable(t *testing.T, what string, base int, count func() int) {
+	t.Helper()
+	var n int
+	for i := 0; i < 50; i++ {
+		n = count()
+		if n <= base {
+			return
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s leaked: %d before, %d after", what, base, n)
+}

@@ -1,0 +1,306 @@
+// Package exec is the shared execution layer under all five engines:
+// one extract → compute → emit pipeline that runs any benchmark task
+// from any core.Cursor, with per-stage wall-clock and volume counters
+// surfaced on core.Results.Phases.
+//
+// The split of responsibilities mirrors the paper's cost anatomy
+// (Figure 6): the *engine* owns extraction — its native decode path,
+// exposed as a cursor — while the pipeline owns task dispatch, worker
+// fan-out (internal/sched), and deterministic result assembly. Engines
+// therefore shrink to Load + NewCursor + capabilities; none of them
+// re-implements task switching.
+//
+// Per-consumer tasks stream: the pipeline pulls a small block of series
+// off the cursor (extract), fans the task kernel out over workers
+// (compute), and appends the block's results in cursor order (emit).
+// Blocks keep a partitioned file engine's memory flat (Figure 8) while
+// still feeding enough work per scheduling round. The whole-dataset
+// similarity task instead materializes the cursor once and runs the
+// blocked kernel; a warm engine's DatasetCursor short-circuits that
+// materialization so the dataset's cached flat-matrix packing survives.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/histogram"
+	"github.com/smartmeter/smartbench/internal/par"
+	"github.com/smartmeter/smartbench/internal/sched"
+	"github.com/smartmeter/smartbench/internal/similarity"
+	"github.com/smartmeter/smartbench/internal/threeline"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Source is what the pipeline needs from an engine: a cursor over the
+// loaded series and the shared temperature year. core.Engine satisfies
+// it.
+type Source interface {
+	NewCursor() (core.Cursor, error)
+	Temperature() (*timeseries.Temperature, error)
+}
+
+// ParallelHinter is optionally implemented by sources whose natural
+// intra-task parallelism exceeds a single thread even when the spec does
+// not ask for workers — the cluster engines report their total task
+// slots, so node-count sweeps keep scaling compute. The hint applies
+// only when Spec.Workers is unset; an explicit worker count always wins.
+type ParallelHinter interface {
+	ParallelHint() int
+}
+
+// NewDatasetSource adapts an in-memory dataset to Source. Tests and the
+// pipeline-vs-legacy benchmark use it as the minimal engine.
+func NewDatasetSource(ds *timeseries.Dataset) Source { return datasetSource{ds: ds} }
+
+type datasetSource struct{ ds *timeseries.Dataset }
+
+func (s datasetSource) NewCursor() (core.Cursor, error) { return core.NewDatasetCursor(s.ds), nil }
+
+func (s datasetSource) Temperature() (*timeseries.Temperature, error) {
+	return s.ds.Temperature, nil
+}
+
+// blockFor sizes the extract block: enough rows to keep every worker
+// busy for a few scheduler pulls, small enough that a streaming cursor
+// (the partitioned file engine, the row store) holds only a bounded
+// number of decoded series at a time.
+func blockFor(workers int) int {
+	b := 4 * workers
+	if b < 16 {
+		b = 16
+	}
+	return b
+}
+
+// Run executes one task from the source's cursor through the
+// instrumented three-stage pipeline. Result order is cursor order,
+// which the Cursor contract fixes to ascending household ID — the same
+// order core.RunReference produces, so engines stay bit-identical to
+// the oracle.
+func Run(src Source, spec core.Spec) (*core.Results, error) {
+	requested := spec.Workers
+	spec = spec.WithDefaults()
+	workers := spec.Workers
+	if requested <= 0 {
+		if h, ok := src.(ParallelHinter); ok {
+			if n := h.ParallelHint(); n > workers {
+				workers = n
+			}
+		}
+	}
+
+	ph := &core.Phases{}
+	start := time.Now()
+	cur, err := src.NewCursor()
+	ph.Extract.Wall += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = cur.Close() }()
+
+	start = time.Now()
+	temp, err := src.Temperature()
+	ph.Extract.Wall += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &core.Results{Task: spec.Task, Phases: ph}
+	if spec.Task == core.TaskSimilarity {
+		if err := runSimilarity(cur, temp, spec, workers, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := runStreaming(cur, temp, spec, workers, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runSimilarity materializes the cursor (extract) and runs the blocked
+// all-pairs kernel (compute); emit is the assignment of the merged
+// top-k lists.
+func runSimilarity(cur core.Cursor, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results) error {
+	ph := out.Phases
+	start := time.Now()
+	ds, err := materialize(cur, temp)
+	ph.Extract.Wall += time.Since(start)
+	if err != nil {
+		return err
+	}
+	ph.Extract.Rows += int64(len(ds.Series))
+	ph.Extract.Bytes += seriesBytes(ds.Series)
+
+	start = time.Now()
+	rs, err := similarity.ComputeParallel(ds, spec.K, workers)
+	ph.Compute.Wall += time.Since(start)
+	ph.Compute.Rows += int64(len(ds.Series))
+	if err != nil {
+		return err
+	}
+
+	start = time.Now()
+	out.Similar = rs
+	ph.Emit.Wall += time.Since(start)
+	ph.Emit.Rows += int64(len(rs))
+	return nil
+}
+
+// materialize drains the cursor into a dataset. A DatasetCursor (warm
+// engine) short-circuits: its backing dataset is used as-is, keeping
+// any cached flat-matrix packing.
+func materialize(cur core.Cursor, temp *timeseries.Temperature) (*timeseries.Dataset, error) {
+	if dc, ok := cur.(core.DatasetCursor); ok {
+		return dc.Dataset(), nil
+	}
+	var series []*timeseries.Series
+	if h, ok := cur.(core.SizeHinter); ok {
+		if n, hOK := h.SizeHint(); hOK {
+			series = make([]*timeseries.Series, 0, n)
+		}
+	}
+	for {
+		s, err := cur.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+	}
+	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
+}
+
+// runStreaming is the per-consumer path: extract a block of series,
+// compute the kernel over workers, emit in cursor order, repeat.
+func runStreaming(cur core.Cursor, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results) error {
+	switch spec.Task {
+	case core.TaskHistogram, core.TaskThreeLine, core.TaskPAR:
+	default:
+		return fmt.Errorf("exec: unknown task %v", spec.Task)
+	}
+	ph := out.Phases
+	block := blockFor(workers)
+	buf := make([]*timeseries.Series, 0, block)
+	// Per-worker 3-line sub-phase accumulators (summed at the end so the
+	// compute fan-out stays write-disjoint).
+	tims := make([]threeline.Timing, workers)
+	for {
+		buf = buf[:0]
+		start := time.Now()
+		drained, err := fill(cur, &buf, block)
+		ph.Extract.Wall += time.Since(start)
+		if err != nil {
+			return err
+		}
+		ph.Extract.Rows += int64(len(buf))
+		ph.Extract.Bytes += seriesBytes(buf)
+		if len(buf) > 0 {
+			if err := computeBlock(buf, temp, spec, workers, out, tims); err != nil {
+				return err
+			}
+		}
+		if drained {
+			break
+		}
+	}
+	for _, tm := range tims {
+		ph.T1Quantiles += tm.T1Quantiles
+		ph.T2Regression += tm.T2Regression
+		ph.T3Adjust += tm.T3Adjust
+	}
+	return nil
+}
+
+// fill pulls up to block series off the cursor; drained reports that the
+// cursor hit io.EOF.
+func fill(cur core.Cursor, buf *[]*timeseries.Series, block int) (drained bool, err error) {
+	for len(*buf) < block {
+		s, err := cur.Next()
+		if errors.Is(err, io.EOF) {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		*buf = append(*buf, s)
+	}
+	return false, nil
+}
+
+// computeBlock runs the per-consumer kernel over one extracted block and
+// appends the results in block order.
+func computeBlock(buf []*timeseries.Series, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results, tims []threeline.Timing) error {
+	ph := out.Phases
+	n := len(buf)
+	start := time.Now()
+	var hists []*histogram.Result
+	var lines []*threeline.Result
+	var profs []*par.Result
+	switch spec.Task {
+	case core.TaskHistogram:
+		hists = make([]*histogram.Result, n)
+	case core.TaskThreeLine:
+		lines = make([]*threeline.Result, n)
+	case core.TaskPAR:
+		profs = make([]*par.Result, n)
+	}
+	err := sched.Run(n, 1, workers, func(w, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			s := buf[i]
+			switch spec.Task {
+			case core.TaskHistogram:
+				r, err := histogram.ComputeBuckets(s, spec.Buckets)
+				if err != nil {
+					return err
+				}
+				hists[i] = r
+			case core.TaskThreeLine:
+				r, tm, err := threeline.ComputeTimed(s, temp, threeline.DefaultConfig())
+				if err != nil {
+					return err
+				}
+				tims[w].T1Quantiles += tm.T1Quantiles
+				tims[w].T2Regression += tm.T2Regression
+				tims[w].T3Adjust += tm.T3Adjust
+				lines[i] = r
+			case core.TaskPAR:
+				r, err := par.ComputeOrder(s, temp, spec.Order)
+				if err != nil {
+					return err
+				}
+				profs[i] = r
+			}
+		}
+		return nil
+	})
+	ph.Compute.Wall += time.Since(start)
+	ph.Compute.Rows += int64(n)
+	if err != nil {
+		return err
+	}
+
+	start = time.Now()
+	out.Histograms = append(out.Histograms, hists...)
+	out.ThreeLines = append(out.ThreeLines, lines...)
+	out.Profiles = append(out.Profiles, profs...)
+	ph.Emit.Wall += time.Since(start)
+	ph.Emit.Rows += int64(n)
+	return nil
+}
+
+// seriesBytes approximates the decoded payload of a series slice (8
+// bytes per reading).
+func seriesBytes(series []*timeseries.Series) int64 {
+	var b int64
+	for _, s := range series {
+		b += int64(8 * len(s.Readings))
+	}
+	return b
+}

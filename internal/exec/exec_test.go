@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func makeDataset(t *testing.T, consumers, days int) *timeseries.Dataset {
+	t.Helper()
+	ds, err := seed.Generate(seed.Config{Consumers: consumers, Days: days, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	ds := makeDataset(t, 6, 30)
+	for _, task := range core.Tasks {
+		for _, workers := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%v_w%d", task, workers), func(t *testing.T) {
+				spec := core.Spec{Task: task, K: 3, Workers: workers}
+				got, err := Run(NewDatasetSource(ds), spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := core.RunReference(ds, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Count() != want.Count() {
+					t.Fatalf("count = %d, want %d", got.Count(), want.Count())
+				}
+				compareResults(t, got, want)
+			})
+		}
+	}
+}
+
+// compareResults checks bit-identical agreement with the reference.
+func compareResults(t *testing.T, got, want *core.Results) {
+	t.Helper()
+	for i := range want.Histograms {
+		g, w := got.Histograms[i], want.Histograms[i]
+		if g.ID != w.ID {
+			t.Fatalf("histogram %d: ID %d vs %d", i, g.ID, w.ID)
+		}
+		for j := range w.Histogram.Counts {
+			if g.Histogram.Counts[j] != w.Histogram.Counts[j] {
+				t.Fatalf("histogram %d bucket %d: %d vs %d",
+					i, j, g.Histogram.Counts[j], w.Histogram.Counts[j])
+			}
+		}
+	}
+	for i := range want.ThreeLines {
+		g, w := got.ThreeLines[i], want.ThreeLines[i]
+		if g.ID != w.ID ||
+			!stats.ExactEqual(g.HeatingGradient, w.HeatingGradient) ||
+			!stats.ExactEqual(g.CoolingGradient, w.CoolingGradient) ||
+			!stats.ExactEqual(g.BaseLoad, w.BaseLoad) {
+			t.Fatalf("3-line %d: %+v vs %+v", i, g, w)
+		}
+	}
+	for i := range want.Profiles {
+		g, w := got.Profiles[i], want.Profiles[i]
+		if g.ID != w.ID {
+			t.Fatalf("profile %d: ID %d vs %d", i, g.ID, w.ID)
+		}
+		for h := range w.Profile {
+			if !stats.ExactEqual(g.Profile[h], w.Profile[h]) {
+				t.Fatalf("profile %d hour %d differs", i, h)
+			}
+		}
+	}
+	for i := range want.Similar {
+		g, w := got.Similar[i], want.Similar[i]
+		if g.ID != w.ID {
+			t.Fatalf("similar %d: ID %d vs %d", i, g.ID, w.ID)
+		}
+		for j := range w.Matches {
+			if g.Matches[j].ID != w.Matches[j].ID ||
+				!stats.ExactEqual(g.Matches[j].Score, w.Matches[j].Score) {
+				t.Fatalf("similar %d match %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRunPopulatesPhases(t *testing.T) {
+	ds := makeDataset(t, 5, 20)
+	res, err := Run(NewDatasetSource(ds), core.Spec{Task: core.TaskThreeLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := res.Phases
+	if ph == nil {
+		t.Fatal("Phases == nil")
+	}
+	if ph.Extract.Rows != 5 || ph.Compute.Rows != 5 || ph.Emit.Rows != 5 {
+		t.Errorf("row counters = %d/%d/%d, want 5/5/5",
+			ph.Extract.Rows, ph.Compute.Rows, ph.Emit.Rows)
+	}
+	wantBytes := int64(5 * 20 * 24 * 8)
+	if ph.Extract.Bytes != wantBytes {
+		t.Errorf("extract bytes = %d, want %d", ph.Extract.Bytes, wantBytes)
+	}
+	if ph.T1Quantiles+ph.T2Regression+ph.T3Adjust <= 0 {
+		t.Error("3-line sub-phase timings are all zero")
+	}
+	if ph.Total() < ph.Compute.Wall {
+		t.Errorf("Total %v < Compute %v", ph.Total(), ph.Compute.Wall)
+	}
+}
+
+func TestRunSimilarityPhases(t *testing.T) {
+	ds := makeDataset(t, 6, 20)
+	res, err := Run(NewDatasetSource(ds), core.Spec{Task: core.TaskSimilarity, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases == nil || res.Phases.Extract.Rows != 6 || res.Phases.Emit.Rows != 6 {
+		t.Fatalf("similarity phases = %+v", res.Phases)
+	}
+	if len(res.Similar) != 6 {
+		t.Fatalf("similar results = %d", len(res.Similar))
+	}
+}
+
+func TestRunUnknownTask(t *testing.T) {
+	ds := makeDataset(t, 3, 10)
+	if _, err := Run(NewDatasetSource(ds), core.Spec{Task: core.Task(99)}); err == nil {
+		t.Fatal("unknown task did not error")
+	}
+}
+
+// hintedSource wraps a Source with a fixed ParallelHint.
+type hintedSource struct {
+	Source
+	hint int
+	seen *int
+}
+
+func (h hintedSource) ParallelHint() int {
+	*h.seen++
+	return h.hint
+}
+
+func TestParallelHintOnlyWhenWorkersUnset(t *testing.T) {
+	ds := makeDataset(t, 4, 10)
+	var calls int
+	src := hintedSource{Source: NewDatasetSource(ds), hint: 8, seen: &calls}
+
+	if _, err := Run(src, core.Spec{Task: core.TaskHistogram}); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("hint not consulted for unset Workers")
+	}
+	calls = 0
+	if _, err := Run(src, core.Spec{Task: core.TaskHistogram, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Error("hint consulted despite explicit Workers")
+	}
+}
+
+func TestBlockFor(t *testing.T) {
+	for _, tc := range []struct{ workers, want int }{
+		{1, 16}, {2, 16}, {4, 16}, {8, 32}, {16, 64},
+	} {
+		if got := blockFor(tc.workers); got != tc.want {
+			t.Errorf("blockFor(%d) = %d, want %d", tc.workers, got, tc.want)
+		}
+	}
+}
+
+func TestDatasetCursorConformance(t *testing.T) {
+	ds := makeDataset(t, 5, 10)
+	cursortest.Run(t, func(t *testing.T) core.Cursor {
+		return core.NewDatasetCursor(ds)
+	})
+}
+
+func TestLazyCursorConformance(t *testing.T) {
+	ds := makeDataset(t, 5, 10)
+	cursortest.Run(t, func(t *testing.T) core.Cursor {
+		return core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+			return ds.Series, nil
+		}, nil)
+	})
+}
+
+func TestLazyCursorLoadOnceAndOnClose(t *testing.T) {
+	ds := makeDataset(t, 3, 10)
+	loads, closes := 0, 0
+	cur := core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+		loads++
+		return ds.Series, nil
+	}, func() { closes++ })
+	for i := 0; i < 3; i++ {
+		if _, err := cur.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cur.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if loads != 1 {
+		t.Fatalf("load ran %d times, want 1", loads)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if closes != 1 {
+		t.Fatalf("onClose ran %d times, want 1", closes)
+	}
+}
+
+// failingSource returns an error from NewCursor.
+type failingSource struct{ err error }
+
+func (f failingSource) NewCursor() (core.Cursor, error)               { return nil, f.err }
+func (f failingSource) Temperature() (*timeseries.Temperature, error) { return nil, f.err }
+
+func TestRunPropagatesCursorError(t *testing.T) {
+	want := errors.New("boom")
+	if _, err := Run(failingSource{err: want}, core.Spec{Task: core.TaskHistogram}); !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}

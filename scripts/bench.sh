@@ -1,21 +1,29 @@
 #!/usr/bin/env bash
-# bench.sh runs the blocked-vs-naive similarity kernel A/B pair
-# (BenchmarkKernelSimilarityBlocked / BenchmarkKernelSimilarityNaive in
-# bench_test.go, the §5.3.4 stress test at n=64 consumers) with
-# -count repetitions and -benchmem, and distills the runs into
-# BENCH_similarity.json: mean ns/op, B/op, allocs/op per variant plus
-# the blocked-over-naive speedup. CI uploads the JSON as an artifact so
-# regressions show up as a number, not a feeling; for a statistical
-# A/B over two checkouts, feed the raw output files to benchstat
-# (golang.org/x/perf) instead.
+# bench.sh runs the repo's two A/B benchmark pairs and distills each
+# into a JSON artifact CI can upload, so regressions show up as a
+# number, not a feeling:
+#
+#   1. BenchmarkKernelSimilarityBlocked / BenchmarkKernelSimilarityNaive
+#      (the §5.3.4 stress test at n=64 consumers) -> BENCH_similarity.json
+#      with mean ns/op, B/op, allocs/op per variant plus the
+#      blocked-over-naive speedup.
+#   2. BenchmarkPipelineThreeLine / BenchmarkLegacyThreeLine (the
+#      cursor execution layer vs the direct core.RunParallel baseline)
+#      -> BENCH_pipeline.json with mean ns/op per variant plus the
+#      pipeline-over-legacy overhead ratio.
+#
+# For a statistical A/B over two checkouts, feed the raw output files
+# to benchstat (golang.org/x/perf) instead.
 #
 #   COUNT=6 ./scripts/bench.sh        # repetitions (default 6)
-#   OUT=BENCH_similarity.json         # output path override
+#   OUT=BENCH_similarity.json         # similarity output path override
+#   PIPE_OUT=BENCH_pipeline.json      # pipeline output path override
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-6}"
 OUT="${OUT:-BENCH_similarity.json}"
+PIPE_OUT="${PIPE_OUT:-BENCH_pipeline.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -52,3 +60,35 @@ awk -v out="$OUT" '
 
 echo "== wrote $OUT"
 cat "$OUT"
+
+echo "== go test -bench 'Benchmark(Pipeline|Legacy)ThreeLine' -count $COUNT"
+go test -run '^$' -bench 'Benchmark(Pipeline|Legacy)ThreeLine$' \
+  -count "$COUNT" -timeout 20m . | tee "$RAW"
+
+awk -v out="$PIPE_OUT" '
+  /^Benchmark(Pipeline|Legacy)ThreeLine/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/ThreeLine-[0-9]+$/, "", name)
+    sub(/ThreeLine$/, "", name)
+    ns[name] += $3; runs[name]++
+  }
+  END {
+    if (runs["Pipeline"] == 0 || runs["Legacy"] == 0) {
+      print "bench.sh: missing Pipeline or Legacy benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    pn = ns["Pipeline"] / runs["Pipeline"]
+    ln = ns["Legacy"] / runs["Legacy"]
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkThreeLinePipelineVsLegacy\",\n" >> out
+    printf "  \"count\": %d,\n", runs["Pipeline"] >> out
+    printf "  \"pipeline\": {\"ns_per_op\": %.1f},\n", pn >> out
+    printf "  \"legacy\": {\"ns_per_op\": %.1f},\n", ln >> out
+    printf "  \"overhead\": %.3f\n", pn / ln >> out
+    printf "}\n" >> out
+  }
+' "$RAW"
+
+echo "== wrote $PIPE_OUT"
+cat "$PIPE_OUT"

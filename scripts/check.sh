@@ -15,6 +15,17 @@ go vet ./...
 echo "== go run ./cmd/smlint ./..."
 go run ./cmd/smlint ./...
 
+# The execution layer and the engines under it are the concurrency
+# hot spots (cursor fan-out, block scheduling); surface a race there
+# as its own failure before the full suite runs. The engine layering
+# check rides along so an engine that re-imports a task package fails
+# fast with a named step.
+echo "== go test -race ./internal/exec/... ./internal/engine/... (pipeline + engines)"
+go test -race ./internal/exec/... ./internal/engine/...
+
+echo "== go run ./cmd/smlint ./internal/engine/... (engine layering)"
+go run ./cmd/smlint ./internal/engine/...
+
 echo "== go test -race ./..."
 go test -race ./...
 
