@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 
 	"github.com/smartmeter/smartbench/internal/benchmark"
+	"github.com/smartmeter/smartbench/internal/core"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func runExperiments(args []string) error {
 	scaleName := fs.String("scale", "default", "workload scale: small or default")
 	workdir := fs.String("workdir", "", "working directory (default: a temp dir)")
 	seed := fs.Int64("seed", 42, "data generation seed")
+	prefetchName := fs.String("prefetch", "auto", "extraction prefetcher: auto (overlap when eligible) or off (serial extraction)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +72,15 @@ func runExperiments(args []string) error {
 		scale = benchmark.DefaultScale()
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	var prefetch core.PrefetchMode
+	switch *prefetchName {
+	case "auto":
+		prefetch = core.PrefetchAuto
+	case "off":
+		prefetch = core.PrefetchOff
+	default:
+		return fmt.Errorf("unknown prefetch mode %q (want auto or off)", *prefetchName)
 	}
 	dir := *workdir
 	if dir == "" {
@@ -95,9 +106,10 @@ func runExperiments(args []string) error {
 	}
 	for _, e := range experiments {
 		opts := benchmark.Options{
-			WorkDir: filepath.Join(dir, e.ID),
-			Scale:   scale,
-			Seed:    *seed,
+			WorkDir:  filepath.Join(dir, e.ID),
+			Scale:    scale,
+			Seed:     *seed,
+			Prefetch: prefetch,
 		}
 		rep, err := e.Run(opts)
 		if err != nil {
@@ -119,5 +131,6 @@ commands:
       -scale small|default   workload size (default: default)
       -workdir DIR           keep generated data here
       -seed N                data generation seed
+      -prefetch auto|off     overlapped extraction (default: auto; off pins the serial path)
 `)
 }

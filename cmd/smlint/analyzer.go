@@ -62,6 +62,7 @@ var analyzers = []*Analyzer{
 	goroutinecaptureAnalyzer,
 	errdropAnalyzer,
 	enginelayeringAnalyzer,
+	timenowAnalyzer,
 }
 
 // runAnalyzers applies every analyzer to the package and returns the

@@ -72,6 +72,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{goroutinecaptureAnalyzer, "goroutinecapture", true},
 		{errdropAnalyzer, "errdrop", true},
 		{enginelayeringAnalyzer, "enginelayering/internal/engine/badengine", true},
+		{timenowAnalyzer, "timenow", true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.dir, func(t *testing.T) {

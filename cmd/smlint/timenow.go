@@ -1,0 +1,173 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// timenowAnalyzer guards the pipeline's phase accounting: a goroutine
+// spawned inside a loop must not write a time.Since/time.Now
+// measurement to a struct field captured from the enclosing scope
+// (ph.Extract.Wall += time.Since(t0) inside every worker races the
+// other workers and undercounts busy time). The sanctioned pattern is a
+// per-worker accumulator slot — busy[w] += time.Since(t0) — summed
+// after the joins, which is exactly what internal/exec does; writes
+// through an index expression are therefore never flagged, nor are
+// writes to variables declared inside the spawned closure itself.
+var timenowAnalyzer = &Analyzer{
+	Name: "timenow",
+	Doc:  "flags time.Since/time.Now written to captured struct fields inside goroutines spawned in loops",
+	Run:  runTimenow,
+}
+
+func runTimenow(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				body = loop.Body
+			case *ast.ForStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(inner ast.Node) bool {
+				g, ok := inner.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				checkTimeWrites(p, lit)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// checkTimeWrites walks one spawned closure and reports assignments
+// whose right side measures time (time.Since or time.Now) and whose
+// left side is a field of a variable captured from outside the closure.
+func checkTimeWrites(p *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		measures := false
+		for _, rhs := range as.Rhs {
+			if callsTimeMeasure(p, rhs) {
+				measures = true
+				break
+			}
+		}
+		if !measures {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				// Plain identifiers and index expressions (the per-worker
+				// accumulator pattern) are safe by convention.
+				continue
+			}
+			base, indexed := selBase(sel)
+			if indexed {
+				// busy[w].Field — still a per-worker slot.
+				continue
+			}
+			obj := p.Info.Uses[base]
+			if obj == nil || !capturedFrom(obj, lit) {
+				continue
+			}
+			p.Reportf(lhs.Pos(), "time measurement written to captured field %s inside a spawned goroutine; use a per-worker accumulator (e.g. busy[w]) and sum after the joins", exprString(sel))
+		}
+		return true
+	})
+}
+
+// callsTimeMeasure reports whether expr contains a call to time.Since
+// or time.Now.
+func callsTimeMeasure(p *Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Since" && sel.Sel.Name != "Now" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if ok && pn.Imported().Path() == "time" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// selBase resolves the innermost identifier of a selector chain
+// (ph.Extract.Wall -> ph). indexed reports whether the chain passes
+// through an index expression, meaning the write lands in a dedicated
+// slot rather than a shared field.
+func selBase(sel *ast.SelectorExpr) (base *ast.Ident, indexed bool) {
+	e := sel.X
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, indexed
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			indexed = true
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, indexed
+		}
+	}
+}
+
+// capturedFrom reports whether obj is declared outside lit, i.e. the
+// closure captures it from the enclosing scope.
+func capturedFrom(obj types.Object, lit *ast.FuncLit) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}
+
+// exprString renders a selector chain for the diagnostic.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	default:
+		return "?"
+	}
+}

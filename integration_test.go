@@ -84,21 +84,35 @@ func TestAllEnginesAgree(t *testing.T) {
 			t.Fatalf("%s load: %v", e.Name(), err)
 		}
 	}
+	// Each task runs twice per engine: once with the prefetcher free to
+	// overlap extraction over partitioned cursors, once pinned to the
+	// serial path. Both must match the single-threaded reference — the
+	// reorder stage makes the overlapped path indistinguishable from
+	// serial in its output.
+	modes := []struct {
+		name     string
+		prefetch core.PrefetchMode
+	}{
+		{"prefetch", core.PrefetchAuto},
+		{"serial", core.PrefetchOff},
+	}
 	for _, task := range core.Tasks {
-		spec := core.Spec{Task: task, K: 3}
-		want, err := core.RunReference(ref, spec)
+		want, err := core.RunReference(ref, core.Spec{Task: task, K: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, e := range engines {
-			got, err := e.Run(spec)
-			if err != nil {
-				t.Fatalf("%s %v: %v", e.Name(), task, err)
+		for _, m := range modes {
+			spec := core.Spec{Task: task, K: 3, Workers: 4, Prefetch: m.prefetch}
+			for _, e := range engines {
+				got, err := e.Run(spec)
+				if err != nil {
+					t.Fatalf("%s %v (%s): %v", e.Name(), task, m.name, err)
+				}
+				if got.Count() != want.Count() {
+					t.Fatalf("%s %v (%s): count %d vs %d", e.Name(), task, m.name, got.Count(), want.Count())
+				}
+				assertResultsEqual(t, e.Name(), got, want)
 			}
-			if got.Count() != want.Count() {
-				t.Fatalf("%s %v: count %d vs %d", e.Name(), task, got.Count(), want.Count())
-			}
-			assertResultsEqual(t, e.Name(), got, want)
 		}
 	}
 }

@@ -75,7 +75,7 @@ func Fig11(opts Options) (*Report, error) {
 			if _, err := colE.Load(srcs.unpartRPL); err != nil {
 				return nil, err
 			}
-			dCol, err := timeEngine(colE, core.Spec{Task: task, Workers: 8})
+			dCol, err := timeEngine(colE, core.Spec{Task: task, Workers: 8, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, err
 			}
@@ -85,11 +85,11 @@ func Fig11(opts Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			dSpark, err := timeEngine(spark, core.Spec{Task: task})
+			dSpark, err := timeEngine(spark, core.Spec{Task: task, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, err
 			}
-			dHive, err := timeEngine(hive, core.Spec{Task: task})
+			dHive, err := timeEngine(hive, core.Spec{Task: task, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, err
 			}
@@ -128,15 +128,15 @@ func Fig12(opts Options) (*Report, error) {
 		return nil, err
 	}
 	for _, task := range core.Tasks {
-		dCol, err := timeEngine(colE, core.Spec{Task: task, Workers: 8})
+		dCol, err := timeEngine(colE, core.Spec{Task: task, Workers: 8, Prefetch: opts.Prefetch})
 		if err != nil {
 			return nil, err
 		}
-		dSpark, err := timeEngine(spark, core.Spec{Task: task})
+		dSpark, err := timeEngine(spark, core.Spec{Task: task, Prefetch: opts.Prefetch})
 		if err != nil {
 			return nil, err
 		}
-		dHive, err := timeEngine(hive, core.Spec{Task: task})
+		dHive, err := timeEngine(hive, core.Spec{Task: task, Prefetch: opts.Prefetch})
 		if err != nil {
 			return nil, err
 		}
@@ -174,11 +174,11 @@ func formatExecTimes(opts Options, id, title string, write func(n int) (*meterda
 			if err != nil {
 				return nil, err
 			}
-			dSpark, err := timeEngine(spark, core.Spec{Task: task})
+			dSpark, err := timeEngine(spark, core.Spec{Task: task, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, fmt.Errorf("%s %v spark: %w", id, task, err)
 			}
-			dHive, err := timeEngine(hive, core.Spec{Task: task})
+			dHive, err := timeEngine(hive, core.Spec{Task: task, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, fmt.Errorf("%s %v hive: %w", id, task, err)
 			}
@@ -251,11 +251,11 @@ func nodeSweep(opts Options, id, title string, src *meterdata.Source, hiveOpts [
 			return nil, err
 		}
 		for _, task := range tasks {
-			dSpark, err := timeEngine(spark, core.Spec{Task: task})
+			dSpark, err := timeEngine(spark, core.Spec{Task: task, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, err
 			}
-			dHive, err := timeEngine(hive, core.Spec{Task: task})
+			dHive, err := timeEngine(hive, core.Spec{Task: task, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, err
 			}
@@ -315,12 +315,12 @@ func Fig15(opts Options) (*Report, error) {
 			}
 			cluster := fsys.Cluster()
 			cluster.ResetStats()
-			if _, err := spark.Run(core.Spec{Task: task}); err != nil {
+			if _, err := spark.Run(core.Spec{Task: task, Prefetch: opts.Prefetch}); err != nil {
 				return nil, err
 			}
 			sparkMem := cluster.Stats().PeakMemory()
 			cluster.ResetStats()
-			if _, err := hive.Run(core.Spec{Task: task}); err != nil {
+			if _, err := hive.Run(core.Spec{Task: task, Prefetch: opts.Prefetch}); err != nil {
 				return nil, err
 			}
 			hiveMem := cluster.Stats().PeakMemory()
@@ -381,11 +381,11 @@ func Fig18(opts Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			dSpark, err := timeEngine(spark, core.Spec{Task: task})
+			dSpark, err := timeEngine(spark, core.Spec{Task: task, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, err
 			}
-			dUDTF, err := timeEngine(hiveUDTF, core.Spec{Task: task})
+			dUDTF, err := timeEngine(hiveUDTF, core.Spec{Task: task, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, err
 			}
@@ -393,7 +393,7 @@ func Fig18(opts Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			dUDAF, err := timeEngine(hiveUDAF, core.Spec{Task: task})
+			dUDAF, err := timeEngine(hiveUDAF, core.Spec{Task: task, Prefetch: opts.Prefetch})
 			if err != nil {
 				return nil, err
 			}
@@ -455,7 +455,7 @@ func TaskSweep(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		d, err := timeEngine(hive, core.Spec{Task: core.TaskThreeLine})
+		d, err := timeEngine(hive, core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
 		if err != nil {
 			return nil, err
 		}

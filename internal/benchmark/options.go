@@ -5,6 +5,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/distsim"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/seed"
@@ -20,6 +21,12 @@ type Options struct {
 	Scale Scale
 	// Seed drives all data generation.
 	Seed int64
+	// Prefetch pins the execution pipeline's extraction mode for every
+	// experiment Spec: the zero value lets eligible runs overlap
+	// extraction with compute, PrefetchOff forces the serial path
+	// (cmd/smbench -prefetch=off), which is the escape hatch for
+	// comparing against pre-overlap numbers.
+	Prefetch core.PrefetchMode
 }
 
 // Scale sizes an experiment suite. The paper's absolute sizes (10 GB to

@@ -60,6 +60,22 @@ func (t Task) String() string {
 	}
 }
 
+// PrefetchMode selects how the execution pipeline drives extraction.
+type PrefetchMode int
+
+const (
+	// PrefetchAuto (the zero value) lets the pipeline overlap extraction
+	// with compute whenever the engine exposes disjoint partition
+	// cursors (PartitionedSource), the task streams per-consumer, and
+	// more than one worker is in play; otherwise extraction stays
+	// serial.
+	PrefetchAuto PrefetchMode = iota
+	// PrefetchOff forces the serial single-cursor extract path — the
+	// A/B baseline for the overlapped pipeline (scripts/bench.sh,
+	// BENCH_extract.json) and the `smbench -prefetch=off` escape hatch.
+	PrefetchOff
+)
+
 // Spec parameterizes a task execution.
 type Spec struct {
 	Task Task
@@ -72,6 +88,10 @@ type Spec struct {
 	// Workers is the intra-engine parallelism degree; 0 or 1 means
 	// single-threaded (paper §5.3.3 vs §5.3.4).
 	Workers int
+	// Prefetch gates the overlapped extraction path (PrefetchAuto
+	// overlaps when possible; PrefetchOff pins the serial extract).
+	// Either way results are bit-identical to RunReference.
+	Prefetch PrefetchMode
 }
 
 // WithDefaults returns the spec with unset parameters filled in.

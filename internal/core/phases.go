@@ -5,7 +5,13 @@ import "time"
 // PhaseStat describes one stage of the execution pipeline for a single
 // Run: how long it took and how much data moved through it.
 type PhaseStat struct {
-	// Wall is the stage's accumulated wall-clock time.
+	// Wall is the stage's accumulated busy time: on the serial path the
+	// stages alternate on one goroutine, so it equals elapsed wall
+	// clock; under the overlapped prefetch path it is the sum of the
+	// per-goroutine busy-time accumulators of the stage's extract or
+	// compute goroutines, gathered after the joins. Busy sums stay
+	// truthful under overlap — the stages run concurrently, so their
+	// summed busy time can (and should) exceed the Run's elapsed time.
 	Wall time.Duration
 	// Rows is the number of consumer series the stage handled.
 	Rows int64
@@ -34,7 +40,10 @@ type Phases struct {
 	T3Adjust     time.Duration
 }
 
-// Total returns the summed wall-clock time of all three stages.
+// Total returns the summed busy time of all three stages. On the
+// serial path this equals the Run's elapsed time; under overlapped
+// extraction it is an upper bound on it (work done concurrently counts
+// once per goroutine).
 func (p *Phases) Total() time.Duration {
 	return p.Extract.Wall + p.Compute.Wall + p.Emit.Wall
 }

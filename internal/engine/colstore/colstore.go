@@ -160,6 +160,41 @@ func (e *Engine) NewCursor() (core.Cursor, error) {
 	return newSegmentCursor(e, e.image)
 }
 
+// NewCursors implements core.PartitionedSource: contiguous groups of
+// consumer segments, each decoded into its own flat buffer. After Warm
+// (or a completed cold run) the partitions are range shards of the
+// decoded arrays instead.
+func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("colstore: NewCursors: max must be >= 1, got %d", max)
+	}
+	if e.decoded != nil {
+		series := e.decoded.Series
+		curs := make([]core.Cursor, 0, max)
+		for _, r := range core.PartitionRanges(len(series), max) {
+			part := series[r[0]:r[1]]
+			curs = append(curs, core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+				return part, nil
+			}, nil))
+		}
+		return curs, nil
+	}
+	if err := e.ensureImage(); err != nil {
+		return nil, err
+	}
+	consumers, n, err := parseHeader(e.image)
+	if err != nil {
+		return nil, err
+	}
+	curs := make([]core.Cursor, 0, max)
+	for _, r := range core.PartitionRanges(consumers, max) {
+		curs = append(curs, &segmentRangeCursor{img: e.image, n: n, lo: r[0], hi: r[1]})
+	}
+	return curs, nil
+}
+
+var _ core.PartitionedSource = (*Engine)(nil)
+
 // Temperature implements core.Engine, decoding the temperature column
 // from the segment image when no decoded dataset is resident.
 func (e *Engine) Temperature() (*timeseries.Temperature, error) {

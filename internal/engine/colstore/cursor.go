@@ -78,3 +78,49 @@ func (c *segmentCursor) Close() error {
 
 // SizeHint is exact: the header records the consumer count.
 func (c *segmentCursor) SizeHint() (int, bool) { return c.consumers, true }
+
+// segmentRangeCursor decodes one contiguous group of consumer segments
+// [lo, hi) — a partition cursor. Each partition owns its own flat
+// buffer so concurrent decode goroutines never share a write target,
+// and unlike the full-image cursor it never installs the decoded
+// dataset on the engine (that cache is the serial path's and Warm's
+// job; installing from racing partitions would need synchronization for
+// no benefit).
+type segmentRangeCursor struct {
+	img    []byte
+	n      int
+	lo, hi int
+	flat   []float64
+	i      int // offset from lo
+	closed bool
+}
+
+func (c *segmentRangeCursor) Next() (*timeseries.Series, error) {
+	if c.closed || c.lo+c.i >= c.hi {
+		return nil, io.EOF
+	}
+	if c.flat == nil {
+		c.flat = make([]float64, (c.hi-c.lo)*c.n)
+	}
+	off := headerSize + 8*c.n + (c.lo+c.i)*(8+8*c.n)
+	id := timeseries.ID(binary.LittleEndian.Uint64(c.img[off:]))
+	row := c.flat[c.i*c.n : (c.i+1)*c.n]
+	decodeColumnInto(row, c.img[off+8:off+8+8*c.n])
+	c.i++
+	return &timeseries.Series{ID: id, Readings: row}, nil
+}
+
+func (c *segmentRangeCursor) Reset() error {
+	// The flat buffer is reused; re-decoding writes identical values.
+	c.i = 0
+	c.closed = false
+	return nil
+}
+
+func (c *segmentRangeCursor) Close() error {
+	c.closed = true
+	c.flat = nil
+	return nil
+}
+
+func (c *segmentRangeCursor) SizeHint() (int, bool) { return c.hi - c.lo, true }

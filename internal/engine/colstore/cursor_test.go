@@ -48,6 +48,33 @@ func TestCursorConformance(t *testing.T) {
 	})
 }
 
+func TestPartitionConformance(t *testing.T) {
+	src, _ := writeSource(t, 7, 10)
+
+	t.Run("Cold", func(t *testing.T) {
+		e := New(t.TempDir())
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource {
+			// Keep every pass on the image-decoding path.
+			e.decoded = nil
+			return e
+		})
+	})
+
+	t.Run("Warm", func(t *testing.T) {
+		e := New(t.TempDir())
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+	})
+}
+
 func TestSegmentCursorInstallsDecoded(t *testing.T) {
 	src, _ := writeSource(t, 4, 10)
 	e := New(t.TempDir())

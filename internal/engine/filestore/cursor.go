@@ -5,7 +5,9 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
+	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
@@ -25,6 +27,15 @@ func newFileCursor(src *meterdata.Source) *fileCursor {
 	return &fileCursor{src: src, paths: src.Paths()}
 }
 
+// newFileCursorPaths opens a cursor over a shard of the source's file
+// list (a partition cursor). The full path list is in ascending
+// household order by construction (meterdata.WritePartitioned appends
+// files in dataset order), so contiguous shards are ID-disjoint and
+// each shard streams in ascending order.
+func newFileCursorPaths(src *meterdata.Source, paths []string) *fileCursor {
+	return &fileCursor{src: src, paths: paths}
+}
+
 func (c *fileCursor) Next() (*timeseries.Series, error) {
 	if c.closed {
 		return nil, io.EOF
@@ -41,6 +52,11 @@ func (c *fileCursor) Next() (*timeseries.Series, error) {
 		c.pending = series
 	}
 	s := c.pending[0]
+	// Nil the popped slot: the re-slice below keeps the backing array
+	// alive until the file is drained, and a non-nil slot would pin the
+	// handed-out series for that whole time even after the pipeline is
+	// done with it.
+	c.pending[0] = nil
 	c.pending = c.pending[1:]
 	return s, nil
 }
@@ -165,4 +181,115 @@ func (c *indexCursor) SizeHint() (int, bool) {
 		return 0, false
 	}
 	return len(c.ids), true
+}
+
+// sharedIndex is the big-file reading index built once and shared by a
+// set of partition cursors over an unpartitioned reading-per-line
+// source. The build cost is paid by whichever cursor reaches its first
+// Next first (the others block in the Once); each partition cursor then
+// extracts its own consumer-ID range with the same full-index scan per
+// consumer that the serial indexCursor models. The index is dropped when
+// the last cursor closes.
+type sharedIndex struct {
+	src   *meterdata.Source
+	once  sync.Once
+	err   error
+	temp  *timeseries.Temperature
+	index []meterdata.Reading
+	ids   []timeseries.ID
+
+	mu   sync.Mutex
+	open int // cursors not yet closed; the index is dropped at zero
+}
+
+func (x *sharedIndex) ensure() error {
+	x.once.Do(func() {
+		c := newIndexCursor(x.src)
+		if err := c.build(); err != nil {
+			x.err = err
+			return
+		}
+		x.temp, x.index, x.ids = c.temp, c.index, c.ids
+	})
+	return x.err
+}
+
+func (x *sharedIndex) release() {
+	x.mu.Lock()
+	x.open--
+	if x.open == 0 {
+		x.index, x.ids = nil, nil
+	}
+	x.mu.Unlock()
+}
+
+// indexPartCursor is one partition of the shared big-file index: the
+// consumers whose rank in the sorted ID list falls into partition
+// `part` of `parts`. Ranges are computed lazily because the ID set is
+// unknown until the index is built.
+type indexPartCursor struct {
+	idx         *sharedIndex
+	part, parts int
+	lo, hi      int // [lo, hi) into idx.ids, valid once ranged
+	i           int // offset from lo
+	ranged      bool
+	closed      bool
+}
+
+func (c *indexPartCursor) Next() (*timeseries.Series, error) {
+	if c.closed {
+		return nil, io.EOF
+	}
+	if err := c.idx.ensure(); err != nil {
+		return nil, err
+	}
+	if !c.ranged {
+		ranges := core.PartitionRanges(len(c.idx.ids), c.parts)
+		if c.part < len(ranges) {
+			c.lo, c.hi = ranges[c.part][0], ranges[c.part][1]
+		}
+		c.ranged = true
+	}
+	if c.lo+c.i >= c.hi {
+		return nil, io.EOF
+	}
+	id := c.idx.ids[c.lo+c.i]
+	// Same cost model as the serial indexCursor: one full index scan per
+	// extracted consumer.
+	a := meterdata.NewAssembler(len(c.idx.temp.Values))
+	for _, r := range c.idx.index {
+		if r.ID != id {
+			continue
+		}
+		if err := a.Add(r); err != nil {
+			return nil, fmt.Errorf("filestore: %w", err)
+		}
+	}
+	series := a.Series()
+	if len(series) != 1 {
+		return nil, fmt.Errorf("filestore: index scan for household %d yielded %d series", id, len(series))
+	}
+	c.i++
+	return series[0], nil
+}
+
+func (c *indexPartCursor) Reset() error {
+	c.i = 0
+	c.closed = false
+	return nil
+}
+
+func (c *indexPartCursor) Close() error {
+	if !c.closed {
+		c.closed = true
+		c.idx.release()
+	}
+	return nil
+}
+
+func (c *indexPartCursor) SizeHint() (int, bool) {
+	if !c.ranged {
+		return 0, false
+	}
+	return c.hi - c.lo, true
 }

@@ -1,11 +1,14 @@
 package filestore
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/exec/cursortest"
 	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
 func TestCursorConformance(t *testing.T) {
@@ -88,4 +91,99 @@ func TestCursorConformance(t *testing.T) {
 			return cur
 		})
 	})
+}
+
+func TestPartitionConformance(t *testing.T) {
+	ds := makeDataset(t, 7, 10)
+
+	t.Run("PartitionedFiles", func(t *testing.T) {
+		src, err := meterdata.WritePartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New()
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+	})
+
+	t.Run("UnpartitionedIndex", func(t *testing.T) {
+		src, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New()
+		if _, err := e.LoadDirect(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+	})
+
+	t.Run("UnpartitionedSeriesPerLine", func(t *testing.T) {
+		src, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatSeriesPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New()
+		if _, err := e.LoadDirect(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+	})
+
+	t.Run("Warm", func(t *testing.T) {
+		src, err := meterdata.WritePartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New()
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+	})
+}
+
+// TestFileCursorReleasesPoppedSeries pins the collectability fix in
+// fileCursor.Next: once a series has been handed out and dropped by the
+// caller, the cursor's pending backlog must not keep it alive (the
+// popped slot is nil'd before the re-slice).
+func TestFileCursorReleasesPoppedSeries(t *testing.T) {
+	ds := makeDataset(t, 6, 10)
+	dir := t.TempDir()
+	// One multi-series file so the cursor holds a real backlog.
+	src, err := meterdata.WriteGrouped(dir, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := newFileCursor(src)
+	defer cur.Close()
+
+	s, err := cur.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.pending) == 0 {
+		t.Fatal("test needs a pending backlog; got none")
+	}
+	collected := make(chan struct{})
+	runtime.SetFinalizer(s, func(*timeseries.Series) { close(collected) })
+	s = nil
+
+	deadline := time.After(2 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatal("popped series not collected: fileCursor retains it via pending")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
 }

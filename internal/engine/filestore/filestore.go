@@ -180,6 +180,57 @@ func (e *Engine) NewCursor() (core.Cursor, error) {
 	}, nil), nil
 }
 
+// NewCursors implements core.PartitionedSource. Partitions mirror the
+// engine's native extraction paths: range shards of the in-memory
+// arrays after Warm, contiguous shards of the per-consumer file list
+// for a partitioned source (the list is in ascending household order by
+// construction), and consumer-ID ranges of the shared big-file index
+// for an unpartitioned reading-per-line source. An unpartitioned
+// series-per-line source is one sequential read, so it yields a single
+// cursor — the serial fallback.
+func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("filestore: NewCursors: max must be >= 1, got %d", max)
+	}
+	if e.src == nil {
+		return nil, fmt.Errorf("filestore: %w", core.ErrNotLoaded)
+	}
+	if e.cache != nil {
+		series := e.cache.Series
+		curs := make([]core.Cursor, 0, max)
+		for _, r := range core.PartitionRanges(len(series), max) {
+			part := series[r[0]:r[1]]
+			curs = append(curs, core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+				return part, nil
+			}, nil))
+		}
+		return curs, nil
+	}
+	if e.src.Partitioned {
+		paths := e.src.Paths()
+		curs := make([]core.Cursor, 0, max)
+		for _, r := range core.PartitionRanges(len(paths), max) {
+			curs = append(curs, newFileCursorPaths(e.src, paths[r[0]:r[1]]))
+		}
+		return curs, nil
+	}
+	if e.src.Format == meterdata.FormatReadingPerLine {
+		idx := &sharedIndex{src: e.src, open: max}
+		curs := make([]core.Cursor, max)
+		for p := range curs {
+			curs[p] = &indexPartCursor{idx: idx, part: p, parts: max}
+		}
+		return curs, nil
+	}
+	cur, err := e.NewCursor()
+	if err != nil {
+		return nil, err
+	}
+	return []core.Cursor{cur}, nil
+}
+
+var _ core.PartitionedSource = (*Engine)(nil)
+
 // Temperature implements core.Engine.
 func (e *Engine) Temperature() (*timeseries.Temperature, error) {
 	if e.cache != nil {

@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/distsim"
@@ -214,27 +215,98 @@ func (e *Engine) NewCursor() (core.Cursor, error) {
 		var err error
 		switch style {
 		case StyleUDF:
-			values, err = e.extractUDF()
+			values, err = e.extractUDF(e.inputs)
 		case StyleUDTF:
-			values, err = e.extractUDTF()
+			values, err = e.extractUDTF(e.inputs)
 		default:
 			values, err = e.extractUDAF()
 		}
 		if err != nil {
 			return nil, err
 		}
-		series := make([]*timeseries.Series, 0, len(values))
-		for _, v := range values {
-			s, ok := v.(*timeseries.Series)
-			if !ok {
-				return nil, fmt.Errorf("mapreduce: expected series value, got %T", v)
-			}
-			series = append(series, s)
-		}
-		sort.Slice(series, func(i, j int) bool { return series[i].ID < series[j].ID })
-		return series, nil
+		return seriesFromValues(values)
 	}, nil), nil
 }
+
+// seriesFromValues converts a job's emitted values to series sorted by
+// household ID.
+func seriesFromValues(values []interface{}) ([]*timeseries.Series, error) {
+	series := make([]*timeseries.Series, 0, len(values))
+	for _, v := range values {
+		s, ok := v.(*timeseries.Series)
+		if !ok {
+			return nil, fmt.Errorf("mapreduce: expected series value, got %T", v)
+		}
+		series = append(series, s)
+	}
+	sort.Slice(series, func(i, j int) bool { return series[i].ID < series[j].ID })
+	return series, nil
+}
+
+// NewCursors implements core.PartitionedSource for the map-only plans:
+// UDF and UDTF jobs have no shuffle, and every household is whole
+// within one input file, so sharding the DFS file list yields disjoint
+// extraction jobs that preserve data locality split by split. Each
+// cursor runs its own map-only job over its shard on first Next; the
+// temperature broadcast is shared and happens once. The UDAF plan
+// funnels through a cluster-wide shuffle into one reduce output stream,
+// so it (like single-file inputs) falls back to a single cursor.
+func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("mapreduce: NewCursors: max must be >= 1, got %d", max)
+	}
+	if len(e.inputs) == 0 {
+		return nil, fmt.Errorf("mapreduce: %w", core.ErrNotLoaded)
+	}
+	style, err := e.effectiveStyle()
+	if err != nil {
+		return nil, err
+	}
+	single := func() ([]core.Cursor, error) {
+		cur, err := e.NewCursor()
+		if err != nil {
+			return nil, err
+		}
+		return []core.Cursor{cur}, nil
+	}
+	switch style {
+	case StyleUDF:
+		if e.format != meterdata.FormatSeriesPerLine {
+			return nil, fmt.Errorf("mapreduce: UDF style needs series-per-line input, have %v", e.format)
+		}
+	case StyleUDTF:
+		if e.format != meterdata.FormatReadingPerLine {
+			return nil, fmt.Errorf("mapreduce: %v style needs reading-per-line input, have %v", style, e.format)
+		}
+	default:
+		return single()
+	}
+	if len(e.inputs) < 2 {
+		return single()
+	}
+	var bcast sync.Once
+	var curs []core.Cursor
+	for _, r := range core.PartitionRanges(len(e.inputs), max) {
+		shard := e.inputs[r[0]:r[1]]
+		curs = append(curs, core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+			bcast.Do(e.broadcastTemperature)
+			var values []interface{}
+			var err error
+			if style == StyleUDF {
+				values, err = e.extractUDF(shard)
+			} else {
+				values, err = e.extractUDTF(shard)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return seriesFromValues(values)
+		}, nil))
+	}
+	return curs, nil
+}
+
+var _ core.PartitionedSource = (*Engine)(nil)
 
 // Temperature implements core.Engine.
 func (e *Engine) Temperature() (*timeseries.Temperature, error) {
@@ -310,11 +382,12 @@ func (e *Engine) extractUDAF() ([]interface{}, error) {
 }
 
 // extractUDF is the format-2 plan: map-only, one whole series per line,
-// no shuffle.
-func (e *Engine) extractUDF() ([]interface{}, error) {
+// no shuffle. inputs may be a shard of the loaded file list (partition
+// cursors run one job per shard).
+func (e *Engine) extractUDF(inputs []string) ([]interface{}, error) {
 	job := &Job{
 		FS:         e.fs,
-		Inputs:     e.inputs,
+		Inputs:     inputs,
 		Splittable: true,
 		Map: func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error {
 			return meterdata.ScanSeries(split.Reader(), func(s *timeseries.Series) error {
@@ -327,11 +400,12 @@ func (e *Engine) extractUDF() ([]interface{}, error) {
 
 // extractUDTF is the format-3 plan: map-only over non-splittable files
 // with map-side aggregation (each household is whole within one file).
-func (e *Engine) extractUDTF() ([]interface{}, error) {
+// inputs may be a shard of the loaded file list.
+func (e *Engine) extractUDTF(inputs []string) ([]interface{}, error) {
 	tempLen := len(e.temp.Values)
 	job := &Job{
 		FS:         e.fs,
-		Inputs:     e.inputs,
+		Inputs:     inputs,
 		Splittable: false, // the customized isSplitable()==false input format
 		Map: func(split *dfs.Split, ctx *distsim.TaskCtx, emit func(Pair) error) error {
 			a := meterdata.NewAssembler(tempLen)

@@ -27,6 +27,20 @@ func TestCursorConformance(t *testing.T) {
 	}
 }
 
+func TestPartitionConformance(t *testing.T) {
+	srcs, _ := makeSources(t, 7, 10)
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			_, fs := testCtx(t, 4)
+			e := New(fs)
+			if _, err := e.Load(src); err != nil {
+				t.Fatal(err)
+			}
+			cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+		})
+	}
+}
+
 func TestCursorCloseUnpersists(t *testing.T) {
 	srcs, _ := makeSources(t, 4, 10)
 	_, fs := testCtx(t, 4)

@@ -289,13 +289,22 @@ func (d *Dataset) GroupByKey(numParts int) (*Dataset, error) {
 // Collect transfers every record to the driver and returns them in
 // partition order.
 func (d *Dataset) Collect() []Record {
-	moves := make([]distsim.Move, 0, len(d.parts))
-	for i, p := range d.parts {
-		moves = append(moves, distsim.Move{From: d.nodes[i], To: -1, Bytes: partitionBytes(p)})
+	return d.CollectRange(0, len(d.parts))
+}
+
+// CollectRange transfers the records of partitions [lo, hi) to the
+// driver and returns them in partition order. Disjoint ranges can be
+// collected concurrently: the transfer accounting is cluster-side and
+// thread-safe, and the partition slices are read-only after the job
+// that built them.
+func (d *Dataset) CollectRange(lo, hi int) []Record {
+	moves := make([]distsim.Move, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		moves = append(moves, distsim.Move{From: d.nodes[i], To: -1, Bytes: partitionBytes(d.parts[i])})
 	}
 	d.ctx.Cluster.TransferConcurrent(moves)
 	var out []Record
-	for _, p := range d.parts {
+	for _, p := range d.parts[lo:hi] {
 		out = append(out, p...)
 	}
 	return out

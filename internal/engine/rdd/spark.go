@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/distsim"
@@ -154,6 +155,102 @@ func (e *Engine) NewCursor() (core.Cursor, error) {
 		}
 	}), nil
 }
+
+// sharedJob is one extraction job shared by a set of partition cursors:
+// the broadcast + parse + persist runs once (paid by whichever cursor
+// reaches its first Next first), each cursor then collects only its own
+// range of the parsed RDD's partitions, and the last cursor to close
+// unpersists.
+type sharedJob struct {
+	e    *Engine
+	once sync.Once
+	err  error
+	ds   *Dataset
+
+	mu   sync.Mutex
+	open int
+}
+
+func (j *sharedJob) ensure() error {
+	j.once.Do(func() {
+		j.e.ctx.Broadcast(j.e.temp, int64(len(j.e.temp.Values)*8))
+		ds, err := j.e.allSeries()
+		if err != nil {
+			j.err = err
+			return
+		}
+		ds.Persist()
+		j.ds = ds
+	})
+	return j.err
+}
+
+func (j *sharedJob) release() {
+	j.mu.Lock()
+	j.open--
+	last := j.open == 0
+	j.mu.Unlock()
+	if last && j.ds != nil {
+		j.ds.Unpersist()
+	}
+}
+
+// NewCursors implements core.PartitionedSource: one cursor per group of
+// RDD partitions of the shared extraction job. Households are
+// hash-partitioned across the RDD (or grouped per input file), so each
+// cursor's ID set is disjoint from the others' but their ranges
+// interleave — the pipeline's reorder stage restores global order.
+func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("rdd: NewCursors: max must be >= 1, got %d", max)
+	}
+	if len(e.inputs) == 0 {
+		return nil, fmt.Errorf("rdd: %w", core.ErrNotLoaded)
+	}
+	// Cursor count comes from split metadata (known without running the
+	// job); each cursor's partition range is resolved lazily once the
+	// shared job has actually built the RDD.
+	splittable := e.format == meterdata.FormatSeriesPerLine || !e.grouped
+	splits, err := e.fs.Splits(e.inputs, splittable)
+	if err != nil {
+		return nil, err
+	}
+	n := max
+	if n > len(splits) {
+		n = len(splits)
+	}
+	if n < 1 {
+		n = 1
+	}
+	job := &sharedJob{e: e, open: n}
+	curs := make([]core.Cursor, n)
+	for p := 0; p < n; p++ {
+		p := p
+		curs[p] = core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+			if err := job.ensure(); err != nil {
+				return nil, err
+			}
+			ranges := core.PartitionRanges(job.ds.Partitions(), n)
+			if p >= len(ranges) {
+				return nil, nil
+			}
+			records := job.ds.CollectRange(ranges[p][0], ranges[p][1])
+			series := make([]*timeseries.Series, 0, len(records))
+			for _, rec := range records {
+				s, ok := rec.Value.(*timeseries.Series)
+				if !ok {
+					return nil, fmt.Errorf("rdd: expected series record, got %T", rec.Value)
+				}
+				series = append(series, s)
+			}
+			sort.Slice(series, func(i, j int) bool { return series[i].ID < series[j].ID })
+			return series, nil
+		}, func() { job.release() })
+	}
+	return curs, nil
+}
+
+var _ core.PartitionedSource = (*Engine)(nil)
 
 // Temperature implements core.Engine.
 func (e *Engine) Temperature() (*timeseries.Temperature, error) {

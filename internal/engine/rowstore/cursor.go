@@ -7,10 +7,13 @@ import (
 )
 
 // scanCursor extracts one consumer per Next with an index scan through
-// the buffer pool — the engine's native cold path. The pool is
-// single-threaded (one database connection per worker in the paper), so
-// extraction stays serial here; the pipeline fans out only the compute
-// stage.
+// the buffer pool — the engine's native cold path. The buffer pool is
+// not thread-safe (one database connection in the paper), so every
+// tuple read goes through readSeriesShared's engine-level lock; with a
+// single cursor the lock is uncontended and extraction is effectively
+// serial, while partition cursors (rangeCursor) interleave their index
+// scans through the same pool the way concurrent connections share
+// shared_buffers.
 type scanCursor struct {
 	e      *Engine
 	i      int
@@ -21,12 +24,9 @@ func (c *scanCursor) Next() (*timeseries.Series, error) {
 	if c.closed || c.i >= len(c.e.ids) {
 		return nil, io.EOF
 	}
-	s, temp, err := c.e.table.readSeries(c.e.ids[c.i])
+	s, err := c.e.readSeriesShared(c.e.ids[c.i])
 	if err != nil {
 		return nil, err
-	}
-	if c.e.temp == nil {
-		c.e.temp = temp
 	}
 	c.i++
 	return s, nil
@@ -45,3 +45,40 @@ func (c *scanCursor) Close() error {
 
 // SizeHint is exact: the B+tree knows every household.
 func (c *scanCursor) SizeHint() (int, bool) { return len(c.e.ids), true }
+
+// rangeCursor is one partition of the heap: the households whose rank in
+// the sorted ID list falls into [lo, hi). Tuples are bulk-loaded in
+// ascending household order, so a contiguous ID range is a contiguous
+// heap-page range — partition cursors mostly touch disjoint pages and
+// contend only on the shared buffer pool latch.
+type rangeCursor struct {
+	e      *Engine
+	lo, hi int
+	i      int
+	closed bool
+}
+
+func (c *rangeCursor) Next() (*timeseries.Series, error) {
+	if c.closed || c.lo+c.i >= c.hi {
+		return nil, io.EOF
+	}
+	s, err := c.e.readSeriesShared(c.e.ids[c.lo+c.i])
+	if err != nil {
+		return nil, err
+	}
+	c.i++
+	return s, nil
+}
+
+func (c *rangeCursor) Reset() error {
+	c.i = 0
+	c.closed = false
+	return nil
+}
+
+func (c *rangeCursor) Close() error {
+	c.closed = true
+	return nil
+}
+
+func (c *rangeCursor) SizeHint() (int, bool) { return c.hi - c.lo, true }

@@ -61,3 +61,28 @@ func TestCursorConformance(t *testing.T) {
 		})
 	})
 }
+
+func TestPartitionConformance(t *testing.T) {
+	src, _ := writeSource(t, 7, 10)
+
+	t.Run("Cold", func(t *testing.T) {
+		e := New(t.TempDir())
+		defer e.Close()
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+	})
+
+	t.Run("Warm", func(t *testing.T) {
+		e := New(t.TempDir())
+		defer e.Close()
+		if _, err := e.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+	})
+}

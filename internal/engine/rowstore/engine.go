@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/exec"
@@ -28,6 +29,13 @@ type Engine struct {
 	ids   []timeseries.ID
 	cache *timeseries.Dataset
 	temp  *timeseries.Temperature
+
+	// readMu serializes tuple extraction: the buffer pool and B+tree are
+	// not thread-safe, so concurrent partition cursors take this lock
+	// per readSeries — the analogue of connections contending on the
+	// shared buffer latch. heap.get copies tuple bytes out before
+	// unpinning, so nothing pool-owned escapes the critical section.
+	readMu sync.Mutex
 }
 
 // Option configures the engine.
@@ -275,6 +283,54 @@ func (e *Engine) NewCursor() (core.Cursor, error) {
 	return &scanCursor{e: e}, nil
 }
 
+// NewCursors implements core.PartitionedSource: contiguous household
+// ranges of the sorted ID list, which are contiguous heap-page ranges
+// because Load inserts tuples in household order. All range cursors
+// funnel through readSeriesShared, sharing the single buffer pool under
+// the engine's read lock.
+func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("rowstore: NewCursors: max must be >= 1, got %d", max)
+	}
+	if e.table == nil {
+		return nil, fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
+	}
+	if e.cache != nil {
+		series := e.cache.Series
+		curs := make([]core.Cursor, 0, max)
+		for _, r := range core.PartitionRanges(len(series), max) {
+			part := series[r[0]:r[1]]
+			curs = append(curs, core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+				return part, nil
+			}, nil))
+		}
+		return curs, nil
+	}
+	curs := make([]core.Cursor, 0, max)
+	for _, r := range core.PartitionRanges(len(e.ids), max) {
+		curs = append(curs, &rangeCursor{e: e, lo: r[0], hi: r[1]})
+	}
+	return curs, nil
+}
+
+var _ core.PartitionedSource = (*Engine)(nil)
+
+// readSeriesShared is the one extraction path every cursor uses: it
+// holds readMu across the index scan and tuple decode, and memoizes the
+// temperature column read alongside the first consumer.
+func (e *Engine) readSeriesShared(id timeseries.ID) (*timeseries.Series, error) {
+	e.readMu.Lock()
+	defer e.readMu.Unlock()
+	s, temp, err := e.table.readSeries(id)
+	if err != nil {
+		return nil, err
+	}
+	if e.temp == nil {
+		e.temp = temp
+	}
+	return s, nil
+}
+
 // Temperature implements core.Engine. The temperature column is read
 // alongside the first consumer's tuples and cached until the next
 // Load/Open/Release.
@@ -291,12 +347,10 @@ func (e *Engine) Temperature() (*timeseries.Temperature, error) {
 	if len(e.ids) == 0 {
 		return nil, fmt.Errorf("rowstore: table holds no households")
 	}
-	_, temp, err := e.table.readSeries(e.ids[0])
-	if err != nil {
+	if _, err := e.readSeriesShared(e.ids[0]); err != nil {
 		return nil, err
 	}
-	e.temp = temp
-	return temp, nil
+	return e.temp, nil
 }
 
 // Layout returns the engine's physical schema.

@@ -3,10 +3,16 @@
 // checks: it exhausts to io.EOF and stays exhausted, Reset replays the
 // identical sequence, Close is idempotent, and a partial read followed
 // by Close leaks neither goroutines nor file descriptors.
+//
+// RunPartitioned is the companion suite for core.PartitionedSource: the
+// partition cursors must be pairwise disjoint, their union must equal
+// the full cursor's ID set, and each partition cursor must itself pass
+// the Cursor conformance checks.
 package cursortest
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"runtime"
@@ -109,6 +115,138 @@ func Run(t *testing.T, open func(t *testing.T) core.Cursor) {
 			waitStable(t, "fds", fds, func() int { return openFDs(t) })
 		}
 	})
+}
+
+// RunPartitioned exercises a PartitionedSource implementation against
+// the partition contract. open must return a fresh source with data
+// loaded; it is called once per sub-check (and once per partition in
+// the per-partition conformance pass). The source's serial NewCursor
+// provides the reference ID set the partition union is compared to.
+func RunPartitioned(t *testing.T, open func(t *testing.T) core.PartitionedSource) {
+	t.Helper()
+
+	t.Run("CoversExactlyOnce", func(t *testing.T) {
+		src := open(t)
+		for _, max := range []int{1, 2, 3, 7} {
+			curs, err := src.NewCursors(max)
+			if err != nil {
+				t.Fatalf("NewCursors(%d): %v", max, err)
+			}
+			if len(curs) > max {
+				t.Fatalf("NewCursors(%d) returned %d cursors", max, len(curs))
+			}
+			seen := map[timeseries.ID]int{} // id -> partition that yielded it
+			for p, cur := range curs {
+				for _, s := range drain(t, cur) {
+					if prev, dup := seen[s.id]; dup {
+						t.Fatalf("max=%d: household %d in partitions %d and %d", max, s.id, prev, p)
+					}
+					seen[s.id] = p
+				}
+				if err := cur.Close(); err != nil {
+					t.Fatalf("max=%d: partition %d Close: %v", max, p, err)
+				}
+			}
+			fullCur, err := serialCursor(src)
+			if err != nil {
+				t.Fatalf("max=%d: full cursor: %v", max, err)
+			}
+			var missing, extra []timeseries.ID
+			fullCount := 0
+			for _, s := range drain(t, fullCur) {
+				fullCount++
+				if _, ok := seen[s.id]; !ok {
+					missing = append(missing, s.id)
+				}
+				delete(seen, s.id)
+			}
+			_ = fullCur.Close()
+			for id := range seen {
+				extra = append(extra, id)
+			}
+			if len(missing) > 0 || len(extra) > 0 {
+				t.Fatalf("max=%d: union != full ID set (missing %v, extra %v)", max, missing, extra)
+			}
+			if fullCount == 0 {
+				t.Fatalf("max=%d: full cursor yielded no series", max)
+			}
+		}
+	})
+
+	t.Run("EachPartitionConformant", func(t *testing.T) {
+		src := open(t)
+		curs, err := src.NewCursors(3)
+		if err != nil {
+			t.Fatalf("NewCursors(3): %v", err)
+		}
+		empty := make([]bool, len(curs))
+		for p, cur := range curs {
+			empty[p] = len(drain(t, cur)) == 0
+			_ = cur.Close()
+		}
+		for p := range curs {
+			if empty[p] {
+				// Padding cursors past the data are legal; the Cursor
+				// suite requires at least one series, so skip them.
+				continue
+			}
+			p := p
+			t.Run(fmt.Sprintf("partition%d", p), func(t *testing.T) {
+				Run(t, func(t *testing.T) core.Cursor {
+					cs, err := open(t).NewCursors(len(curs))
+					if err != nil {
+						t.Fatalf("NewCursors: %v", err)
+					}
+					for q, c := range cs {
+						if q != p {
+							_ = c.Close()
+						}
+					}
+					if p >= len(cs) {
+						t.Fatalf("NewCursors returned %d cursors, want >= %d", len(cs), p+1)
+					}
+					return cs[p]
+				})
+			})
+		}
+	})
+
+	t.Run("MaxOneMatchesSerialOrFewer", func(t *testing.T) {
+		src := open(t)
+		curs, err := src.NewCursors(1)
+		if err != nil {
+			t.Fatalf("NewCursors(1): %v", err)
+		}
+		if len(curs) != 1 {
+			t.Fatalf("NewCursors(1) returned %d cursors, want 1", len(curs))
+		}
+		got := drain(t, curs[0])
+		_ = curs[0].Close()
+		fullCur, err := serialCursor(src)
+		if err != nil {
+			t.Fatalf("full cursor: %v", err)
+		}
+		want := drain(t, fullCur)
+		_ = fullCur.Close()
+		if len(got) != len(want) {
+			t.Fatalf("single partition yielded %d series, serial %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].id != want[i].id {
+				t.Fatalf("series %d: partition ID %d, serial %d", i, got[i].id, want[i].id)
+			}
+		}
+	})
+}
+
+// serialCursor opens the source's full serial cursor; every
+// PartitionedSource in this repo is also an exec.Source.
+func serialCursor(src core.PartitionedSource) (core.Cursor, error) {
+	s, ok := src.(interface{ NewCursor() (core.Cursor, error) })
+	if !ok {
+		return nil, fmt.Errorf("cursortest: source %T has no NewCursor", src)
+	}
+	return s.NewCursor()
 }
 
 // drain reads the cursor to io.EOF, snapshotting every series.

@@ -18,6 +18,14 @@
 // similarity task instead materializes the cursor once and runs the
 // blocked kernel; a warm engine's DatasetCursor short-circuits that
 // materialization so the dataset's cached flat-matrix packing survives.
+//
+// When the engine also implements core.PartitionedSource and the spec
+// asks for more than one worker, streaming tasks take the overlapped
+// path instead (prefetch.go): decode goroutines drain disjoint
+// partition cursors into a bounded block channel that compute workers
+// consume, phase times become per-goroutine busy sums, and a reorder
+// stage keyed by household ID keeps results bit-identical to the serial
+// path. core.PrefetchOff pins the serial path for A/B runs.
 package exec
 
 import (
@@ -77,10 +85,11 @@ func blockFor(workers int) int {
 }
 
 // Run executes one task from the source's cursor through the
-// instrumented three-stage pipeline. Result order is cursor order,
-// which the Cursor contract fixes to ascending household ID — the same
-// order core.RunReference produces, so engines stay bit-identical to
-// the oracle.
+// instrumented three-stage pipeline. Result order is ascending
+// household ID — the order the Cursor contract fixes for serial
+// extraction and the order core.RunReference produces — so engines stay
+// bit-identical to the oracle on both the serial and the overlapped
+// path.
 func Run(src Source, spec core.Spec) (*core.Results, error) {
 	requested := spec.Workers
 	spec = spec.WithDefaults()
@@ -94,15 +103,10 @@ func Run(src Source, spec core.Spec) (*core.Results, error) {
 	}
 
 	ph := &core.Phases{}
+	// Temperature comes first on every path so engine-side caching it
+	// triggers (e.g. the row store memoizing the shared series) is
+	// sequenced before any cursor goroutine starts.
 	start := time.Now()
-	cur, err := src.NewCursor()
-	ph.Extract.Wall += time.Since(start)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { _ = cur.Close() }()
-
-	start = time.Now()
 	temp, err := src.Temperature()
 	ph.Extract.Wall += time.Since(start)
 	if err != nil {
@@ -110,6 +114,44 @@ func Run(src Source, spec core.Spec) (*core.Results, error) {
 	}
 
 	out := &core.Results{Task: spec.Task, Phases: ph}
+
+	// Overlapped extraction: streaming task + >1 worker + engine exposes
+	// disjoint partitions + the spec didn't pin the serial path. A
+	// single-partition answer falls back to the serial loop over that
+	// cursor; an empty one to the plain NewCursor path.
+	if spec.Task != core.TaskSimilarity && workers > 1 && spec.Prefetch != core.PrefetchOff {
+		if ps, ok := src.(core.PartitionedSource); ok {
+			start = time.Now()
+			curs, err := ps.NewCursors(workers)
+			ph.Extract.Wall += time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			if len(curs) >= 2 {
+				if err := runPrefetch(curs, temp, spec, workers, out); err != nil {
+					return nil, err
+				}
+				return out, nil
+			}
+			if len(curs) == 1 {
+				cur := curs[0]
+				defer func() { _ = cur.Close() }()
+				if err := runStreaming(cur, temp, spec, workers, out); err != nil {
+					return nil, err
+				}
+				return out, nil
+			}
+		}
+	}
+
+	start = time.Now()
+	cur, err := src.NewCursor()
+	ph.Extract.Wall += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = cur.Close() }()
+
 	if spec.Task == core.TaskSimilarity {
 		if err := runSimilarity(cur, temp, spec, workers, out); err != nil {
 			return nil, err

@@ -6,8 +6,6 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
@@ -21,60 +19,26 @@ type Reading struct {
 
 // ParseReadingLine parses one "household,hour,consumption" row.
 func ParseReadingLine(line string) (Reading, error) {
-	c1 := strings.IndexByte(line, ',')
-	if c1 < 0 {
-		return Reading{}, fmt.Errorf("meterdata: row %q: missing fields", line)
-	}
-	rest := line[c1+1:]
-	c2 := strings.IndexByte(rest, ',')
-	if c2 < 0 {
-		return Reading{}, fmt.Errorf("meterdata: row %q: missing consumption", line)
-	}
-	id, err := strconv.ParseInt(line[:c1], 10, 64)
-	if err != nil {
-		return Reading{}, fmt.Errorf("meterdata: row %q: bad household: %w", line, err)
-	}
-	hour, err := strconv.Atoi(rest[:c2])
-	if err != nil {
-		return Reading{}, fmt.Errorf("meterdata: row %q: bad hour: %w", line, err)
-	}
-	v, err := strconv.ParseFloat(rest[c2+1:], 64)
-	if err != nil {
-		return Reading{}, fmt.Errorf("meterdata: row %q: bad consumption: %w", line, err)
-	}
-	return Reading{ID: timeseries.ID(id), Hour: hour, Consumption: v}, nil
+	return parseReadingBytes([]byte(line))
 }
 
 // ParseSeriesLine parses one "household,r0,r1,..." row.
 func ParseSeriesLine(line string) (*timeseries.Series, error) {
-	fields := strings.Split(line, ",")
-	if len(fields) < 2 {
-		return nil, fmt.Errorf("meterdata: series row has %d fields", len(fields))
-	}
-	id, err := strconv.ParseInt(fields[0], 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("meterdata: series row: bad household: %w", err)
-	}
-	readings := make([]float64, len(fields)-1)
-	for i, f := range fields[1:] {
-		readings[i], err = strconv.ParseFloat(f, 64)
-		if err != nil {
-			return nil, fmt.Errorf("meterdata: series %d reading %d: %w", id, i, err)
-		}
-	}
-	return &timeseries.Series{ID: timeseries.ID(id), Readings: readings}, nil
+	return parseSeriesBytes([]byte(line))
 }
 
-// ScanReadings streams reading-per-line rows from r, invoking fn for each.
+// ScanReadings streams reading-per-line rows from r, invoking fn for
+// each. The inner loop parses the scanner's byte slice in place (see
+// parse.go), so a full file scan allocates nothing per row.
 func ScanReadings(r io.Reader, fn func(Reading) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
 	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
+		line := sc.Bytes()
+		if len(line) == 0 {
 			continue
 		}
-		rd, err := ParseReadingLine(line)
+		rd, err := parseReadingBytes(line)
 		if err != nil {
 			return err
 		}
@@ -85,16 +49,18 @@ func ScanReadings(r io.Reader, fn func(Reading) error) error {
 	return sc.Err()
 }
 
-// ScanSeries streams series-per-line rows from r, invoking fn for each.
+// ScanSeries streams series-per-line rows from r, invoking fn for
+// each. Per row it allocates only the Series and its readings buffer —
+// the two values the callback retains.
 func ScanSeries(r io.Reader, fn func(*timeseries.Series) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
 	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
+		line := sc.Bytes()
+		if len(line) == 0 {
 			continue
 		}
-		s, err := ParseSeriesLine(line)
+		s, err := parseSeriesBytes(line)
 		if err != nil {
 			return err
 		}

@@ -11,6 +11,14 @@
 #      cursor execution layer vs the direct core.RunParallel baseline)
 #      -> BENCH_pipeline.json with mean ns/op per variant plus the
 #      pipeline-over-legacy overhead ratio.
+#   3. BenchmarkExtract{Filestore,Rowstore}{Serial,Prefetch} (cold
+#      3-line runs at 4 workers, 200 consumers, prefetcher pinned off
+#      vs live partitioned cursors) -> BENCH_extract.json with mean
+#      ns/op per variant plus the per-engine prefetch-over-serial
+#      speedup. The speedup scales with available cores: on a
+#      single-CPU host the overlapped path can only match the serial
+#      one (expect ~1.0), so read the JSON's "cpus" field alongside
+#      the ratio.
 #
 # For a statistical A/B over two checkouts, feed the raw output files
 # to benchstat (golang.org/x/perf) instead.
@@ -18,12 +26,14 @@
 #   COUNT=6 ./scripts/bench.sh        # repetitions (default 6)
 #   OUT=BENCH_similarity.json         # similarity output path override
 #   PIPE_OUT=BENCH_pipeline.json      # pipeline output path override
+#   EXTRACT_OUT=BENCH_extract.json    # extraction output path override
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-6}"
 OUT="${OUT:-BENCH_similarity.json}"
 PIPE_OUT="${PIPE_OUT:-BENCH_pipeline.json}"
+EXTRACT_OUT="${EXTRACT_OUT:-BENCH_extract.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -92,3 +102,41 @@ awk -v out="$PIPE_OUT" '
 
 echo "== wrote $PIPE_OUT"
 cat "$PIPE_OUT"
+
+echo "== go test -bench 'BenchmarkExtract(Filestore|Rowstore)(Serial|Prefetch)' -count $COUNT"
+go test -run '^$' -bench 'BenchmarkExtract(Filestore|Rowstore)(Serial|Prefetch)$' \
+  -count "$COUNT" -timeout 20m . | tee "$RAW"
+
+awk -v out="$EXTRACT_OUT" -v cpus="$(nproc 2>/dev/null || echo 1)" '
+  /^BenchmarkExtract(Filestore|Rowstore)(Serial|Prefetch)/ {
+    name = $1
+    sub(/^BenchmarkExtract/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns[name] += $3; runs[name]++
+  }
+  END {
+    if (runs["FilestoreSerial"] == 0 || runs["FilestorePrefetch"] == 0 ||
+        runs["RowstoreSerial"] == 0 || runs["RowstorePrefetch"] == 0) {
+      print "bench.sh: missing extract benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    fs = ns["FilestoreSerial"] / runs["FilestoreSerial"]
+    fp = ns["FilestorePrefetch"] / runs["FilestorePrefetch"]
+    rs = ns["RowstoreSerial"] / runs["RowstoreSerial"]
+    rp = ns["RowstorePrefetch"] / runs["RowstorePrefetch"]
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkExtractSerialVsPrefetch\",\n" >> out
+    printf "  \"consumers\": 200,\n" >> out
+    printf "  \"workers\": 4,\n" >> out
+    printf "  \"cpus\": %d,\n", cpus >> out
+    printf "  \"count\": %d,\n", runs["FilestoreSerial"] >> out
+    printf "  \"filestore\": {\"serial_ns_per_op\": %.1f, \"prefetch_ns_per_op\": %.1f, \"speedup\": %.2f},\n", \
+      fs, fp, fs / fp >> out
+    printf "  \"rowstore\": {\"serial_ns_per_op\": %.1f, \"prefetch_ns_per_op\": %.1f, \"speedup\": %.2f}\n", \
+      rs, rp, rs / rp >> out
+    printf "}\n" >> out
+  }
+' "$RAW"
+
+echo "== wrote $EXTRACT_OUT"
+cat "$EXTRACT_OUT"

@@ -16,11 +16,13 @@ echo "== go run ./cmd/smlint ./..."
 go run ./cmd/smlint ./...
 
 # The execution layer and the engines under it are the concurrency
-# hot spots (cursor fan-out, block scheduling); surface a race there
+# hot spots (the prefetcher's extract/compute goroutine fan-out, the
+# partition cursors' shared state — refcounted indexes, latched buffer
+# pools, shared RDD jobs — and block scheduling); surface a race there
 # as its own failure before the full suite runs. The engine layering
 # check rides along so an engine that re-imports a task package fails
 # fast with a named step.
-echo "== go test -race ./internal/exec/... ./internal/engine/... (pipeline + engines)"
+echo "== go test -race ./internal/exec/... ./internal/engine/... (prefetcher + partition cursors)"
 go test -race ./internal/exec/... ./internal/engine/...
 
 echo "== go run ./cmd/smlint ./internal/engine/... (engine layering)"
