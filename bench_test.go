@@ -7,6 +7,7 @@ package smartbench
 // to the paper's evaluation.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"github.com/smartmeter/smartbench/internal/engine/rdd"
 	"github.com/smartmeter/smartbench/internal/engine/rowstore"
 	"github.com/smartmeter/smartbench/internal/exec"
+	"github.com/smartmeter/smartbench/internal/fault"
 	"github.com/smartmeter/smartbench/internal/generator"
 	"github.com/smartmeter/smartbench/internal/histogram"
 	"github.com/smartmeter/smartbench/internal/meterdata"
@@ -177,10 +179,44 @@ func BenchmarkLegacyThreeLine(b *testing.B) {
 	spec := core.Spec{Task: core.TaskThreeLine, Workers: 4}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.RunParallel(ds, spec); err != nil {
+		if _, err := core.RunParallel(context.Background(), ds, spec); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFault{Baseline,QuarantineZero,QuarantineInjected} measure
+// what per-consumer failure containment costs on the pipeline hot path.
+// Baseline is the historical fail-fast run with no fault wrapper;
+// QuarantineZero runs the full containment machinery (fault source
+// wrapper, quarantine bookkeeping) with a zero injection rate, so any
+// gap over Baseline is pure overhead — scripts/bench.sh distills the
+// pair into BENCH_fault.json and the target is <3%; QuarantineInjected
+// adds a 5% mixed fault rate, pricing the retry and quarantine paths
+// themselves.
+func benchFault(b *testing.B, src exec.Source, policy core.FailPolicy) {
+	spec := core.Spec{Task: core.TaskThreeLine, Workers: 4, FailPolicy: policy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunContext(context.Background(), src, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaultBaseline(b *testing.B) {
+	benchFault(b, exec.NewDatasetSource(getDataset(b)), core.FailFast)
+}
+
+func BenchmarkFaultQuarantineZero(b *testing.B) {
+	src := fault.New(exec.NewDatasetSource(getDataset(b)), fault.Config{Seed: 42})
+	benchFault(b, src, core.Quarantine)
+}
+
+func BenchmarkFaultQuarantineInjected(b *testing.B) {
+	cfg := fault.Config{Seed: 42, Transient: 0.025, Permanent: 0.0125, Corrupt: 0.0125}
+	src := fault.New(exec.NewDatasetSource(getDataset(b)), cfg)
+	benchFault(b, src, core.Quarantine)
 }
 
 func BenchmarkKernelQuantiles(b *testing.B) {

@@ -57,6 +57,8 @@ func runExperiments(args []string) error {
 	workdir := fs.String("workdir", "", "working directory (default: a temp dir)")
 	seed := fs.Int64("seed", 42, "data generation seed")
 	prefetchName := fs.String("prefetch", "auto", "extraction prefetcher: auto (overlap when eligible) or off (serial extraction)")
+	policyName := fs.String("failpolicy", "failfast", "per-consumer failure policy: failfast, quarantine or repair")
+	timeout := fs.Duration("timeout", 0, "per-run deadline (0 = none), e.g. 30s")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +84,13 @@ func runExperiments(args []string) error {
 	default:
 		return fmt.Errorf("unknown prefetch mode %q (want auto or off)", *prefetchName)
 	}
+	policy, err := parseFailPolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("negative timeout %v", *timeout)
+	}
 	dir := *workdir
 	if dir == "" {
 		var err error
@@ -106,10 +115,12 @@ func runExperiments(args []string) error {
 	}
 	for _, e := range experiments {
 		opts := benchmark.Options{
-			WorkDir:  filepath.Join(dir, e.ID),
-			Scale:    scale,
-			Seed:     *seed,
-			Prefetch: prefetch,
+			WorkDir:    filepath.Join(dir, e.ID),
+			Scale:      scale,
+			Seed:       *seed,
+			Prefetch:   prefetch,
+			FailPolicy: policy,
+			Timeout:    *timeout,
 		}
 		rep, err := e.Run(opts)
 		if err != nil {
@@ -122,6 +133,20 @@ func runExperiments(args []string) error {
 	return nil
 }
 
+// parseFailPolicy maps the -failpolicy flag to a core.FailPolicy.
+func parseFailPolicy(name string) (core.FailPolicy, error) {
+	switch name {
+	case "failfast":
+		return core.FailFast, nil
+	case "quarantine":
+		return core.Quarantine, nil
+	case "repair":
+		return core.Repair, nil
+	default:
+		return core.FailFast, fmt.Errorf("unknown fail policy %q (want failfast, quarantine or repair)", name)
+	}
+}
+
 func usage() {
 	fmt.Fprint(os.Stderr, `smbench - smart meter analytics benchmark (EDBT 2015 reproduction)
 
@@ -132,5 +157,7 @@ commands:
       -workdir DIR           keep generated data here
       -seed N                data generation seed
       -prefetch auto|off     overlapped extraction (default: auto; off pins the serial path)
+      -failpolicy P          per-consumer failure policy: failfast (default), quarantine, repair
+      -timeout D             per-run deadline, e.g. 30s (default: none)
 `)
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
 )
 
 func TestRunList(t *testing.T) {
@@ -20,6 +22,8 @@ func TestRunValidation(t *testing.T) {
 		{"run"},
 		{"run", "-scale", "bogus", "fig4"},
 		{"run", "unknown-experiment"},
+		{"run", "-failpolicy", "bogus", "fig4"},
+		{"run", "-timeout", "-3s", "fig4"},
 	}
 	for i, args := range cases {
 		if err := run(args); err == nil {
@@ -34,5 +38,36 @@ func TestRunOneExperimentSmallScale(t *testing.T) {
 	}
 	if err := run([]string{"run", "-scale", "small", "-workdir", t.TempDir(), "table1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestParseFailPolicy(t *testing.T) {
+	for name, want := range map[string]core.FailPolicy{
+		"failfast":   core.FailFast,
+		"quarantine": core.Quarantine,
+		"repair":     core.Repair,
+	} {
+		got, err := parseFailPolicy(name)
+		if err != nil || got != want {
+			t.Errorf("parseFailPolicy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseFailPolicy("maybe"); err == nil {
+		t.Error("parseFailPolicy(maybe): want error")
+	}
+}
+
+// TestFaultsExperimentUnderPolicies runs the fault-injection sweep end
+// to end through the CLI with each containment policy.
+func TestFaultsExperimentUnderPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment run in -short mode")
+	}
+	for _, policy := range []string{"quarantine", "repair"} {
+		args := []string{"run", "-scale", "small", "-workdir", t.TempDir(),
+			"-failpolicy", policy, "-timeout", "2m", "faults"}
+		if err := run(args); err != nil {
+			t.Fatalf("policy %s: %v", policy, err)
+		}
 	}
 }

@@ -63,6 +63,7 @@ var analyzers = []*Analyzer{
 	errdropAnalyzer,
 	enginelayeringAnalyzer,
 	timenowAnalyzer,
+	ctxpollAnalyzer,
 }
 
 // runAnalyzers applies every analyzer to the package and returns the

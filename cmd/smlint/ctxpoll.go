@@ -1,0 +1,187 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxpollAnalyzer enforces the pipeline's shutdown convention: a worker
+// loop in the execution layer (internal/exec and the engines under
+// internal/engine) that blocks in a select on data channels must also
+// select on a cancellation signal — ctx.Done() or a stop/done channel —
+// or poll the context elsewhere in the loop body. Without one, a
+// cancelled run leaves the goroutine parked on channels nobody will
+// ever service again: the leak the chaos suite's goroutine accounting
+// exists to catch, found at compile time instead.
+var ctxpollAnalyzer = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "flags worker loops in the execution layer whose selects block on data channels with no ctx.Done/stop case",
+	Run:  runCtxpoll,
+}
+
+func runCtxpoll(p *Pass) {
+	path := p.Pkg.Path() + "/"
+	if !strings.Contains(path, "/internal/exec/") && !strings.Contains(path, "/internal/engine/") {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if loopPollsContext(p, body) {
+				return true
+			}
+			// Only selects belonging to THIS loop: nested loops and
+			// function literals are separate worker bodies and get their
+			// own visit from the outer walk.
+			walkLoopBody(body, func(sel *ast.SelectStmt) {
+				if selectObservesCancel(sel) {
+					return
+				}
+				p.Reportf(sel.Pos(), "select in worker loop blocks on data channels with no ctx.Done/stop case; a cancelled run leaves this goroutine parked forever")
+			})
+			return true
+		})
+	}
+}
+
+// walkLoopBody visits the select statements that block this loop's own
+// iterations, pruning nested loops and function literals.
+func walkLoopBody(body *ast.BlockStmt, visit func(*ast.SelectStmt)) {
+	for _, stmt := range body.List {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				visit(s)
+				// Cases of this select may hold nested blocks; they are
+				// still this loop's statements, so keep descending.
+			}
+			return true
+		})
+	}
+}
+
+// loopPollsContext reports whether the loop body itself checks the
+// context each iteration — ctx.Err() on a context.Context value, or the
+// repo's core.CtxErr helper — which is as good as a Done case.
+func loopPollsContext(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Err":
+			if isContextType(p.Info.TypeOf(sel.X)) {
+				found = true
+			}
+		case "CtxErr":
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// selectObservesCancel reports whether any case of the select receives a
+// cancellation signal (ctx.Done(), a stop/done/quit channel) or the
+// select is non-blocking (has a default case).
+func selectObservesCancel(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default case: the loop never parks here
+		}
+		if ch := commChannel(cc.Comm); ch != nil && isCancelChannel(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// commChannel extracts the channel expression of a select case.
+func commChannel(comm ast.Stmt) ast.Expr {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		return s.Chan
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// cancelNames are the substrings that mark a channel as a shutdown
+// signal rather than a data stream.
+var cancelNames = []string{"stop", "done", "quit", "cancel", "closed"}
+
+// isCancelChannel reports whether the channel expression names a
+// cancellation signal: a Done() method call (context.Context and
+// friends) or an identifier that reads as a stop channel.
+func isCancelChannel(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if s, ok := x.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "Done" {
+			return true
+		}
+	case *ast.Ident:
+		return nameReadsAsCancel(x.Name)
+	case *ast.SelectorExpr:
+		return nameReadsAsCancel(x.Sel.Name)
+	}
+	return false
+}
+
+func nameReadsAsCancel(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range cancelNames {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

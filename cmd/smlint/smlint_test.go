@@ -73,6 +73,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{errdropAnalyzer, "errdrop", true},
 		{enginelayeringAnalyzer, "enginelayering/internal/engine/badengine", true},
 		{timenowAnalyzer, "timenow", true},
+		{ctxpollAnalyzer, "ctxpoll/internal/exec", true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.dir, func(t *testing.T) {

@@ -1,0 +1,111 @@
+// Package exec is a ctxpoll fixture; its import path ends in
+// /internal/exec so the analyzer treats it as execution-layer code.
+package exec
+
+import "context"
+
+// deafWorker blocks on data channels with no way to observe
+// cancellation: the shape ctxpoll exists to reject.
+func deafWorker(in <-chan int, out chan<- int) {
+	for {
+		select { // want `no ctx.Done/stop case`
+		case v, ok := <-in:
+			if !ok {
+				return
+			}
+			out <- v
+		case out <- 0:
+		}
+	}
+}
+
+// deafRangeBody also gets flagged: the select guards the send, but once
+// the producer is gone nothing unblocks it.
+func deafRangeBody(items []int, out chan<- int, ready <-chan struct{}) {
+	for _, v := range items {
+		select { // want `no ctx.Done/stop case`
+		case <-ready:
+		case out <- v:
+		}
+	}
+}
+
+// ctxWorker selects on ctx.Done, the canonical escape.
+func ctxWorker(ctx context.Context, in <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v, ok := <-in:
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}
+}
+
+// stopWorker uses a named stop channel instead of a context.
+func stopWorker(in <-chan int, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+// pollingWorker checks the context each iteration; as good as a Done
+// case, so the blocking select is accepted.
+func pollingWorker(ctx context.Context, in <-chan int, out chan<- int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		select {
+		case v := <-in:
+			out <- v
+		case out <- 0:
+		}
+	}
+}
+
+// nonBlocking has a default case: the loop never parks in the select.
+func nonBlocking(in <-chan int) {
+	for i := 0; i < 3; i++ {
+		select {
+		case v := <-in:
+			_ = v
+		default:
+		}
+	}
+}
+
+// outsideLoop is a one-shot select, not a worker loop.
+func outsideLoop(in <-chan int) {
+	select {
+	case v := <-in:
+		_ = v
+	}
+}
+
+// spawnedWorker nests the worker loop in a goroutine launched from a
+// loop: the inner for's select is judged on its own and flagged.
+func spawnedWorker(chans []chan int) {
+	for i := range chans {
+		ch := chans[i]
+		go func() {
+			for {
+				select { // want `no ctx.Done/stop case`
+				case v, ok := <-ch:
+					if !ok {
+						return
+					}
+					_ = v
+				}
+			}
+		}()
+	}
+}

@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -27,6 +28,31 @@ type Options struct {
 	// (cmd/smbench -prefetch=off), which is the escape hatch for
 	// comparing against pre-overlap numbers.
 	Prefetch core.PrefetchMode
+	// FailPolicy is applied to every experiment Spec that does not pin
+	// its own: FailFast (the zero value) preserves the historical
+	// all-or-nothing semantics, Quarantine/Repair let experiments finish
+	// over partially bad data (cmd/smbench -failpolicy).
+	FailPolicy core.FailPolicy
+	// Timeout, when positive, bounds each measured engine run with a
+	// context deadline (cmd/smbench -timeout). Expired runs fail the
+	// experiment with context.DeadlineExceeded.
+	Timeout time.Duration
+}
+
+// run executes spec on eng under the options' failure policy and
+// timeout. Every experiment's measured engine invocation funnels
+// through here so -failpolicy and -timeout reach all of them.
+func (o *Options) run(eng core.Engine, spec core.Spec) (*core.Results, error) {
+	if spec.FailPolicy == core.FailFast {
+		spec.FailPolicy = o.FailPolicy
+	}
+	ctx := context.Background()
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+	return eng.RunContext(ctx, spec)
 }
 
 // Scale sizes an experiment suite. The paper's absolute sizes (10 GB to

@@ -46,6 +46,7 @@ func init() {
 	register("streaming", "streaming anomaly alerts (§6 future work)", Streaming)
 	register("matmul", "matrix multiplication micro-benchmark (§5.3.2)", MatMul)
 	register("tasksweep", "reduce-task count sweep (footnote 8)", TaskSweep)
+	register("faults", "throughput vs injected fault rate per engine (containment cost)", Faults)
 }
 
 // Lookup returns the experiment registered under id.
@@ -80,6 +81,8 @@ func experimentOrder(id string) int {
 		return 100
 	case "tasksweep":
 		return 101
+	case "faults":
+		return 102
 	case "phases":
 		return 97
 	}

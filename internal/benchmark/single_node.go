@@ -129,7 +129,7 @@ func Fig5(opts Options) (*Report, error) {
 			return nil, err
 		}
 		dUnpart, err := Timed(func() error {
-			_, err := e.Run(core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
+			_, err := opts.run(e, core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
 			return err
 		})
 		if err != nil {
@@ -139,7 +139,7 @@ func Fig5(opts Options) (*Report, error) {
 			return nil, err
 		}
 		dPart, err := Timed(func() error {
-			_, err := e.Run(core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
+			_, err := opts.run(e, core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
 			return err
 		})
 		if err != nil {
@@ -191,7 +191,7 @@ func Fig6(opts Options) (*Report, error) {
 			return nil, err
 		}
 		cold, err := Timed(func() error {
-			_, err := e.eng.Run(core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
+			_, err := opts.run(e.eng, core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
 			return err
 		})
 		if err != nil {
@@ -205,7 +205,7 @@ func Fig6(opts Options) (*Report, error) {
 		}
 		var warmRes *core.Results
 		warm, err := Timed(func() error {
-			r, err := e.eng.Run(core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
+			r, err := opts.run(e.eng, core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
 			warmRes = r
 			return err
 		})
@@ -261,7 +261,7 @@ func Phases(opts Options) (*Report, error) {
 		if err := e.eng.Release(); err != nil {
 			return nil, err
 		}
-		res, err := e.eng.Run(core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
+		res, err := opts.run(e.eng, core.Spec{Task: core.TaskThreeLine, Prefetch: opts.Prefetch})
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +317,7 @@ func Fig7(opts Options) (*Report, error) {
 					return nil, err
 				}
 				d, err := Timed(func() error {
-					_, err := eng.Run(core.Spec{Task: task, Workers: 1})
+					_, err := opts.run(eng, core.Spec{Task: task, Workers: 1})
 					return err
 				})
 				if err != nil {
@@ -365,7 +365,7 @@ func Fig8(opts Options) (*Report, error) {
 				return nil, err
 			}
 			_, mem, err := MeasureMem(500*time.Microsecond, func() error {
-				_, err := eng.Run(core.Spec{Task: task, Prefetch: opts.Prefetch})
+				_, err := opts.run(eng, core.Spec{Task: task, Prefetch: opts.Prefetch})
 				return err
 			})
 			if err != nil {
@@ -415,7 +415,7 @@ func Fig9(opts Options) (*Report, error) {
 				return nil, err
 			}
 			d, err := Timed(func() error {
-				_, err := m.eng.Run(core.Spec{Task: task, Prefetch: opts.Prefetch})
+				_, err := opts.run(m.eng, core.Spec{Task: task, Prefetch: opts.Prefetch})
 				return err
 			})
 			if err != nil {
@@ -457,7 +457,7 @@ func Fig10(opts Options) (*Report, error) {
 		var base time.Duration
 		for _, w := range opts.Scale.Workers {
 			d, err := Timed(func() error {
-				_, err := eng.Run(core.Spec{Task: task, Workers: w, Prefetch: opts.Prefetch})
+				_, err := opts.run(eng, core.Spec{Task: task, Workers: w, Prefetch: opts.Prefetch})
 				return err
 			})
 			if err != nil {

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -92,6 +93,10 @@ type Spec struct {
 	// overlaps when possible; PrefetchOff pins the serial extract).
 	// Either way results are bit-identical to RunReference.
 	Prefetch PrefetchMode
+	// FailPolicy selects per-consumer failure containment (see the
+	// FailPolicy constants). The zero value FailFast keeps the
+	// pre-containment semantics: any error aborts the run.
+	FailPolicy FailPolicy
 }
 
 // WithDefaults returns the spec with unset parameters filled in.
@@ -126,6 +131,12 @@ type Results struct {
 	// every engine Run — and nil for results produced by the reference
 	// implementations.
 	Phases *Phases
+
+	// Failed lists the consumers quarantined under FailPolicy
+	// Quarantine or Repair, in ascending household-ID order. It is
+	// always empty under FailFast (the first failure aborts the run
+	// instead).
+	Failed []ConsumerFailure
 }
 
 // Count returns the number of per-consumer results produced.
@@ -177,8 +188,14 @@ type Engine interface {
 	Temperature() (*timeseries.Temperature, error)
 	// Run executes one benchmark task against the loaded data. Engines
 	// implement it by handing their cursor to the shared execution
-	// pipeline (internal/exec), which populates Results.Phases.
+	// pipeline (internal/exec), which populates Results.Phases. It is
+	// RunContext with a background context.
 	Run(spec Spec) (*Results, error)
+	// RunContext is Run under a context: cancelling the context (or
+	// letting its deadline pass) stops the run promptly — including
+	// mid-extraction — with all pipeline goroutines joined and cursors
+	// closed before it returns.
+	RunContext(ctx context.Context, spec Spec) (*Results, error)
 	// Release drops all in-memory state, returning the engine to a cold
 	// state (native on-disk storage, if any, is kept).
 	Release() error
@@ -277,15 +294,19 @@ const runParallelBlock = 1
 // honours Workers internally): workers pull consumer blocks off a
 // shared counter (internal/sched) rather than owning static ranges, so
 // an uneven split cannot strand a straggler. Result order matches
-// d.Series order.
+// d.Series order. Cancelling ctx stops further claims; the first
+// worker to observe the cancellation returns ctx's error.
 //
 // Engines no longer call this — their Run goes through the cursor
 // pipeline in internal/exec — but it is kept as the pre-pipeline
 // harness baseline: tests pin parallel output against it, and the
 // pipeline-vs-legacy benchmark (scripts/bench.sh, BENCH_pipeline.json)
 // measures the pipeline's overhead relative to it.
-func RunParallel(d *timeseries.Dataset, spec Spec) (*Results, error) {
+func RunParallel(ctx context.Context, d *timeseries.Dataset, spec Spec) (*Results, error) {
 	spec = spec.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if spec.Workers <= 1 || spec.Task == TaskSimilarity {
 		return RunReference(d, spec)
 	}
@@ -304,6 +325,9 @@ func RunParallel(d *timeseries.Dataset, spec Spec) (*Results, error) {
 	}
 
 	if err := sched.Run(n, runParallelBlock, spec.Workers, func(_, lo, hi int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for i := lo; i < hi; i++ {
 			s := d.Series[i]
 			switch spec.Task {

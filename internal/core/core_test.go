@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -79,7 +80,7 @@ func TestRunParallelMatchesReference(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := RunParallel(ds, Spec{Task: task, Workers: 3})
+		got, err := RunParallel(context.Background(), ds, Spec{Task: task, Workers: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,14 +109,14 @@ func TestRunParallelMatchesReference(t *testing.T) {
 		}
 	}
 	// Similarity delegates to the parallel similarity implementation.
-	got, err := RunParallel(ds, Spec{Task: TaskSimilarity, Workers: 4, K: 3})
+	got, err := RunParallel(context.Background(), ds, Spec{Task: TaskSimilarity, Workers: 4, K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Count() != 7 {
 		t.Errorf("similarity count = %d", got.Count())
 	}
-	if _, err := RunParallel(ds, Spec{Task: Task(99), Workers: 2}); err == nil {
+	if _, err := RunParallel(context.Background(), ds, Spec{Task: Task(99), Workers: 2}); err == nil {
 		t.Error("unknown task: want error")
 	}
 }
@@ -124,7 +125,7 @@ func TestRunParallelPropagatesErrors(t *testing.T) {
 	// One empty series makes the histogram task fail in a worker.
 	ds := dataset(t, 4, 10)
 	ds.Series[2] = &timeseries.Series{ID: 99}
-	if _, err := RunParallel(ds, Spec{Task: TaskHistogram, Workers: 4}); err == nil {
+	if _, err := RunParallel(context.Background(), ds, Spec{Task: TaskHistogram, Workers: 4}); err == nil {
 		t.Error("want error from worker")
 	}
 }

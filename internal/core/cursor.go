@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"io"
 
 	"github.com/smartmeter/smartbench/internal/timeseries"
@@ -27,6 +28,46 @@ type Cursor interface {
 	// Close releases any resources held by the cursor. Close is
 	// idempotent; after Close, Next reports io.EOF.
 	Close() error
+}
+
+// ContextCursor is optionally implemented by cursors that can honor
+// cancellation inside Next — long index builds, per-consumer storage
+// scans, cluster collect jobs. The pipeline binds its run context once
+// before driving the cursor; a bound cursor returns the context's
+// error from Next as soon as it observes the cancellation, leaving the
+// cursor in a state where Close still releases everything.
+type ContextCursor interface {
+	BindContext(ctx context.Context)
+}
+
+// BindContext binds ctx to cur when the cursor supports it; cursors
+// without context support are driven as before, with the pipeline
+// checking the context between Next calls.
+func BindContext(cur Cursor, ctx context.Context) {
+	if b, ok := cur.(ContextCursor); ok {
+		b.BindContext(ctx)
+	}
+}
+
+// CtxErr reports the bound context's cancellation error, tolerating an
+// unbound (nil) context — the state of a cursor BindContext never
+// reached. Engine cursors call it at the top of Next.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Skipper is optionally implemented by cursors that can abandon the
+// consumer a transient error left them positioned on (the transient
+// ConsumerError contract keeps the cursor in place so Next can retry).
+// The pipeline calls Skip when retries are exhausted, quarantining the
+// consumer; without Skip support a persistent transient error is fatal
+// because the cursor cannot make progress.
+type Skipper interface {
+	// Skip advances past the current (failing) consumer.
+	Skip() error
 }
 
 // SizeHinter is optionally implemented by cursors that can cheaply
@@ -57,11 +98,17 @@ func NewDatasetCursor(ds *timeseries.Dataset) DatasetCursor {
 
 type datasetCursor struct {
 	ds     *timeseries.Dataset
+	ctx    context.Context
 	i      int
 	closed bool
 }
 
+func (c *datasetCursor) BindContext(ctx context.Context) { c.ctx = ctx }
+
 func (c *datasetCursor) Next() (*timeseries.Series, error) {
+	if err := CtxErr(c.ctx); err != nil {
+		return nil, err
+	}
 	if c.closed || c.i >= len(c.ds.Series) {
 		return nil, io.EOF
 	}
@@ -87,28 +134,40 @@ func (c *datasetCursor) SizeHint() (int, bool) { return len(c.ds.Series), true }
 
 // NewLazyCursor returns a cursor that materializes its series on first
 // use by calling load once, then replays the buffered slice (Reset
-// rewinds without re-running load). onClose, if non-nil, runs exactly
-// once, on the first Close — engines use it to release resources the
-// load pinned (e.g. cached cluster partitions).
-func NewLazyCursor(load func() ([]*timeseries.Series, error), onClose func()) Cursor {
+// rewinds without re-running load). load receives the cursor's bound
+// context (never nil) so long materializations — e.g. a simulated
+// cluster job — can be cut short by cancellation. onClose, if non-nil,
+// runs exactly once, on the first Close — engines use it to release
+// resources the load pinned (e.g. cached cluster partitions).
+func NewLazyCursor(load func(ctx context.Context) ([]*timeseries.Series, error), onClose func()) Cursor {
 	return &lazyCursor{load: load, onClose: onClose}
 }
 
 type lazyCursor struct {
-	load    func() ([]*timeseries.Series, error)
+	load    func(ctx context.Context) ([]*timeseries.Series, error)
 	onClose func()
+	ctx     context.Context
 	series  []*timeseries.Series
 	loaded  bool
 	i       int
 	closed  bool
 }
 
+func (c *lazyCursor) BindContext(ctx context.Context) { c.ctx = ctx }
+
 func (c *lazyCursor) Next() (*timeseries.Series, error) {
+	if err := CtxErr(c.ctx); err != nil {
+		return nil, err
+	}
 	if c.closed {
 		return nil, io.EOF
 	}
 	if !c.loaded {
-		series, err := c.load()
+		ctx := c.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		series, err := c.load(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -19,7 +20,7 @@ func TestRunParallelRace(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v reference: %v", task, err)
 		}
-		par, err := RunParallel(ds, spec)
+		par, err := RunParallel(context.Background(), ds, spec)
 		if err != nil {
 			t.Fatalf("%v parallel: %v", task, err)
 		}
@@ -40,7 +41,7 @@ func TestRunParallelConcurrentCallers(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			_, errs[c] = RunParallel(ds, Spec{Task: TaskHistogram, Workers: 4})
+			_, errs[c] = RunParallel(context.Background(), ds, Spec{Task: TaskHistogram, Workers: 4})
 		}(c)
 	}
 	wg.Wait()

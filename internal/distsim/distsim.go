@@ -19,6 +19,7 @@
 package distsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -26,6 +27,25 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// SleepCtx sleeps for d or until ctx is cancelled, whichever comes
+// first. All simulated costs (network, compute, dispatch) go through it
+// so a cancelled run stops paying modeled delays immediately.
+func SleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
 
 // Config describes the simulated cluster.
 type Config struct {
@@ -123,6 +143,18 @@ type TaskCtx struct {
 	cluster *Cluster
 	node    *Node
 	held    int64
+	// ctx is the run's cancellation context (nil for Run without one);
+	// modeled sleeps in Compute and ReadBlock select on it.
+	ctx context.Context
+}
+
+// Context returns the cancellation context the task runs under, never
+// nil. Task bodies with long real (not simulated) work should poll it.
+func (t *TaskCtx) Context() context.Context {
+	if t.ctx == nil {
+		return context.Background()
+	}
+	return t.ctx
 }
 
 // Node returns the node the task runs on.
@@ -163,7 +195,7 @@ func (t *TaskCtx) Compute(bytes int64) {
 	if rate <= 0 || bytes <= 0 {
 		return
 	}
-	time.Sleep(time.Duration(float64(bytes) / rate * float64(time.Second)))
+	SleepCtx(t.ctx, time.Duration(float64(bytes)/rate*float64(time.Second)))
 }
 
 // ReadBlock models reading one stored block: free if a replica lives on
@@ -180,12 +212,16 @@ func (t *TaskCtx) ReadBlock(replicaNodes []int, bytes int64) {
 	if len(replicaNodes) > 0 {
 		src = replicaNodes[0]
 	}
-	t.cluster.Transfer(src, t.node.id, bytes)
+	t.cluster.transfer(t.ctx, src, t.node.id, bytes)
 }
 
 // Transfer models moving bytes between two nodes (or from a node to the
 // driver with to < 0). Local "transfers" are free.
 func (c *Cluster) Transfer(from, to int, bytes int64) {
+	c.transfer(nil, from, to, bytes)
+}
+
+func (c *Cluster) transfer(ctx context.Context, from, to int, bytes int64) {
 	if from == to {
 		return
 	}
@@ -193,9 +229,7 @@ func (c *Cluster) Transfer(from, to int, bytes int64) {
 	c.bytesMoved.Add(bytes)
 	delay := c.cfg.TransferLatency +
 		time.Duration(float64(bytes)/c.cfg.BytesPerSecond*float64(time.Second))
-	if delay > 0 {
-		time.Sleep(delay)
-	}
+	SleepCtx(ctx, delay)
 }
 
 // Move describes one pending transfer for TransferConcurrent.
@@ -208,11 +242,18 @@ type Move struct {
 // real network would: the wall-clock cost is the slowest single
 // transfer, not the sum. Shuffles and broadcasts use this.
 func (c *Cluster) TransferConcurrent(moves []Move) {
+	c.TransferConcurrentCtx(nil, moves)
+}
+
+// TransferConcurrentCtx is TransferConcurrent under a cancellation
+// context: cancelled transfers stop sleeping (the byte accounting still
+// happens — the run is aborting anyway).
+func (c *Cluster) TransferConcurrentCtx(ctx context.Context, moves []Move) {
 	switch len(moves) {
 	case 0:
 		return
 	case 1:
-		c.Transfer(moves[0].From, moves[0].To, moves[0].Bytes)
+		c.transfer(ctx, moves[0].From, moves[0].To, moves[0].Bytes)
 		return
 	}
 	var wg sync.WaitGroup
@@ -223,7 +264,7 @@ func (c *Cluster) TransferConcurrent(moves []Move) {
 		wg.Add(1)
 		go func(m Move) {
 			defer wg.Done()
-			c.Transfer(m.From, m.To, m.Bytes)
+			c.transfer(ctx, m.From, m.To, m.Bytes)
 		}(m)
 	}
 	wg.Wait()
@@ -294,6 +335,14 @@ func (c *Cluster) attemptFails() bool {
 // errors returned by task bodies are permanent. Run returns the first
 // permanent error.
 func (c *Cluster) Run(tasks []Task) error {
+	return c.RunCtx(nil, tasks)
+}
+
+// RunCtx is Run under a cancellation context: tasks not yet started
+// when ctx fires are skipped, running tasks stop paying modeled delays,
+// and the first ctx error wins over task errors so callers see a clean
+// context.Canceled / DeadlineExceeded.
+func (c *Cluster) RunCtx(runCtx context.Context, tasks []Task) error {
 	if len(tasks) == 0 {
 		return nil
 	}
@@ -306,6 +355,9 @@ func (c *Cluster) Run(tasks []Task) error {
 			defer wg.Done()
 			pref := task.PreferredNodes
 			for attempt := 0; ; attempt++ {
+				if runCtx != nil && runCtx.Err() != nil {
+					return
+				}
 				node := c.acquire(pref)
 				if c.attemptFails() {
 					node.slots <- struct{}{}
@@ -318,7 +370,7 @@ func (c *Cluster) Run(tasks []Task) error {
 					pref = without(pref, node.id)
 					continue
 				}
-				ctx := &TaskCtx{cluster: c, node: node}
+				ctx := &TaskCtx{cluster: c, node: node, ctx: runCtx}
 				err := task.Fn(ctx)
 				ctx.Free(ctx.held)
 				node.slots <- struct{}{}
@@ -330,6 +382,9 @@ func (c *Cluster) Run(tasks []Task) error {
 		}()
 	}
 	wg.Wait()
+	if runCtx != nil && runCtx.Err() != nil {
+		return runCtx.Err()
+	}
 	select {
 	case err := <-errCh:
 		return err

@@ -1,0 +1,58 @@
+package colstore
+
+import (
+	"context"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+	"github.com/smartmeter/smartbench/internal/fault"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func TestCursorChaos(t *testing.T) {
+	src, _ := writeSource(t, 20, 10)
+	e := New(t.TempDir())
+	if _, err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	cursortest.RunChaos(t, func(t *testing.T) core.Cursor {
+		// Keep every sub-check on the image-decoding cursor (draining one
+		// installs the decoded dataset on the engine).
+		e.decoded = nil
+		cur, err := e.NewCursor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cur
+	})
+}
+
+func TestPartitionChaos(t *testing.T) {
+	src, _ := writeSource(t, 20, 10)
+	e := New(t.TempDir())
+	if _, err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	cursortest.RunChaosPartitioned(t, func(t *testing.T) core.PartitionedSource {
+		e.decoded = nil
+		return e
+	})
+}
+
+func TestPipelineChaos(t *testing.T) {
+	src, ds := writeSource(t, 20, 10)
+	e := New(t.TempDir())
+	if _, err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]timeseries.ID, len(ds.Series))
+	for i, s := range ds.Series {
+		ids[i] = s.ID
+	}
+	cursortest.RunPipelineChaos(t, ids, func(ctx context.Context, cfg fault.Config, spec core.Spec) (*core.Results, error) {
+		e.decoded = nil
+		return exec.RunContext(ctx, fault.New(e, cfg), spec)
+	})
+}

@@ -21,6 +21,7 @@
 package colstore
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -144,7 +145,13 @@ func (e *Engine) ensureImage() error {
 // Run implements core.Engine by handing the engine's cursor to the
 // shared execution pipeline.
 func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
-	return exec.Run(e, spec)
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext implements core.Engine: Run under a caller-supplied context
+// governing cancellation and deadlines.
+func (e *Engine) RunContext(ctx context.Context, spec core.Spec) (*core.Results, error) {
+	return exec.RunContext(ctx, e, spec)
 }
 
 // NewCursor implements core.Engine: decoded columns after Warm (or a
@@ -173,7 +180,7 @@ func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
 		curs := make([]core.Cursor, 0, max)
 		for _, r := range core.PartitionRanges(len(series), max) {
 			part := series[r[0]:r[1]]
-			curs = append(curs, core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+			curs = append(curs, core.NewLazyCursor(func(context.Context) ([]*timeseries.Series, error) {
 				return part, nil
 			}, nil))
 		}

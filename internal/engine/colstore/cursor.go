@@ -1,9 +1,11 @@
 package colstore
 
 import (
+	"context"
 	"encoding/binary"
 	"io"
 
+	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
@@ -16,6 +18,7 @@ import (
 // old cold-run caching: the next Run is warm.
 type segmentCursor struct {
 	e         *Engine
+	ctx       context.Context
 	img       []byte
 	consumers int
 	n         int
@@ -42,7 +45,12 @@ func newSegmentCursor(e *Engine, img []byte) (*segmentCursor, error) {
 	}, nil
 }
 
+func (c *segmentCursor) BindContext(ctx context.Context) { c.ctx = ctx }
+
 func (c *segmentCursor) Next() (*timeseries.Series, error) {
+	if err := core.CtxErr(c.ctx); err != nil {
+		return nil, err
+	}
 	if c.closed || c.i >= c.consumers {
 		return nil, io.EOF
 	}
@@ -88,6 +96,7 @@ func (c *segmentCursor) SizeHint() (int, bool) { return c.consumers, true }
 // no benefit).
 type segmentRangeCursor struct {
 	img    []byte
+	ctx    context.Context
 	n      int
 	lo, hi int
 	flat   []float64
@@ -95,7 +104,12 @@ type segmentRangeCursor struct {
 	closed bool
 }
 
+func (c *segmentRangeCursor) BindContext(ctx context.Context) { c.ctx = ctx }
+
 func (c *segmentRangeCursor) Next() (*timeseries.Series, error) {
+	if err := core.CtxErr(c.ctx); err != nil {
+		return nil, err
+	}
 	if c.closed || c.lo+c.i >= c.hi {
 		return nil, io.EOF
 	}

@@ -1,6 +1,7 @@
 package filestore
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -17,11 +18,14 @@ import (
 // current file's series are resident while the pipeline computes.
 type fileCursor struct {
 	src     *meterdata.Source
+	ctx     context.Context
 	paths   []string
 	next    int // next file index
 	pending []*timeseries.Series
 	closed  bool
 }
+
+func (c *fileCursor) BindContext(ctx context.Context) { c.ctx = ctx }
 
 func newFileCursor(src *meterdata.Source) *fileCursor {
 	return &fileCursor{src: src, paths: src.Paths()}
@@ -37,6 +41,9 @@ func newFileCursorPaths(src *meterdata.Source, paths []string) *fileCursor {
 }
 
 func (c *fileCursor) Next() (*timeseries.Series, error) {
+	if err := core.CtxErr(c.ctx); err != nil {
+		return nil, err
+	}
 	if c.closed {
 		return nil, io.EOF
 	}
@@ -86,6 +93,7 @@ func (c *fileCursor) SizeHint() (int, bool) { return len(c.paths), true }
 // Figure 5 lives here, in the cursor, not in task code.
 type indexCursor struct {
 	src    *meterdata.Source
+	ctx    context.Context
 	temp   *timeseries.Temperature
 	index  []meterdata.Reading
 	ids    []timeseries.ID
@@ -98,6 +106,8 @@ func newIndexCursor(src *meterdata.Source) *indexCursor {
 	return &indexCursor{src: src}
 }
 
+func (c *indexCursor) BindContext(ctx context.Context) { c.ctx = ctx }
+
 func (c *indexCursor) build() error {
 	temp, err := meterdata.ReadTemperature(c.src.Dir)
 	if err != nil {
@@ -107,6 +117,11 @@ func (c *indexCursor) build() error {
 	var ids []timeseries.ID
 	seen := map[timeseries.ID]bool{}
 	for _, path := range c.src.Paths() {
+		// The index build reads the whole big file; honor cancellation
+		// between input files so a deadline can cut it short.
+		if err := core.CtxErr(c.ctx); err != nil {
+			return err
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			return fmt.Errorf("filestore: %w", err)
@@ -131,6 +146,9 @@ func (c *indexCursor) build() error {
 }
 
 func (c *indexCursor) Next() (*timeseries.Series, error) {
+	if err := core.CtxErr(c.ctx); err != nil {
+		return nil, err
+	}
 	if c.closed {
 		return nil, io.EOF
 	}
@@ -229,6 +247,7 @@ func (x *sharedIndex) release() {
 // unknown until the index is built.
 type indexPartCursor struct {
 	idx         *sharedIndex
+	ctx         context.Context
 	part, parts int
 	lo, hi      int // [lo, hi) into idx.ids, valid once ranged
 	i           int // offset from lo
@@ -236,7 +255,12 @@ type indexPartCursor struct {
 	closed      bool
 }
 
+func (c *indexPartCursor) BindContext(ctx context.Context) { c.ctx = ctx }
+
 func (c *indexPartCursor) Next() (*timeseries.Series, error) {
+	if err := core.CtxErr(c.ctx); err != nil {
+		return nil, err
+	}
 	if c.closed {
 		return nil, io.EOF
 	}

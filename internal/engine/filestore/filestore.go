@@ -21,6 +21,7 @@
 package filestore
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -146,10 +147,16 @@ func (e *Engine) Release() error {
 // Run implements core.Engine by handing the engine's cursor to the
 // shared execution pipeline.
 func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext implements core.Engine: Run under a caller-supplied context
+// governing cancellation and deadlines.
+func (e *Engine) RunContext(ctx context.Context, spec core.Spec) (*core.Results, error) {
 	if e.src == nil {
 		return nil, fmt.Errorf("filestore: %w", core.ErrNotLoaded)
 	}
-	return exec.Run(e, spec)
+	return exec.RunContext(ctx, e, spec)
 }
 
 // NewCursor implements core.Engine. The cursor is the engine's native
@@ -171,7 +178,7 @@ func (e *Engine) NewCursor() (core.Cursor, error) {
 	}
 	// Unpartitioned series-per-line: one sequential read of the file.
 	src := e.src
-	return core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+	return core.NewLazyCursor(func(context.Context) ([]*timeseries.Series, error) {
 		ds, err := meterdata.ReadDataset(src)
 		if err != nil {
 			return nil, fmt.Errorf("filestore: %w", err)
@@ -200,7 +207,7 @@ func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
 		curs := make([]core.Cursor, 0, max)
 		for _, r := range core.PartitionRanges(len(series), max) {
 			part := series[r[0]:r[1]]
-			curs = append(curs, core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+			curs = append(curs, core.NewLazyCursor(func(context.Context) ([]*timeseries.Series, error) {
 				return part, nil
 			}, nil))
 		}

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -176,10 +177,16 @@ func (e *Engine) effectiveStyle() (Style, error) {
 // Run implements core.Engine by handing the engine's cursor to the
 // shared execution pipeline.
 func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext implements core.Engine: Run under a caller-supplied context
+// governing cancellation and deadlines.
+func (e *Engine) RunContext(ctx context.Context, spec core.Spec) (*core.Results, error) {
 	if len(e.inputs) == 0 {
 		return nil, fmt.Errorf("mapreduce: %w", core.ErrNotLoaded)
 	}
-	return exec.Run(e, spec)
+	return exec.RunContext(ctx, e, spec)
 }
 
 // NewCursor implements core.Engine. Extraction is the engine's
@@ -209,17 +216,17 @@ func (e *Engine) NewCursor() (core.Cursor, error) {
 	default:
 		return nil, fmt.Errorf("mapreduce: unsupported style %v", style)
 	}
-	return core.NewLazyCursor(func() ([]*timeseries.Series, error) {
-		e.broadcastTemperature()
+	return core.NewLazyCursor(func(ctx context.Context) ([]*timeseries.Series, error) {
+		e.broadcastTemperature(ctx)
 		var values []interface{}
 		var err error
 		switch style {
 		case StyleUDF:
-			values, err = e.extractUDF(e.inputs)
+			values, err = e.extractUDF(ctx, e.inputs)
 		case StyleUDTF:
-			values, err = e.extractUDTF(e.inputs)
+			values, err = e.extractUDTF(ctx, e.inputs)
 		default:
-			values, err = e.extractUDAF()
+			values, err = e.extractUDAF(ctx)
 		}
 		if err != nil {
 			return nil, err
@@ -288,14 +295,14 @@ func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
 	var curs []core.Cursor
 	for _, r := range core.PartitionRanges(len(e.inputs), max) {
 		shard := e.inputs[r[0]:r[1]]
-		curs = append(curs, core.NewLazyCursor(func() ([]*timeseries.Series, error) {
-			bcast.Do(e.broadcastTemperature)
+		curs = append(curs, core.NewLazyCursor(func(ctx context.Context) ([]*timeseries.Series, error) {
+			bcast.Do(func() { e.broadcastTemperature(ctx) })
 			var values []interface{}
 			var err error
 			if style == StyleUDF {
-				values, err = e.extractUDF(shard)
+				values, err = e.extractUDF(ctx, shard)
 			} else {
-				values, err = e.extractUDTF(shard)
+				values, err = e.extractUDTF(ctx, shard)
 			}
 			if err != nil {
 				return nil, err
@@ -324,14 +331,14 @@ func (e *Engine) ParallelHint() int {
 	return cfg.Nodes * cfg.SlotsPerNode
 }
 
-func (e *Engine) broadcastTemperature() {
+func (e *Engine) broadcastTemperature(ctx context.Context) {
 	cluster := e.fs.Cluster()
 	bytes := int64(len(e.temp.Values) * 8)
 	moves := make([]distsim.Move, 0, cluster.Nodes())
 	for n := 0; n < cluster.Nodes(); n++ {
 		moves = append(moves, distsim.Move{From: -1, To: n, Bytes: bytes})
 	}
-	cluster.TransferConcurrent(moves)
+	cluster.TransferConcurrentCtx(ctx, moves)
 }
 
 // hourValue is the UDAF intermediate value: one reading.
@@ -344,7 +351,7 @@ type hourValue struct {
 // (household, reading); a shuffle groups readings by household; reduce
 // assembles each series. The I/O-intensive shuffle is exactly why
 // format 1 is slowest in Figures 13 and 16.
-func (e *Engine) extractUDAF() ([]interface{}, error) {
+func (e *Engine) extractUDAF(ctx context.Context) ([]interface{}, error) {
 	tempLen := len(e.temp.Values)
 	job := &Job{
 		FS:         e.fs,
@@ -378,13 +385,13 @@ func (e *Engine) extractUDAF() ([]interface{}, error) {
 			return nil
 		},
 	}
-	return job.Run()
+	return job.RunContext(ctx)
 }
 
 // extractUDF is the format-2 plan: map-only, one whole series per line,
 // no shuffle. inputs may be a shard of the loaded file list (partition
 // cursors run one job per shard).
-func (e *Engine) extractUDF(inputs []string) ([]interface{}, error) {
+func (e *Engine) extractUDF(ctx context.Context, inputs []string) ([]interface{}, error) {
 	job := &Job{
 		FS:         e.fs,
 		Inputs:     inputs,
@@ -395,13 +402,13 @@ func (e *Engine) extractUDF(inputs []string) ([]interface{}, error) {
 			})
 		},
 	}
-	return job.Run()
+	return job.RunContext(ctx)
 }
 
 // extractUDTF is the format-3 plan: map-only over non-splittable files
 // with map-side aggregation (each household is whole within one file).
 // inputs may be a shard of the loaded file list.
-func (e *Engine) extractUDTF(inputs []string) ([]interface{}, error) {
+func (e *Engine) extractUDTF(ctx context.Context, inputs []string) ([]interface{}, error) {
 	tempLen := len(e.temp.Values)
 	job := &Job{
 		FS:         e.fs,
@@ -420,7 +427,7 @@ func (e *Engine) extractUDTF(inputs []string) ([]interface{}, error) {
 			return nil
 		},
 	}
-	return job.Run()
+	return job.RunContext(ctx)
 }
 
 var _ core.Engine = (*Engine)(nil)

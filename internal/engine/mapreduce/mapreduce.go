@@ -14,6 +14,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -64,6 +65,13 @@ type mapOutput struct {
 // deterministic: by input split then emission order for map-only jobs,
 // by key for reduce jobs.
 func (j *Job) Run() ([]interface{}, error) {
+	return j.RunContext(context.Background())
+}
+
+// RunContext is Run under a cancellation context: map/shuffle/reduce
+// stages stop paying modeled delays once ctx fires and the job returns
+// the context error.
+func (j *Job) RunContext(ctx context.Context) ([]interface{}, error) {
 	if j.FS == nil || j.Map == nil {
 		return nil, fmt.Errorf("mapreduce: job needs FS and Map")
 	}
@@ -119,7 +127,7 @@ func (j *Job) Run() ([]interface{}, error) {
 			},
 		}
 	}
-	if err := cluster.Run(tasks); err != nil {
+	if err := cluster.RunCtx(ctx, tasks); err != nil {
 		return nil, err
 	}
 
@@ -146,7 +154,7 @@ func (j *Job) Run() ([]interface{}, error) {
 			}
 		}
 	}
-	cluster.TransferConcurrent(moves)
+	cluster.TransferConcurrentCtx(ctx, moves)
 
 	// Reduce phase: group by key within each partition.
 	type keyed struct {
@@ -189,7 +197,7 @@ func (j *Job) Run() ([]interface{}, error) {
 			},
 		}
 	}
-	if err := cluster.Run(rtasks); err != nil {
+	if err := cluster.RunCtx(ctx, rtasks); err != nil {
 		return nil, err
 	}
 

@@ -1,0 +1,54 @@
+package rdd
+
+import (
+	"context"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+	"github.com/smartmeter/smartbench/internal/fault"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+func TestCursorChaos(t *testing.T) {
+	srcs, _ := makeSources(t, 20, 10)
+	_, fs := testCtx(t, 4)
+	e := New(fs)
+	if _, err := e.Load(srcs["format1"]); err != nil {
+		t.Fatal(err)
+	}
+	cursortest.RunChaos(t, func(t *testing.T) core.Cursor {
+		cur, err := e.NewCursor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cur
+	})
+}
+
+func TestPartitionChaos(t *testing.T) {
+	srcs, _ := makeSources(t, 20, 10)
+	_, fs := testCtx(t, 4)
+	e := New(fs)
+	if _, err := e.Load(srcs["format1"]); err != nil {
+		t.Fatal(err)
+	}
+	cursortest.RunChaosPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+}
+
+func TestPipelineChaos(t *testing.T) {
+	srcs, ds := makeSources(t, 20, 10)
+	_, fs := testCtx(t, 4)
+	e := New(fs)
+	if _, err := e.Load(srcs["format1"]); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]timeseries.ID, len(ds.Series))
+	for i, s := range ds.Series {
+		ids[i] = s.ID
+	}
+	cursortest.RunPipelineChaos(t, ids, func(ctx context.Context, cfg fault.Config, spec core.Spec) (*core.Results, error) {
+		return exec.RunContext(ctx, fault.New(e, cfg), spec)
+	})
+}

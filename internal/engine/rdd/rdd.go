@@ -20,6 +20,7 @@
 package rdd
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -45,6 +46,20 @@ type Context struct {
 	Cluster *distsim.Cluster
 	// TaskOverhead is charged serially at the driver per launched task.
 	TaskOverhead time.Duration
+	// ctx, when set via WithContext, is the run's cancellation context.
+	// Datasets built through this Context inherit it, so every modeled
+	// delay in the job — dispatch, shuffle, collect — is interruptible.
+	ctx context.Context
+}
+
+// WithContext returns a copy of the Context whose jobs run under ctx:
+// cluster tasks, shuffles and collects stop promptly once ctx fires.
+// The receiver is unchanged, so concurrent jobs with different
+// lifetimes can share one Context.
+func (c *Context) WithContext(ctx context.Context) *Context {
+	jc := *c
+	jc.ctx = ctx
+	return &jc
 }
 
 // NewContext returns a Spark-like context over a cluster.
@@ -108,7 +123,7 @@ func (d *Dataset) Unpersist() {
 // chargeDispatch models the driver serially launching n tasks.
 func (c *Context) chargeDispatch(n int) {
 	if c.TaskOverhead > 0 && n > 0 {
-		time.Sleep(time.Duration(n) * c.TaskOverhead)
+		distsim.SleepCtx(c.ctx, time.Duration(n)*c.TaskOverhead)
 	}
 }
 
@@ -152,7 +167,7 @@ func (c *Context) FromSplitsCtx(splits []dfs.Split, fn func(split *dfs.Split, ct
 			},
 		}
 	}
-	if err := c.Cluster.Run(tasks); err != nil {
+	if err := c.Cluster.RunCtx(c.ctx, tasks); err != nil {
 		return nil, err
 	}
 	return &Dataset{ctx: c, parts: parts, nodes: nodes}, nil
@@ -184,7 +199,7 @@ func (d *Dataset) MapPartitions(fn func(part []Record, ctx *distsim.TaskCtx) ([]
 			},
 		}
 	}
-	if err := d.ctx.Cluster.Run(tasks); err != nil {
+	if err := d.ctx.Cluster.RunCtx(d.ctx.ctx, tasks); err != nil {
 		return nil, err
 	}
 	return &Dataset{ctx: d.ctx, parts: parts, nodes: nodes}, nil
@@ -242,7 +257,7 @@ func (d *Dataset) GroupByKey(numParts int) (*Dataset, error) {
 			}
 		}
 	}
-	d.ctx.Cluster.TransferConcurrent(moves)
+	d.ctx.Cluster.TransferConcurrentCtx(d.ctx.ctx, moves)
 	// Build grouped partitions on the destination nodes.
 	parts := make([][]Record, numParts)
 	nodes := make([]int, numParts)
@@ -280,7 +295,7 @@ func (d *Dataset) GroupByKey(numParts int) (*Dataset, error) {
 			},
 		}
 	}
-	if err := d.ctx.Cluster.Run(tasks); err != nil {
+	if err := d.ctx.Cluster.RunCtx(d.ctx.ctx, tasks); err != nil {
 		return nil, err
 	}
 	return &Dataset{ctx: d.ctx, parts: parts, nodes: nodes}, nil
@@ -302,7 +317,7 @@ func (d *Dataset) CollectRange(lo, hi int) []Record {
 	for i := lo; i < hi; i++ {
 		moves = append(moves, distsim.Move{From: d.nodes[i], To: -1, Bytes: partitionBytes(d.parts[i])})
 	}
-	d.ctx.Cluster.TransferConcurrent(moves)
+	d.ctx.Cluster.TransferConcurrentCtx(d.ctx.ctx, moves)
 	var out []Record
 	for _, p := range d.parts[lo:hi] {
 		out = append(out, p...)
@@ -322,7 +337,7 @@ func (c *Context) Broadcast(value interface{}, bytes int64) *Broadcast {
 	for n := 0; n < c.Cluster.Nodes(); n++ {
 		moves = append(moves, distsim.Move{From: -1, To: n, Bytes: bytes})
 	}
-	c.Cluster.TransferConcurrent(moves)
+	c.Cluster.TransferConcurrentCtx(c.ctx, moves)
 	return &Broadcast{Value: value}
 }
 

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -110,10 +111,16 @@ func (e *Engine) Release() error { return nil }
 // Run implements core.Engine by handing the engine's cursor to the
 // shared execution pipeline.
 func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext implements core.Engine: Run under a caller-supplied context
+// governing cancellation and deadlines.
+func (e *Engine) RunContext(ctx context.Context, spec core.Spec) (*core.Results, error) {
 	if len(e.inputs) == 0 {
 		return nil, fmt.Errorf("rdd: %w", core.ErrNotLoaded)
 	}
-	return exec.Run(e, spec)
+	return exec.RunContext(ctx, e, spec)
 }
 
 // NewCursor implements core.Engine. Extraction is the engine's RDD
@@ -128,10 +135,13 @@ func (e *Engine) NewCursor() (core.Cursor, error) {
 		return nil, fmt.Errorf("rdd: %w", core.ErrNotLoaded)
 	}
 	var pinned *Dataset
-	return core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+	return core.NewLazyCursor(func(ctx context.Context) ([]*timeseries.Series, error) {
+		// Job-scoped context: every modeled delay below honours the
+		// run's cancellation.
+		jc := e.ctx.WithContext(ctx)
 		// Ship the temperature series to the executors once per job.
-		e.ctx.Broadcast(e.temp, int64(len(e.temp.Values)*8))
-		ds, err := e.allSeries()
+		jc.Broadcast(e.temp, int64(len(e.temp.Values)*8))
+		ds, err := e.allSeries(jc)
 		if err != nil {
 			return nil, err
 		}
@@ -171,10 +181,13 @@ type sharedJob struct {
 	open int
 }
 
-func (j *sharedJob) ensure() error {
+func (j *sharedJob) ensure(ctx context.Context) error {
 	j.once.Do(func() {
-		j.e.ctx.Broadcast(j.e.temp, int64(len(j.e.temp.Values)*8))
-		ds, err := j.e.allSeries()
+		// The first cursor to arrive pays for (and can cancel) the
+		// shared job; later cursors reuse the built dataset.
+		jc := j.e.ctx.WithContext(ctx)
+		jc.Broadcast(j.e.temp, int64(len(j.e.temp.Values)*8))
+		ds, err := j.e.allSeries(jc)
 		if err != nil {
 			j.err = err
 			return
@@ -226,8 +239,8 @@ func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
 	curs := make([]core.Cursor, n)
 	for p := 0; p < n; p++ {
 		p := p
-		curs[p] = core.NewLazyCursor(func() ([]*timeseries.Series, error) {
-			if err := job.ensure(); err != nil {
+		curs[p] = core.NewLazyCursor(func(ctx context.Context) ([]*timeseries.Series, error) {
+			if err := job.ensure(ctx); err != nil {
 				return nil, err
 			}
 			ranges := core.PartitionRanges(job.ds.Partitions(), n)
@@ -270,12 +283,12 @@ func (e *Engine) ParallelHint() int {
 
 // seriesDataset parses series-per-line inputs into a Record-per-series
 // dataset.
-func (e *Engine) seriesDataset(splittable bool) (*Dataset, error) {
+func (e *Engine) seriesDataset(jc *Context, splittable bool) (*Dataset, error) {
 	splits, err := e.fs.Splits(e.inputs, splittable)
 	if err != nil {
 		return nil, err
 	}
-	return e.ctx.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
+	return jc.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
 		return meterdata.ScanSeries(split.Reader(), func(s *timeseries.Series) error {
 			emit(Record{Key: int64(s.ID), Value: s, Bytes: int64(len(s.Readings) * 8)})
 			return nil
@@ -286,13 +299,13 @@ func (e *Engine) seriesDataset(splittable bool) (*Dataset, error) {
 // groupedSeriesDataset parses format-3 inputs (reading-per-line,
 // household-complete files) with one non-splittable partition per file,
 // assembling each file's readings map-side.
-func (e *Engine) groupedSeriesDataset() (*Dataset, error) {
+func (e *Engine) groupedSeriesDataset(jc *Context) (*Dataset, error) {
 	splits, err := e.fs.Splits(e.inputs, false)
 	if err != nil {
 		return nil, err
 	}
 	tempLen := len(e.temp.Values)
-	return e.ctx.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
+	return jc.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
 		a := meterdata.NewAssembler(tempLen)
 		if err := meterdata.ScanReadings(split.Reader(), a.Add); err != nil {
 			return err
@@ -304,20 +317,22 @@ func (e *Engine) groupedSeriesDataset() (*Dataset, error) {
 	})
 }
 
-// allSeries assembles one Record per series regardless of input format.
-func (e *Engine) allSeries() (*Dataset, error) {
+// allSeries assembles one Record per series regardless of input
+// format, running the job under jc (a Context scoped to the run via
+// WithContext).
+func (e *Engine) allSeries(jc *Context) (*Dataset, error) {
 	switch {
 	case e.format == meterdata.FormatSeriesPerLine:
-		return e.seriesDataset(true)
+		return e.seriesDataset(jc, true)
 	case e.grouped:
-		return e.groupedSeriesDataset()
+		return e.groupedSeriesDataset(jc)
 	default:
 		// Format 1: parse readings, shuffle by household, assemble.
 		splits, err := e.fs.Splits(e.inputs, true)
 		if err != nil {
 			return nil, err
 		}
-		readings, err := e.ctx.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
+		readings, err := jc.FromSplits(splits, func(split *dfs.Split, emit func(Record)) error {
 			return meterdata.ScanReadings(split.Reader(), func(r meterdata.Reading) error {
 				emit(Record{Key: int64(r.ID), Value: [2]float64{float64(r.Hour), r.Consumption}, Bytes: 16})
 				return nil

@@ -1,8 +1,10 @@
 package rowstore
 
 import (
+	"context"
 	"io"
 
+	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
@@ -16,11 +18,17 @@ import (
 // shared_buffers.
 type scanCursor struct {
 	e      *Engine
+	ctx    context.Context
 	i      int
 	closed bool
 }
 
+func (c *scanCursor) BindContext(ctx context.Context) { c.ctx = ctx }
+
 func (c *scanCursor) Next() (*timeseries.Series, error) {
+	if err := core.CtxErr(c.ctx); err != nil {
+		return nil, err
+	}
 	if c.closed || c.i >= len(c.e.ids) {
 		return nil, io.EOF
 	}
@@ -53,12 +61,18 @@ func (c *scanCursor) SizeHint() (int, bool) { return len(c.e.ids), true }
 // contend only on the shared buffer pool latch.
 type rangeCursor struct {
 	e      *Engine
+	ctx    context.Context
 	lo, hi int
 	i      int
 	closed bool
 }
 
+func (c *rangeCursor) BindContext(ctx context.Context) { c.ctx = ctx }
+
 func (c *rangeCursor) Next() (*timeseries.Series, error) {
+	if err := core.CtxErr(c.ctx); err != nil {
+		return nil, err
+	}
 	if c.closed || c.lo+c.i >= c.hi {
 		return nil, io.EOF
 	}

@@ -1,6 +1,7 @@
 package rowstore
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -265,10 +266,16 @@ func (e *Engine) materialize() (*timeseries.Dataset, error) {
 // index scan and decode tuples one at a time; warm runs reuse the
 // in-memory arrays built by Warm.
 func (e *Engine) Run(spec core.Spec) (*core.Results, error) {
+	return e.RunContext(context.Background(), spec)
+}
+
+// RunContext implements core.Engine: Run under a caller-supplied context
+// governing cancellation and deadlines.
+func (e *Engine) RunContext(ctx context.Context, spec core.Spec) (*core.Results, error) {
 	if e.table == nil {
 		return nil, fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
 	}
-	return exec.Run(e, spec)
+	return exec.RunContext(ctx, e, spec)
 }
 
 // NewCursor implements core.Engine: in-memory arrays after Warm,
@@ -300,7 +307,7 @@ func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
 		curs := make([]core.Cursor, 0, max)
 		for _, r := range core.PartitionRanges(len(series), max) {
 			part := series[r[0]:r[1]]
-			curs = append(curs, core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+			curs = append(curs, core.NewLazyCursor(func(context.Context) ([]*timeseries.Series, error) {
 				return part, nil
 			}, nil))
 		}

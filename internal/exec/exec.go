@@ -26,16 +26,40 @@
 // consume, phase times become per-goroutine busy sums, and a reorder
 // stage keyed by household ID keeps results bit-identical to the serial
 // path. core.PrefetchOff pins the serial path for A/B runs.
+//
+// # Failure containment
+//
+// Every path runs under a context.Context (RunContext): cancelling it
+// stops extraction promptly — the context is bound to every cursor that
+// supports it (core.ContextCursor) and checked between Next calls — and
+// the pipeline joins all of its goroutines and closes every cursor
+// before returning the context's error.
+//
+// Spec.FailPolicy scopes failures to the consumer they belong to
+// instead of the run (see core.FailPolicy). Under Quarantine or Repair:
+// transient cursor errors (core.ConsumerError with Transient set) are
+// retried with capped exponential backoff; permanent per-consumer
+// errors, exhausted retries, kernel errors and recovered kernel panics
+// land on Results.Failed; a series with missing (NaN) readings is
+// quarantined, or — under Repair — routed through the hybrid imputer
+// (internal/impute) and demoted to quarantine only when every reading
+// is missing. Unaffected consumers produce bit-identical results to a
+// run over a dataset without the failed series.
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sort"
+	"sync"
 	"time"
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/histogram"
+	"github.com/smartmeter/smartbench/internal/impute"
 	"github.com/smartmeter/smartbench/internal/par"
 	"github.com/smartmeter/smartbench/internal/sched"
 	"github.com/smartmeter/smartbench/internal/similarity"
@@ -84,15 +108,193 @@ func blockFor(workers int) int {
 	return b
 }
 
+// Extraction retry schedule for transient per-consumer errors under
+// Quarantine/Repair: ExtractAttempts total tries per consumer, backing
+// off exponentially from retryBase and capping at retryCap so a run
+// over a flaky source makes progress without hammering the storage.
+// ExtractAttempts is exported so fault-injection tests can choose
+// whether an injected transient error recovers or exhausts the budget.
+const (
+	ExtractAttempts = 4
+	retryBase       = 200 * time.Microsecond
+	retryCap        = 2 * time.Millisecond
+)
+
+// retryBackoff returns the sleep before retry attempt (1-based).
+func retryBackoff(attempt int) time.Duration {
+	d := retryBase << (attempt - 1)
+	if d > retryCap {
+		d = retryCap
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// contain carries one run's failure-containment state: the policy and
+// the quarantined consumers. add is safe for concurrent use (the
+// overlapped path's decode goroutines and compute workers share one
+// collector).
+type contain struct {
+	policy core.FailPolicy
+
+	mu     sync.Mutex
+	failed []core.ConsumerFailure
+}
+
+func (c *contain) add(id timeseries.ID, phase string, err error) {
+	c.mu.Lock()
+	c.failed = append(c.failed, core.ConsumerFailure{ID: id, Phase: phase, Err: err})
+	c.mu.Unlock()
+}
+
+// finish moves the collected failures onto the results in ascending
+// household-ID order.
+func (c *contain) finish(out *core.Results) {
+	c.mu.Lock()
+	failed := c.failed
+	c.failed = nil
+	c.mu.Unlock()
+	sort.Slice(failed, func(i, j int) bool { return failed[i].ID < failed[j].ID })
+	out.Failed = failed
+}
+
+// next pulls one series off the cursor under the fail policy.
+// Outcomes: (s, nil) on success; (nil, io.EOF) when drained; (nil, nil)
+// when a consumer was quarantined (failure recorded); (nil, err) when
+// the run must abort.
+func (c *contain) next(ctx context.Context, cur core.Cursor) (*timeseries.Series, error) {
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := cur.Next()
+		if err == nil {
+			return s, nil
+		}
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		if ctx.Err() != nil {
+			// A bound cursor surfaces cancellation as its own error;
+			// report the cancellation, not a consumer failure.
+			return nil, ctx.Err()
+		}
+		if c.policy == core.FailFast {
+			return nil, err
+		}
+		ce, ok := core.AsConsumerError(err)
+		if !ok {
+			// Not scoped to one consumer: the storage layer itself is
+			// broken. Fatal under every policy.
+			return nil, err
+		}
+		if ce.Transient {
+			if attempt < ExtractAttempts {
+				if err := sleepCtx(ctx, retryBackoff(attempt)); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Retries exhausted. The cursor is still positioned on the
+			// failing consumer (the transient contract), so it must be
+			// able to skip past it for the run to make progress.
+			sk, ok := cur.(core.Skipper)
+			if !ok {
+				return nil, fmt.Errorf("exec: consumer %d still failing after %d attempts and cursor %T cannot skip: %w",
+					ce.ID, ExtractAttempts, cur, ce.Err)
+			}
+			if err := sk.Skip(); err != nil {
+				return nil, err
+			}
+			c.add(ce.ID, core.PhaseExtract, fmt.Errorf("transient error persisted after %d attempts: %w", ExtractAttempts, ce.Err))
+			return nil, nil
+		}
+		// Permanent: the cursor has advanced past the consumer.
+		c.add(ce.ID, core.PhaseExtract, err)
+		return nil, nil
+	}
+}
+
+// countMissing returns the number of NaN readings.
+func countMissing(readings []float64) int {
+	n := 0
+	for _, v := range readings {
+		if math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// screen inspects an extracted series for missing readings under
+// Quarantine/Repair. It returns the series to compute (possibly a
+// repaired copy — engine-owned buffers are never mutated), or nil when
+// the consumer was quarantined. FailFast skips the scan entirely, so
+// the default path pays nothing.
+func (c *contain) screen(s *timeseries.Series) *timeseries.Series {
+	if c.policy == core.FailFast {
+		return s
+	}
+	miss := countMissing(s.Readings)
+	if miss == 0 {
+		return s
+	}
+	if c.policy == core.Quarantine {
+		c.add(s.ID, core.PhaseExtract, fmt.Errorf("%w (%d of %d)", core.ErrMissingData, miss, len(s.Readings)))
+		return nil
+	}
+	// Repair: impute a copy with the hybrid strategy. A series the
+	// imputer cannot save (every reading missing) demotes to
+	// quarantine.
+	cp := s.Clone()
+	if err := impute.CleanSeries(cp, 0); err != nil {
+		c.add(s.ID, core.PhaseRepair, err)
+		return nil
+	}
+	return cp
+}
+
+// computeErr decides whether a per-consumer compute error (kernel error
+// or recovered panic) is quarantined (returns nil) or fatal.
+func (c *contain) computeErr(id timeseries.ID, err error) error {
+	if c.policy == core.FailFast {
+		return err
+	}
+	c.add(id, core.PhaseCompute, err)
+	return nil
+}
+
 // Run executes one task from the source's cursor through the
+// instrumented three-stage pipeline with a background context. See
+// RunContext.
+func Run(src Source, spec core.Spec) (*core.Results, error) {
+	return RunContext(context.Background(), src, spec)
+}
+
+// RunContext executes one task from the source's cursor through the
 // instrumented three-stage pipeline. Result order is ascending
 // household ID — the order the Cursor contract fixes for serial
 // extraction and the order core.RunReference produces — so engines stay
 // bit-identical to the oracle on both the serial and the overlapped
-// path.
-func Run(src Source, spec core.Spec) (*core.Results, error) {
+// path. Cancelling ctx stops the run promptly with every pipeline
+// goroutine joined and every cursor closed.
+func RunContext(ctx context.Context, src Source, spec core.Spec) (*core.Results, error) {
 	requested := spec.Workers
 	spec = spec.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	workers := spec.Workers
 	if requested <= 0 {
 		if h, ok := src.(ParallelHinter); ok {
@@ -114,6 +316,7 @@ func Run(src Source, spec core.Spec) (*core.Results, error) {
 	}
 
 	out := &core.Results{Task: spec.Task, Phases: ph}
+	cn := &contain{policy: spec.FailPolicy}
 
 	// Overlapped extraction: streaming task + >1 worker + engine exposes
 	// disjoint partitions + the spec didn't pin the serial path. A
@@ -127,18 +330,23 @@ func Run(src Source, spec core.Spec) (*core.Results, error) {
 			if err != nil {
 				return nil, err
 			}
+			for _, cur := range curs {
+				core.BindContext(cur, ctx)
+			}
 			if len(curs) >= 2 {
-				if err := runPrefetch(curs, temp, spec, workers, out); err != nil {
+				if err := runPrefetch(ctx, curs, temp, spec, workers, out, cn); err != nil {
 					return nil, err
 				}
+				cn.finish(out)
 				return out, nil
 			}
 			if len(curs) == 1 {
 				cur := curs[0]
 				defer func() { _ = cur.Close() }()
-				if err := runStreaming(cur, temp, spec, workers, out); err != nil {
+				if err := runStreaming(ctx, cur, temp, spec, workers, out, cn); err != nil {
 					return nil, err
 				}
+				cn.finish(out)
 				return out, nil
 			}
 		}
@@ -150,27 +358,30 @@ func Run(src Source, spec core.Spec) (*core.Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	core.BindContext(cur, ctx)
 	defer func() { _ = cur.Close() }()
 
 	if spec.Task == core.TaskSimilarity {
-		if err := runSimilarity(cur, temp, spec, workers, out); err != nil {
+		if err := runSimilarity(ctx, cur, temp, spec, workers, out, cn); err != nil {
 			return nil, err
 		}
+		cn.finish(out)
 		return out, nil
 	}
-	if err := runStreaming(cur, temp, spec, workers, out); err != nil {
+	if err := runStreaming(ctx, cur, temp, spec, workers, out, cn); err != nil {
 		return nil, err
 	}
+	cn.finish(out)
 	return out, nil
 }
 
 // runSimilarity materializes the cursor (extract) and runs the blocked
 // all-pairs kernel (compute); emit is the assignment of the merged
 // top-k lists.
-func runSimilarity(cur core.Cursor, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results) error {
+func runSimilarity(ctx context.Context, cur core.Cursor, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results, cn *contain) error {
 	ph := out.Phases
 	start := time.Now()
-	ds, err := materialize(cur, temp)
+	ds, err := materialize(ctx, cur, temp, cn)
 	ph.Extract.Wall += time.Since(start)
 	if err != nil {
 		return err
@@ -179,7 +390,7 @@ func runSimilarity(cur core.Cursor, temp *timeseries.Temperature, spec core.Spec
 	ph.Extract.Bytes += seriesBytes(ds.Series)
 
 	start = time.Now()
-	rs, err := similarity.ComputeParallel(ds, spec.K, workers)
+	rs, err := safeSimilarity(ds, spec.K, workers)
 	ph.Compute.Wall += time.Since(start)
 	ph.Compute.Rows += int64(len(ds.Series))
 	if err != nil {
@@ -193,12 +404,26 @@ func runSimilarity(cur core.Cursor, temp *timeseries.Temperature, spec core.Spec
 	return nil
 }
 
-// materialize drains the cursor into a dataset. A DatasetCursor (warm
-// engine) short-circuits: its backing dataset is used as-is, keeping
-// any cached flat-matrix packing.
-func materialize(cur core.Cursor, temp *timeseries.Temperature) (*timeseries.Dataset, error) {
+// safeSimilarity runs the all-pairs kernel with a panic backstop: the
+// whole-dataset task has no per-consumer attribution, so a recovered
+// panic aborts the run with a debuggable error instead of killing the
+// process.
+func safeSimilarity(ds *timeseries.Dataset, k, workers int) (rs []*similarity.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("exec: similarity kernel: %w", core.NewPanicError(v))
+		}
+	}()
+	return similarity.ComputeParallel(ds, k, workers)
+}
+
+// materialize drains the cursor into a dataset under the fail policy. A
+// DatasetCursor (warm engine) short-circuits: its backing dataset is
+// screened in place and used as-is when clean, keeping any cached
+// flat-matrix packing.
+func materialize(ctx context.Context, cur core.Cursor, temp *timeseries.Temperature, cn *contain) (*timeseries.Dataset, error) {
 	if dc, ok := cur.(core.DatasetCursor); ok {
-		return dc.Dataset(), nil
+		return screenDataset(ctx, dc.Dataset(), cn)
 	}
 	var series []*timeseries.Series
 	if h, ok := cur.(core.SizeHinter); ok {
@@ -207,21 +432,58 @@ func materialize(cur core.Cursor, temp *timeseries.Temperature) (*timeseries.Dat
 		}
 	}
 	for {
-		s, err := cur.Next()
+		s, err := cn.next(ctx, cur)
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
+		if s == nil {
+			continue // quarantined
+		}
+		if s = cn.screen(s); s == nil {
+			continue
+		}
 		series = append(series, s)
 	}
 	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
 }
 
+// screenDataset applies the fail policy to an already materialized
+// dataset. The clean common case returns the dataset untouched (cached
+// flat-matrix packing survives); a dataset with dirty series gets a
+// fresh Series slice holding repaired copies or omitting quarantined
+// consumers.
+func screenDataset(ctx context.Context, ds *timeseries.Dataset, cn *contain) (*timeseries.Dataset, error) {
+	if cn.policy == core.FailFast {
+		return ds, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dirty := false
+	for _, s := range ds.Series {
+		if countMissing(s.Readings) > 0 {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return ds, nil
+	}
+	series := make([]*timeseries.Series, 0, len(ds.Series))
+	for _, s := range ds.Series {
+		if s = cn.screen(s); s != nil {
+			series = append(series, s)
+		}
+	}
+	return &timeseries.Dataset{Series: series, Temperature: ds.Temperature}, nil
+}
+
 // runStreaming is the per-consumer path: extract a block of series,
 // compute the kernel over workers, emit in cursor order, repeat.
-func runStreaming(cur core.Cursor, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results) error {
+func runStreaming(ctx context.Context, cur core.Cursor, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results, cn *contain) error {
 	switch spec.Task {
 	case core.TaskHistogram, core.TaskThreeLine, core.TaskPAR:
 	default:
@@ -236,7 +498,7 @@ func runStreaming(cur core.Cursor, temp *timeseries.Temperature, spec core.Spec,
 	for {
 		buf = buf[:0]
 		start := time.Now()
-		drained, err := fill(cur, &buf, block)
+		drained, err := fill(ctx, cur, &buf, block, cn)
 		ph.Extract.Wall += time.Since(start)
 		if err != nil {
 			return err
@@ -244,7 +506,7 @@ func runStreaming(cur core.Cursor, temp *timeseries.Temperature, spec core.Spec,
 		ph.Extract.Rows += int64(len(buf))
 		ph.Extract.Bytes += seriesBytes(buf)
 		if len(buf) > 0 {
-			if err := computeBlock(buf, temp, spec, workers, out, tims); err != nil {
+			if err := computeBlock(buf, temp, spec, workers, out, tims, cn); err != nil {
 				return err
 			}
 		}
@@ -260,25 +522,64 @@ func runStreaming(cur core.Cursor, temp *timeseries.Temperature, spec core.Spec,
 	return nil
 }
 
-// fill pulls up to block series off the cursor; drained reports that the
-// cursor hit io.EOF.
-func fill(cur core.Cursor, buf *[]*timeseries.Series, block int) (drained bool, err error) {
+// fill pulls up to block computable series off the cursor, retrying and
+// quarantining per the fail policy; drained reports that the cursor hit
+// io.EOF.
+func fill(ctx context.Context, cur core.Cursor, buf *[]*timeseries.Series, block int, cn *contain) (drained bool, err error) {
 	for len(*buf) < block {
-		s, err := cur.Next()
+		s, err := cn.next(ctx, cur)
 		if errors.Is(err, io.EOF) {
 			return true, nil
 		}
 		if err != nil {
 			return false, err
 		}
+		if s == nil {
+			continue // quarantined
+		}
+		if s = cn.screen(s); s == nil {
+			continue
+		}
 		*buf = append(*buf, s)
 	}
 	return false, nil
 }
 
+// Per-kernel panic guards: a panic inside one consumer's kernel (the
+// similarity tile-index and stats matrix invariants panic on malformed
+// shapes) becomes a per-consumer error carrying the stack, so the fail
+// policy can quarantine the consumer instead of losing the run.
+
+func safeBuckets(s *timeseries.Series, buckets int) (r *histogram.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &core.ConsumerError{ID: s.ID, Err: core.NewPanicError(v)}
+		}
+	}()
+	return histogram.ComputeBuckets(s, buckets)
+}
+
+func safeThreeLine(s *timeseries.Series, temp *timeseries.Temperature) (r *threeline.Result, tm threeline.Timing, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &core.ConsumerError{ID: s.ID, Err: core.NewPanicError(v)}
+		}
+	}()
+	return threeline.ComputeTimed(s, temp, threeline.DefaultConfig())
+}
+
+func safePAR(s *timeseries.Series, temp *timeseries.Temperature, order int) (r *par.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &core.ConsumerError{ID: s.ID, Err: core.NewPanicError(v)}
+		}
+	}()
+	return par.ComputeOrder(s, temp, order)
+}
+
 // computeBlock runs the per-consumer kernel over one extracted block and
-// appends the results in block order.
-func computeBlock(buf []*timeseries.Series, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results, tims []threeline.Timing) error {
+// appends the surviving results in block order.
+func computeBlock(buf []*timeseries.Series, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results, tims []threeline.Timing, cn *contain) error {
 	ph := out.Phases
 	n := len(buf)
 	start := time.Now()
@@ -298,24 +599,33 @@ func computeBlock(buf []*timeseries.Series, temp *timeseries.Temperature, spec c
 			s := buf[i]
 			switch spec.Task {
 			case core.TaskHistogram:
-				r, err := histogram.ComputeBuckets(s, spec.Buckets)
+				r, err := safeBuckets(s, spec.Buckets)
 				if err != nil {
-					return err
+					if err := cn.computeErr(s.ID, err); err != nil {
+						return err
+					}
+					continue
 				}
 				hists[i] = r
 			case core.TaskThreeLine:
-				r, tm, err := threeline.ComputeTimed(s, temp, threeline.DefaultConfig())
+				r, tm, err := safeThreeLine(s, temp)
 				if err != nil {
-					return err
+					if err := cn.computeErr(s.ID, err); err != nil {
+						return err
+					}
+					continue
 				}
 				tims[w].T1Quantiles += tm.T1Quantiles
 				tims[w].T2Regression += tm.T2Regression
 				tims[w].T3Adjust += tm.T3Adjust
 				lines[i] = r
 			case core.TaskPAR:
-				r, err := par.ComputeOrder(s, temp, spec.Order)
+				r, err := safePAR(s, temp, spec.Order)
 				if err != nil {
-					return err
+					if err := cn.computeErr(s.ID, err); err != nil {
+						return err
+					}
+					continue
 				}
 				profs[i] = r
 			}
@@ -329,11 +639,27 @@ func computeBlock(buf []*timeseries.Series, temp *timeseries.Temperature, spec c
 	}
 
 	start = time.Now()
-	out.Histograms = append(out.Histograms, hists...)
-	out.ThreeLines = append(out.ThreeLines, lines...)
-	out.Profiles = append(out.Profiles, profs...)
+	emitted := 0
+	for _, r := range hists {
+		if r != nil {
+			out.Histograms = append(out.Histograms, r)
+			emitted++
+		}
+	}
+	for _, r := range lines {
+		if r != nil {
+			out.ThreeLines = append(out.ThreeLines, r)
+			emitted++
+		}
+	}
+	for _, r := range profs {
+		if r != nil {
+			out.Profiles = append(out.Profiles, r)
+			emitted++
+		}
+	}
 	ph.Emit.Wall += time.Since(start)
-	ph.Emit.Rows += int64(n)
+	ph.Emit.Rows += int64(emitted)
 	return nil
 }
 

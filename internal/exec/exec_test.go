@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -192,7 +193,7 @@ func TestDatasetCursorConformance(t *testing.T) {
 func TestLazyCursorConformance(t *testing.T) {
 	ds := makeDataset(t, 5, 10)
 	cursortest.Run(t, func(t *testing.T) core.Cursor {
-		return core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+		return core.NewLazyCursor(func(context.Context) ([]*timeseries.Series, error) {
 			return ds.Series, nil
 		}, nil)
 	})
@@ -201,7 +202,7 @@ func TestLazyCursorConformance(t *testing.T) {
 func TestLazyCursorLoadOnceAndOnClose(t *testing.T) {
 	ds := makeDataset(t, 3, 10)
 	loads, closes := 0, 0
-	cur := core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+	cur := core.NewLazyCursor(func(context.Context) ([]*timeseries.Series, error) {
 		loads++
 		return ds.Series, nil
 	}, func() { closes++ })
@@ -240,5 +241,15 @@ func TestRunPropagatesCursorError(t *testing.T) {
 	want := errors.New("boom")
 	if _, err := Run(failingSource{err: want}, core.Spec{Task: core.TaskHistogram}); !errors.Is(err, want) {
 		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+// The chaos conformance suite in cursortest cannot import exec (exec's own
+// tests import cursortest), so it pins the retry budget as a constant. Keep
+// the two in lock-step.
+func TestRetryBudgetMatchesCursortest(t *testing.T) {
+	if cursortest.RetryBudget != ExtractAttempts {
+		t.Fatalf("cursortest.RetryBudget = %d, exec.ExtractAttempts = %d; update cursortest.RetryBudget",
+			cursortest.RetryBudget, ExtractAttempts)
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,6 +35,13 @@ import (
 // accumulators, and the sums are gathered only after the WaitGroup
 // joins. Under overlap the summed busy time legitimately exceeds the
 // Run's elapsed wall clock — that surplus is the measured overlap.
+//
+// Failure containment composes with the overlap: each decode goroutine
+// runs the same retry/quarantine/repair logic as the serial fill (the
+// shared contain collector is mutex-guarded), a panic in a decode
+// goroutine or compute worker is recovered into the shared error slot
+// instead of killing the process, and cancelling the run context closes
+// the stop channel path so every goroutine parks out promptly.
 
 // prefetchBlock is one extracted block in flight from a partition's
 // decode goroutine to the compute workers.
@@ -43,7 +51,8 @@ type prefetchBlock struct {
 }
 
 // computedBlock is one block's kernel output, tagged with its origin for
-// the deterministic reorder in emit.
+// the deterministic reorder in emit. Quarantined consumers leave nil
+// slots.
 type computedBlock struct {
 	part, seq int
 	hists     []*histogram.Result
@@ -52,8 +61,9 @@ type computedBlock struct {
 }
 
 // runPrefetch drives the overlapped pipeline over the partition cursors.
-// It takes ownership of every cursor in curs and closes them all.
-func runPrefetch(curs []core.Cursor, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results) error {
+// It takes ownership of every cursor in curs and closes them all, and
+// returns only after every goroutine it started has exited.
+func runPrefetch(ctx context.Context, curs []core.Cursor, temp *timeseries.Temperature, spec core.Spec, workers int, out *core.Results, cn *contain) error {
 	switch spec.Task {
 	case core.TaskHistogram, core.TaskThreeLine, core.TaskPAR:
 	default:
@@ -83,6 +93,21 @@ func runPrefetch(curs []core.Cursor, temp *timeseries.Temperature, spec core.Spe
 		errMu.Unlock()
 		failOnce.Do(func() { close(stop) })
 	}
+	// Cancellation rides the same shutdown path as an error: the watcher
+	// goroutine turns ctx.Done into a stop, and is itself released via
+	// watchDone when the pipeline drains normally.
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-stop:
+		case <-watchDone:
+		}
+	}()
 
 	// Per-goroutine accumulators: slot p belongs to decode goroutine p,
 	// slot w to compute worker w. No slot is shared, so the writes need
@@ -97,13 +122,21 @@ func runPrefetch(curs []core.Cursor, temp *timeseries.Temperature, spec core.Spe
 		go func(p int, cur core.Cursor) {
 			defer extractWG.Done()
 			defer func() { _ = cur.Close() }()
+			// A panic while decoding (a corrupt segment image, a buggy
+			// parser) must release the pipeline, not deadlock it: convert
+			// it to the run's first error so compute drains and joins.
+			defer func() {
+				if v := recover(); v != nil {
+					fail(core.NewPanicError(v))
+				}
+			}()
 			seq := 0
 			for {
 				// Fresh buffer per block: the previous one is owned by
 				// whichever worker picked it up.
 				buf := make([]*timeseries.Series, 0, block)
 				t0 := time.Now()
-				drained, err := fill(cur, &buf, block)
+				drained, err := fill(ctx, cur, &buf, block, cn)
 				extractBusy[p] += time.Since(t0)
 				if err != nil {
 					fail(err)
@@ -142,6 +175,16 @@ func runPrefetch(curs []core.Cursor, temp *timeseries.Temperature, spec core.Spe
 		computeWG.Add(1)
 		go func(w int) {
 			defer computeWG.Done()
+			// Backstop for panics outside the per-kernel guards: keep
+			// draining so parked decode goroutines always get their send
+			// or the stop.
+			defer func() {
+				if v := recover(); v != nil {
+					fail(core.NewPanicError(v))
+					for range blocks { //nolint:revive // draining
+					}
+				}
+			}()
 			for blk := range blocks {
 				select {
 				case <-stop:
@@ -151,7 +194,7 @@ func runPrefetch(curs []core.Cursor, temp *timeseries.Temperature, spec core.Spe
 				default:
 				}
 				t0 := time.Now()
-				cb, err := computeBlockSerial(blk, temp, spec, &tims[w])
+				cb, err := computeBlockSerial(blk, temp, spec, &tims[w], cn)
 				computeBusy[w] += time.Since(t0)
 				if err != nil {
 					fail(err)
@@ -165,6 +208,8 @@ func runPrefetch(curs []core.Cursor, temp *timeseries.Temperature, spec core.Spe
 		}(w)
 	}
 	computeWG.Wait()
+	close(watchDone)
+	watchWG.Wait()
 	// All decode goroutines finished before blocks closed, and every
 	// worker finished before Wait returned, so firstErr and the
 	// accumulators are safely visible here.
@@ -193,9 +238,21 @@ func runPrefetch(curs []core.Cursor, temp *timeseries.Temperature, spec core.Spe
 		return computed[i].seq < computed[j].seq
 	})
 	for _, cb := range computed {
-		out.Histograms = append(out.Histograms, cb.hists...)
-		out.ThreeLines = append(out.ThreeLines, cb.lines...)
-		out.Profiles = append(out.Profiles, cb.profs...)
+		for _, r := range cb.hists {
+			if r != nil {
+				out.Histograms = append(out.Histograms, r)
+			}
+		}
+		for _, r := range cb.lines {
+			if r != nil {
+				out.ThreeLines = append(out.ThreeLines, r)
+			}
+		}
+		for _, r := range cb.profs {
+			if r != nil {
+				out.Profiles = append(out.Profiles, r)
+			}
+		}
 	}
 	// Partition-major concatenation is already ascending for engines with
 	// ID-contiguous shards (file, row, column stores); the cluster
@@ -210,25 +267,33 @@ func runPrefetch(curs []core.Cursor, temp *timeseries.Temperature, spec core.Spe
 
 // computeBlockSerial runs the per-consumer kernel over one block on the
 // calling worker goroutine. Parallelism comes from multiple workers
-// holding different blocks, not from fan-out within a block.
-func computeBlockSerial(blk prefetchBlock, temp *timeseries.Temperature, spec core.Spec, tim *threeline.Timing) (computedBlock, error) {
+// holding different blocks, not from fan-out within a block. Kernel
+// errors and panics follow the fail policy: quarantined consumers leave
+// nil slots in the computed block.
+func computeBlockSerial(blk prefetchBlock, temp *timeseries.Temperature, spec core.Spec, tim *threeline.Timing, cn *contain) (computedBlock, error) {
 	cb := computedBlock{part: blk.part, seq: blk.seq}
 	switch spec.Task {
 	case core.TaskHistogram:
 		cb.hists = make([]*histogram.Result, len(blk.series))
 		for i, s := range blk.series {
-			r, err := histogram.ComputeBuckets(s, spec.Buckets)
+			r, err := safeBuckets(s, spec.Buckets)
 			if err != nil {
-				return cb, err
+				if err := cn.computeErr(s.ID, err); err != nil {
+					return cb, err
+				}
+				continue
 			}
 			cb.hists[i] = r
 		}
 	case core.TaskThreeLine:
 		cb.lines = make([]*threeline.Result, len(blk.series))
 		for i, s := range blk.series {
-			r, tm, err := threeline.ComputeTimed(s, temp, threeline.DefaultConfig())
+			r, tm, err := safeThreeLine(s, temp)
 			if err != nil {
-				return cb, err
+				if err := cn.computeErr(s.ID, err); err != nil {
+					return cb, err
+				}
+				continue
 			}
 			tim.T1Quantiles += tm.T1Quantiles
 			tim.T2Regression += tm.T2Regression
@@ -238,9 +303,12 @@ func computeBlockSerial(blk prefetchBlock, temp *timeseries.Temperature, spec co
 	case core.TaskPAR:
 		cb.profs = make([]*par.Result, len(blk.series))
 		for i, s := range blk.series {
-			r, err := par.ComputeOrder(s, temp, spec.Order)
+			r, err := safePAR(s, temp, spec.Order)
 			if err != nil {
-				return cb, err
+				if err := cn.computeErr(s.ID, err); err != nil {
+					return cb, err
+				}
+				continue
 			}
 			cb.profs[i] = r
 		}

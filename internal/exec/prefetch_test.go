@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -58,7 +59,7 @@ func (s partitionedSource) NewCursors(max int) ([]core.Cursor, error) {
 	curs := make([]core.Cursor, len(parts))
 	for i, p := range parts {
 		p := p
-		curs[i] = core.NewLazyCursor(func() ([]*timeseries.Series, error) {
+		curs[i] = core.NewLazyCursor(func(context.Context) ([]*timeseries.Series, error) {
 			return p, nil
 		}, nil)
 	}
@@ -241,7 +242,7 @@ func (s failingPartSource) NewCursors(max int) ([]core.Cursor, error) {
 	mid := len(s.ds.Series) / 2
 	ok := s.ds.Series[:mid]
 	return []core.Cursor{
-		core.NewLazyCursor(func() ([]*timeseries.Series, error) { return ok, nil }, nil),
+		core.NewLazyCursor(func(context.Context) ([]*timeseries.Series, error) { return ok, nil }, nil),
 		&failingCursor{series: s.ds.Series[mid:], failAt: s.failAt},
 	}, nil
 }

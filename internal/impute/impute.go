@@ -64,6 +64,9 @@ var ErrAllMissing = errors.New("impute: every reading is missing")
 // neighbours. Leading and trailing gaps are filled with the nearest
 // observed value. The input is modified in place and returned.
 func Linear(readings []float64) ([]float64, error) {
+	if len(readings) == 0 {
+		return nil, ErrAllMissing
+	}
 	gaps := FindGaps(readings)
 	if len(gaps) == 1 && gaps[0].Len() == len(readings) {
 		return nil, ErrAllMissing
@@ -108,6 +111,7 @@ func HistoricalMean(readings []float64) ([]float64, error) {
 		perHour[i%timeseries.HoursPerDay].Add(v)
 		overall.Add(v)
 	}
+	// Covers the empty slice too: no readings means no observations.
 	if overall.N() == 0 {
 		return nil, ErrAllMissing
 	}
@@ -132,6 +136,9 @@ func HistoricalMean(readings []float64) ([]float64, error) {
 func Hybrid(readings []float64, maxLinearGap int) ([]float64, error) {
 	if maxLinearGap <= 0 {
 		maxLinearGap = 3
+	}
+	if len(readings) == 0 {
+		return nil, ErrAllMissing
 	}
 	gaps := FindGaps(readings)
 	if len(gaps) == 0 {

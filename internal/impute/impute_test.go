@@ -1,6 +1,7 @@
 package impute
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -204,5 +205,34 @@ func TestImputersPropertiesQuick(t *testing.T) {
 				t.Error(err)
 			}
 		})
+	}
+}
+
+// An empty series used to be accepted silently by Linear and Hybrid
+// (no gaps to fill), which let zero-length inputs sail through repair
+// and fail later in odd places. All three strategies now report the
+// typed ErrAllMissing so callers (e.g. the pipeline's Repair policy)
+// can demote the consumer to quarantine.
+func TestEmptySeriesIsAllMissing(t *testing.T) {
+	if _, err := Linear(nil); !errors.Is(err, ErrAllMissing) {
+		t.Errorf("Linear(nil) error = %v, want ErrAllMissing", err)
+	}
+	if _, err := HistoricalMean(nil); !errors.Is(err, ErrAllMissing) {
+		t.Errorf("HistoricalMean(nil) error = %v, want ErrAllMissing", err)
+	}
+	if _, err := Hybrid(nil, 3); !errors.Is(err, ErrAllMissing) {
+		t.Errorf("Hybrid(nil, 3) error = %v, want ErrAllMissing", err)
+	}
+}
+
+func TestCleanSeriesAllMissingIsTyped(t *testing.T) {
+	s := &timeseries.Series{ID: 9, Readings: []float64{Missing, Missing, Missing}}
+	err := CleanSeries(s, 3)
+	if !errors.Is(err, ErrAllMissing) {
+		t.Fatalf("CleanSeries(all-NaN) error = %v, want wrapped ErrAllMissing", err)
+	}
+	s = &timeseries.Series{ID: 10}
+	if err := CleanSeries(s, 3); !errors.Is(err, ErrAllMissing) {
+		t.Fatalf("CleanSeries(empty) error = %v, want wrapped ErrAllMissing", err)
 	}
 }

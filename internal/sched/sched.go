@@ -12,9 +12,24 @@
 package sched
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError wraps a panic recovered from a scheduled block so a bug in
+// one worker surfaces as an error on the calling goroutine instead of
+// killing the process (or, with other workers parked, deadlocking it).
+// The stack is captured at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: worker panic: %v\n%s", e.Value, e.Stack)
+}
 
 // Run partitions [0, n) into blocks of the given size and executes
 // fn(worker, lo, hi) once for every block.
@@ -26,7 +41,9 @@ import (
 // address preallocated per-worker scratch. The first error returned by
 // fn stops further claims (blocks already in flight still finish) and
 // is returned; which later blocks were abandoned is unspecified, so
-// callers must treat their output as invalid on error.
+// callers must treat their output as invalid on error. A panic in fn is
+// recovered into a *PanicError and treated like a first error, on both
+// the inline and the fan-out path.
 func Run(n, block, workers int, fn func(worker, lo, hi int) error) error {
 	if n <= 0 {
 		return nil
@@ -43,7 +60,7 @@ func Run(n, block, workers int, fn func(worker, lo, hi int) error) error {
 			if hi > n {
 				hi = n
 			}
-			if err := fn(0, lo, hi); err != nil {
+			if err := safeCall(fn, 0, lo, hi); err != nil {
 				return err
 			}
 		}
@@ -70,7 +87,7 @@ func Run(n, block, workers int, fn func(worker, lo, hi int) error) error {
 				if hi > n {
 					hi = n
 				}
-				if err := fn(w, lo, hi); err != nil {
+				if err := safeCall(fn, w, lo, hi); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					stopped.Store(true)
 					return
@@ -80,4 +97,14 @@ func Run(n, block, workers int, fn func(worker, lo, hi int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// safeCall invokes one block, converting a panic into a *PanicError.
+func safeCall(fn func(worker, lo, hi int) error, w, lo, hi int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(w, lo, hi)
 }

@@ -19,6 +19,13 @@
 #      single-CPU host the overlapped path can only match the serial
 #      one (expect ~1.0), so read the JSON's "cpus" field alongside
 #      the ratio.
+#   4. BenchmarkFault{Baseline,QuarantineZero,QuarantineInjected}
+#      (fail-fast with no fault wrapper vs the full containment
+#      machinery at a zero injection rate vs a 5% mixed rate)
+#      -> BENCH_fault.json with mean ns/op per variant plus the
+#      zero-rate-over-baseline overhead ratio. Containment that nobody
+#      triggers should be nearly free: the no-fault overhead target is
+#      <3% (ratio <= 1.03).
 #
 # For a statistical A/B over two checkouts, feed the raw output files
 # to benchstat (golang.org/x/perf) instead.
@@ -27,6 +34,7 @@
 #   OUT=BENCH_similarity.json         # similarity output path override
 #   PIPE_OUT=BENCH_pipeline.json      # pipeline output path override
 #   EXTRACT_OUT=BENCH_extract.json    # extraction output path override
+#   FAULT_OUT=BENCH_fault.json        # fault output path override
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +42,7 @@ COUNT="${COUNT:-6}"
 OUT="${OUT:-BENCH_similarity.json}"
 PIPE_OUT="${PIPE_OUT:-BENCH_pipeline.json}"
 EXTRACT_OUT="${EXTRACT_OUT:-BENCH_extract.json}"
+FAULT_OUT="${FAULT_OUT:-BENCH_fault.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -140,3 +149,38 @@ awk -v out="$EXTRACT_OUT" -v cpus="$(nproc 2>/dev/null || echo 1)" '
 
 echo "== wrote $EXTRACT_OUT"
 cat "$EXTRACT_OUT"
+
+echo "== go test -bench 'BenchmarkFault(Baseline|QuarantineZero|QuarantineInjected)' -count $COUNT"
+go test -run '^$' -bench 'BenchmarkFault(Baseline|QuarantineZero|QuarantineInjected)$' \
+  -count "$COUNT" -timeout 20m . | tee "$RAW"
+
+awk -v out="$FAULT_OUT" '
+  /^BenchmarkFault(Baseline|QuarantineZero|QuarantineInjected)/ {
+    name = $1
+    sub(/^BenchmarkFault/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns[name] += $3; runs[name]++
+  }
+  END {
+    if (runs["Baseline"] == 0 || runs["QuarantineZero"] == 0 ||
+        runs["QuarantineInjected"] == 0) {
+      print "bench.sh: missing fault benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    bn = ns["Baseline"] / runs["Baseline"]
+    qz = ns["QuarantineZero"] / runs["QuarantineZero"]
+    qi = ns["QuarantineInjected"] / runs["QuarantineInjected"]
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkFaultContainmentOverhead\",\n" >> out
+    printf "  \"count\": %d,\n", runs["Baseline"] >> out
+    printf "  \"baseline\": {\"ns_per_op\": %.1f},\n", bn >> out
+    printf "  \"quarantine_zero\": {\"ns_per_op\": %.1f},\n", qz >> out
+    printf "  \"quarantine_injected_5pct\": {\"ns_per_op\": %.1f},\n", qi >> out
+    printf "  \"no_fault_overhead\": %.3f,\n", qz / bn >> out
+    printf "  \"no_fault_overhead_target\": 1.03\n" >> out
+    printf "}\n" >> out
+  }
+' "$RAW"
+
+echo "== wrote $FAULT_OUT"
+cat "$FAULT_OUT"

@@ -28,6 +28,13 @@ go test -race ./internal/exec/... ./internal/engine/...
 echo "== go run ./cmd/smlint ./internal/engine/... (engine layering)"
 go run ./cmd/smlint ./internal/engine/...
 
+# Chaos conformance: every engine cursor under injected faults and
+# mid-extract cancellation, raced. These tests also run inside the full
+# suite below, but a containment or leak regression should fail here
+# under its own name rather than somewhere inside "go test ./...".
+echo "== go test -race -run 'Chaos|Cancel|Fault' ./... (fault containment + cancellation)"
+go test -race -run 'Chaos|Cancel|Fault' ./...
+
 echo "== go test -race ./..."
 go test -race ./...
 
