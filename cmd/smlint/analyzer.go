@@ -1,8 +1,10 @@
 // smlint is the repo-native static-analysis driver for the smart meter
 // benchmark. It enforces, by construction, the properties the paper's
 // numbers depend on: deterministic randomness, epsilon-audited
-// floating-point comparisons, race-free goroutine fan-out and no
-// silently dropped errors.
+// floating-point comparisons, race-free goroutine fan-out, no silently
+// dropped errors, and — through the interprocedural dataflow analyzers
+// (cursorleak, refbalance, ctxflow, hotalloc) — resource lifecycles,
+// cancellation plumbing and allocation-free hot loops.
 //
 // It is built only on the standard library (go/ast, go/parser,
 // go/types) — no golang.org/x/tools dependency — so it runs anywhere
@@ -15,6 +17,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one finding at a position.
@@ -37,6 +40,10 @@ type Pass struct {
 
 	analyzer string
 	diags    *[]Diagnostic
+	// facts is the package's interprocedural substrate (call graph +
+	// per-function summaries), computed once per package and shared by
+	// every analyzer via Facts().
+	facts *packageFacts
 }
 
 // Reportf records a diagnostic at pos.
@@ -64,12 +71,27 @@ var analyzers = []*Analyzer{
 	enginelayeringAnalyzer,
 	timenowAnalyzer,
 	ctxpollAnalyzer,
+	cursorleakAnalyzer,
+	refbalanceAnalyzer,
+	ctxflowAnalyzer,
+	hotallocAnalyzer,
 }
 
-// runAnalyzers applies every analyzer to the package and returns the
-// findings sorted by position.
+func knownAnalyzer(name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// runAnalyzers applies every analyzer to the package, honors
+// //smlint:ignore directives and returns the findings sorted by
+// position.
 func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
 	var diags []Diagnostic
+	var facts *packageFacts
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:     fset,
@@ -78,9 +100,20 @@ func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Info:     info,
 			analyzer: a.Name,
 			diags:    &diags,
+			facts:    facts,
 		}
 		a.Run(pass)
+		facts = pass.facts // first analyzer to ask computes; the rest share
 	}
+	diags = applySuppressions(fset, files, diags)
+	sortDiags(diags)
+	return diags
+}
+
+// sortDiags orders findings by file, line, column, analyzer — the
+// deterministic order the driver also applies globally across packages
+// so output and CI diffs are stable.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -89,7 +122,65 @@ func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+}
+
+// applySuppressions drops diagnostics covered by a
+// `//smlint:ignore <analyzer> <reason>` comment on the same line or the
+// line above, and reports malformed directives (unknown analyzer,
+// missing reason) as findings of their own — a suppression without a
+// written reason is not a suppression.
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	covered := map[string]map[int]map[string]bool{} // file -> line -> analyzer
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//smlint:ignore")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				malformed := func(format string, args ...any) {
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignore",
+						Message:  fmt.Sprintf(format, args...),
+					})
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					malformed("smlint:ignore needs an analyzer name and a reason: //smlint:ignore <analyzer> <reason>")
+					continue
+				}
+				if !knownAnalyzer(fields[0]) {
+					malformed("smlint:ignore names unknown analyzer %q", fields[0])
+					continue
+				}
+				if len(fields) < 2 {
+					malformed("smlint:ignore %s needs a reason explaining why the finding is acceptable", fields[0])
+					continue
+				}
+				if covered[pos.Filename] == nil {
+					covered[pos.Filename] = map[int]map[string]bool{}
+				}
+				if covered[pos.Filename][pos.Line] == nil {
+					covered[pos.Filename][pos.Line] = map[string]bool{}
+				}
+				covered[pos.Filename][pos.Line][fields[0]] = true
+			}
+		}
+	}
+	for _, d := range diags {
+		lines := covered[d.Pos.Filename]
+		if lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }

@@ -1,0 +1,435 @@
+package main
+
+// cfg.go builds a lightweight statement-level control-flow graph from a
+// function's AST: one node per executed statement, with branch-, loop-,
+// switch-, select-, defer- and return-aware successor edges. It is the
+// shared substrate under the interprocedural analyzers (cursorleak,
+// refbalance): they ask path questions — "does every path from this
+// acquisition reach a release?" — instead of re-walking the syntax
+// tree with ad-hoc heuristics.
+//
+// The graph is deliberately simpler than a compiler CFG: statements are
+// not split into basic blocks (functions here are small), goto edges
+// are approximated as jumps to the exit, and panics/os.Exit terminate
+// the function. That is exactly enough precision for must-reach
+// queries with error-guard pruning.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// nodeKind classifies how a node leaves the function, for path queries
+// that treat normal and abnormal exits differently.
+type nodeKind uint8
+
+const (
+	kindPlain  nodeKind = iota
+	kindReturn          // return statement: edge to exit
+	kindPanic           // panic/os.Exit/log.Fatal: abnormal edge to exit
+)
+
+// cfgNode is one statement in the control-flow graph. The synthetic
+// exit node has a nil stmt.
+type cfgNode struct {
+	stmt  ast.Stmt
+	succs []*cfgNode
+	kind  nodeKind
+	// isIf marks an *ast.IfStmt node, whose successors are fixed as
+	// succs[0] = then branch, succs[1] = else / fall-through. Path
+	// queries use the ordering to prune error-guard branches.
+	isIf bool
+}
+
+// funcCFG is the graph for one function body.
+type funcCFG struct {
+	entry *cfgNode
+	exit  *cfgNode
+	nodes map[ast.Stmt]*cfgNode
+	// defers lists every defer statement node in source order; deferred
+	// calls run on all exits, so must-reach queries treat a path through
+	// a satisfying defer node as satisfied.
+	defers []*cfgNode
+}
+
+// buildCFG constructs the graph for a function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{exit: &cfgNode{}, nodes: map[ast.Stmt]*cfgNode{}}
+	b := &cfgBuilder{g: g}
+	g.entry = b.stmtList(body.List, g.exit)
+	return g
+}
+
+// frame is one enclosing breakable/continuable construct during the
+// build. cont is nil for switch/select frames.
+type frame struct {
+	brk, cont *cfgNode
+	label     string
+}
+
+type cfgBuilder struct {
+	g      *funcCFG
+	frames []frame
+	// fallthroughs stacks the entry of the next case clause while
+	// building switch bodies.
+	fallthroughs []*cfgNode
+	// pendingLabel carries a label down to the loop it names.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) node(s ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: s}
+	b.g.nodes[s] = n
+	return n
+}
+
+// stmtList wires a statement list so control flows through it to
+// follow, returning the entry node (follow itself for an empty list).
+func (b *cfgBuilder) stmtList(list []ast.Stmt, follow *cfgNode) *cfgNode {
+	next := follow
+	for i := len(list) - 1; i >= 0; i-- {
+		next = b.stmt(list[i], next)
+	}
+	return next
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, follow *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, follow)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		entry := b.stmt(s.Stmt, follow)
+		b.pendingLabel = ""
+		return entry
+
+	case *ast.IfStmt:
+		n := b.node(s)
+		n.isIf = true
+		thenE := b.stmtList(s.Body.List, follow)
+		elseE := follow
+		if s.Else != nil {
+			elseE = b.stmt(s.Else, follow)
+		}
+		n.succs = []*cfgNode{thenE, elseE}
+		if s.Init != nil {
+			return b.stmt(s.Init, n)
+		}
+		return n
+
+	case *ast.ForStmt:
+		n := b.node(s)
+		cont := n
+		if s.Post != nil {
+			post := b.node(s.Post)
+			post.succs = []*cfgNode{n}
+			cont = post
+		}
+		b.push(frame{brk: follow, cont: cont})
+		bodyE := b.stmtList(s.Body.List, cont)
+		b.pop()
+		n.succs = []*cfgNode{bodyE}
+		if s.Cond != nil {
+			// A conditional loop may run zero times.
+			n.succs = append(n.succs, follow)
+		}
+		if s.Init != nil {
+			return b.stmt(s.Init, n)
+		}
+		return n
+
+	case *ast.RangeStmt:
+		n := b.node(s)
+		b.push(frame{brk: follow, cont: n})
+		bodyE := b.stmtList(s.Body.List, n)
+		b.pop()
+		n.succs = []*cfgNode{bodyE, follow}
+		return n
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(s, s.Init, clauses(s.Body), follow)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(s, s.Init, clauses(s.Body), follow)
+
+	case *ast.SelectStmt:
+		n := b.node(s)
+		b.push(frame{brk: follow})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cn := b.node(cc)
+			cn.succs = []*cfgNode{b.stmtList(cc.Body, follow)}
+			n.succs = append(n.succs, cn)
+		}
+		b.pop()
+		if len(n.succs) == 0 {
+			// select{} blocks forever.
+			n.succs = []*cfgNode{b.g.exit}
+		}
+		return n
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.kind = kindReturn
+		n.succs = []*cfgNode{b.g.exit}
+		return n
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.find(s.Label, false); f != nil {
+				n.succs = []*cfgNode{f.brk}
+				return n
+			}
+		case token.CONTINUE:
+			if f := b.find(s.Label, true); f != nil {
+				n.succs = []*cfgNode{f.cont}
+				return n
+			}
+		case token.FALLTHROUGH:
+			if len(b.fallthroughs) > 0 {
+				n.succs = []*cfgNode{b.fallthroughs[len(b.fallthroughs)-1]}
+				return n
+			}
+		}
+		// goto, or a branch whose target we cannot resolve: approximate
+		// as leaving the function.
+		n.succs = []*cfgNode{b.g.exit}
+		return n
+
+	case *ast.DeferStmt:
+		n := b.node(s)
+		n.succs = []*cfgNode{follow}
+		b.g.defers = append(b.g.defers, n)
+		return n
+
+	case *ast.ExprStmt:
+		n := b.node(s)
+		if isTerminalCall(s.X) {
+			n.kind = kindPanic
+			n.succs = []*cfgNode{b.g.exit}
+			return n
+		}
+		n.succs = []*cfgNode{follow}
+		return n
+
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec,
+		// empty statements: straight-line flow.
+		n := b.node(s)
+		n.succs = []*cfgNode{follow}
+		return n
+	}
+}
+
+// switchStmt wires a switch or type switch: tag node fans out to each
+// clause, clause bodies flow to follow, fallthrough jumps to the next
+// clause's body.
+func (b *cfgBuilder) switchStmt(s ast.Stmt, init ast.Stmt, cs []*ast.CaseClause, follow *cfgNode) *cfgNode {
+	n := b.node(s)
+	b.push(frame{brk: follow})
+	hasDefault := false
+	// Build back-to-front so each clause knows its fallthrough target.
+	entries := make([]*cfgNode, len(cs))
+	next := follow
+	for i := len(cs) - 1; i >= 0; i-- {
+		cc := cs[i]
+		if cc.List == nil {
+			hasDefault = true
+		}
+		cn := b.node(cc)
+		b.fallthroughs = append(b.fallthroughs, next)
+		bodyE := b.stmtList(cc.Body, follow)
+		b.fallthroughs = b.fallthroughs[:len(b.fallthroughs)-1]
+		cn.succs = []*cfgNode{bodyE}
+		entries[i] = cn
+		next = bodyE
+	}
+	b.pop()
+	for _, cn := range entries {
+		n.succs = append(n.succs, cn)
+	}
+	if !hasDefault {
+		n.succs = append(n.succs, follow)
+	}
+	if init != nil {
+		return b.stmt(init, n)
+	}
+	return n
+}
+
+func clauses(body *ast.BlockStmt) []*ast.CaseClause {
+	var cs []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			cs = append(cs, cc)
+		}
+	}
+	return cs
+}
+
+func (b *cfgBuilder) push(f frame) {
+	f.label = b.pendingLabel
+	b.pendingLabel = ""
+	b.frames = append(b.frames, f)
+}
+
+func (b *cfgBuilder) pop() { b.frames = b.frames[:len(b.frames)-1] }
+
+// find resolves the frame a break/continue targets: the labeled frame,
+// or the innermost one (loops only, for continue).
+func (b *cfgBuilder) find(label *ast.Ident, needLoop bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if label != nil {
+			if f.label == label.Name {
+				return f
+			}
+			continue
+		}
+		if needLoop && f.cont == nil {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns: panic, os.Exit, log.Fatal*, runtime.Goexit.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		name := fun.Sel.Name
+		switch pkg.Name {
+		case "os":
+			return name == "Exit"
+		case "log":
+			return name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+				name == "Panic" || name == "Panicf" || name == "Panicln"
+		case "runtime":
+			return name == "Goexit"
+		}
+	}
+	return false
+}
+
+// shallowExprs returns the expressions a node's statement evaluates at
+// the node itself — for compound statements, only the header (condition
+// or tag), since their nested blocks are separate nodes.
+func shallowExprs(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return []ast.Node{s.Cond}
+		}
+		return nil
+	case *ast.RangeStmt:
+		out := []ast.Node{s.X}
+		if s.Key != nil {
+			out = append(out, s.Key)
+		}
+		if s.Value != nil {
+			out = append(out, s.Value)
+		}
+		return out
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return []ast.Node{s.Tag}
+		}
+		return nil
+	case *ast.TypeSwitchStmt:
+		return []ast.Node{s.Assign}
+	case *ast.CaseClause:
+		out := make([]ast.Node, 0, len(s.List))
+		for _, e := range s.List {
+			out = append(out, e)
+		}
+		return out
+	case *ast.CommClause:
+		if s.Comm != nil {
+			return []ast.Node{s.Comm}
+		}
+		return nil
+	case *ast.SelectStmt:
+		return nil
+	case nil:
+		return nil
+	default:
+		return []ast.Node{s}
+	}
+}
+
+// pathVerdict is the classification of one node during a must-reach
+// query.
+type pathVerdict int
+
+const (
+	// pathContinue keeps walking this branch.
+	pathContinue pathVerdict = iota
+	// pathSatisfied marks the requirement met on this branch.
+	pathSatisfied
+	// pathExempt marks a branch that does not need the requirement
+	// (e.g. the error half of an error guard).
+	pathExempt
+)
+
+// firstUnsatisfiedExit walks every path from start's successors and
+// returns the terminal node of the first path that reaches the function
+// exit without any node classifying as pathSatisfied, or nil when every
+// path is satisfied or exempt. prune, when non-nil, suppresses
+// individual successor edges (if-branch pruning for error guards).
+// Paths that leave through a panic-kind node are exempt: deferred
+// cleanup and process death make leak reports there noise.
+func (g *funcCFG) firstUnsatisfiedExit(start *cfgNode, classify func(*cfgNode) pathVerdict, prune func(n *cfgNode, succIdx int) bool) *cfgNode {
+	seen := map[*cfgNode]bool{}
+	var walk func(n, prev *cfgNode) *cfgNode
+	walk = func(n, prev *cfgNode) *cfgNode {
+		if n == g.exit {
+			if prev != nil && prev.kind == kindPanic {
+				return nil
+			}
+			return prev
+		}
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		switch classify(n) {
+		case pathSatisfied, pathExempt:
+			return nil
+		}
+		for i, succ := range n.succs {
+			if prune != nil && prune(n, i) {
+				continue
+			}
+			if bad := walk(succ, n); bad != nil {
+				return bad
+			}
+		}
+		return nil
+	}
+	for i, succ := range start.succs {
+		if prune != nil && prune(start, i) {
+			continue
+		}
+		if bad := walk(succ, start); bad != nil {
+			return bad
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package main
+
+// ctxflowAnalyzer enforces the repo's cancellation discipline
+// interprocedurally: a function that (transitively) reaches an
+// uncancellable sleep must accept a context.Context and honor it, and a
+// function that already has a context must forward it instead of
+// minting context.Background(). It composes three rules on the
+// packageFacts substrate:
+//
+//  1. has-ctx-but-sleeps: the function accepts ctx yet calls a bare
+//     time.Sleep in its own body — the wait ignores cancellation.
+//  2. drops-ctx-at-call: the function accepts ctx and calls an
+//     in-package function that transitively bottoms out in time.Sleep
+//     but takes no context — cancellation dies at that edge.
+//  3. blocks-without-ctx: a non-test function with no ctx parameter
+//     sleeps directly — callers have no way to cancel it. main, init
+//     and function literals spawned via go are exempt (a goroutine's
+//     sleep does not block its spawner).
+//
+// A bare sleep under a nil-context guard (`if ctx == nil { time.Sleep }`,
+// `if ctx.Done() == nil { ... }`) is the sanctioned fallback for
+// optional contexts — distsim.SleepCtx and the fault injector's bound
+// sleep — and is exempt from all three rules.
+//
+// Channel operations feed the blocking fact (facts.go) but do not
+// trigger reports on their own: a receive in a loop is usually already
+// racing a ctx.Done() arm in a select, and flagging it would drown the
+// signal.
+
+import (
+	"go/ast"
+)
+
+var ctxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags functions that reach an uncancellable time.Sleep without accepting a context, and contexts dropped instead of forwarded",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	pf := p.Facts()
+	for _, ff := range pf.funcs {
+		if isTestFile(p.Fset, ff.decl.Pos()) {
+			continue
+		}
+		if ff.ctxParam >= 0 {
+			checkCtxBearer(p, pf, ff)
+		} else {
+			checkCtxless(p, ff)
+		}
+	}
+}
+
+// checkCtxBearer applies rules 1 and 2 plus the Background()-drop check
+// to a function that accepts a context.
+func checkCtxBearer(p *Pass, pf *packageFacts, ff *funcFacts) {
+	for _, oc := range ownCalls(p, ff.decl) {
+		call := oc.call
+		if isBareSleep(p, call) {
+			if !oc.ctxGuarded {
+				p.Reportf(call.Pos(),
+					"%s accepts a context but waits in bare time.Sleep; select on the context (or use a ctx-aware sleep) so cancellation interrupts the wait",
+					ff.obj.Name())
+			}
+			continue
+		}
+		if arg := freshContextArg(p, call); arg != nil {
+			p.Reportf(arg.Pos(),
+				"%s accepts a context but passes a fresh one here; forward the caller's context so cancellation propagates",
+				ff.obj.Name())
+		}
+		callee := staticCallee(p.Info, call)
+		if callee == nil || callee.Pkg() != p.Pkg {
+			continue
+		}
+		gf := pf.funcs[callee]
+		if gf == nil || gf.ctxParam >= 0 {
+			continue
+		}
+		if root := rootBlock(pf, gf); root != nil && isSleepBlock(root) {
+			p.Reportf(call.Pos(),
+				"%s has a context but calls %s, which reaches time.Sleep and takes none; thread the context through so the sleep can be cancelled",
+				ff.obj.Name(), callee.Name())
+		}
+	}
+}
+
+// checkCtxless applies rule 3: a function with no context parameter
+// that sleeps in its own body.
+func checkCtxless(p *Pass, ff *funcFacts) {
+	name := ff.obj.Name()
+	if ff.decl.Recv == nil && (name == "main" || name == "init") {
+		return
+	}
+	for _, oc := range ownCalls(p, ff.decl) {
+		if isBareSleep(p, oc.call) && !oc.ctxGuarded {
+			p.Reportf(oc.call.Pos(),
+				"%s blocks in time.Sleep but accepts no context.Context; accept one and honor cancellation, or push the wait up to a caller that does",
+				name)
+		}
+	}
+}
+
+// ownCall is one call evaluated by the function's own body, with
+// whether an enclosing if condition consults a context (the nil-ctx
+// fallback shape).
+type ownCall struct {
+	call       *ast.CallExpr
+	ctxGuarded bool
+}
+
+// ownCalls collects the calls of the function's own body, skipping
+// function literals: a literal spawned via go (or stashed for later)
+// blocks its eventual runner, not this function.
+func ownCalls(p *Pass, decl *ast.FuncDecl) []ownCall {
+	var out []ownCall
+	var stack []ast.Node
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if _, ok := n.(*ast.FuncLit); ok {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			out = append(out, ownCall{call: call, ctxGuarded: underCtxGuard(p, stack)})
+		}
+		return true
+	})
+	return out
+}
+
+// underCtxGuard reports whether any enclosing if statement's condition
+// consults a context value (ctx == nil, c.ctx != nil, ctx.Done() ==
+// nil): the function is dispatching on context availability, so a bare
+// sleep inside is the deliberate no-context fallback.
+func underCtxGuard(p *Pass, stack []ast.Node) bool {
+	for _, anc := range stack {
+		ifStmt, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condMentionsContext(p, ifStmt.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+func condMentionsContext(p *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		if isContextType(p.Info.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isBareSleep reports whether the call is time.Sleep.
+func isBareSleep(p *Pass, call *ast.CallExpr) bool {
+	callee := staticCallee(p.Info, call)
+	return callee != nil && callee.Pkg() != nil &&
+		callee.Pkg().Path() == "time" && callee.Name() == "Sleep"
+}
+
+// freshContextArg returns the argument expression when the call passes
+// a context minted on the spot — context.Background() or context.TODO()
+// — and nil otherwise.
+func freshContextArg(p *Pass, call *ast.CallExpr) ast.Expr {
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		callee := staticCallee(p.Info, inner)
+		if callee == nil || callee.Pkg() == nil {
+			continue
+		}
+		if callee.Pkg().Path() == "context" &&
+			(callee.Name() == "Background" || callee.Name() == "TODO") {
+			return arg
+		}
+	}
+	return nil
+}
+
+// rootBlock follows a blocking fact's via chain to the function that
+// blocks directly, returning its site (nil on a cycle or missing link).
+func rootBlock(pf *packageFacts, ff *funcFacts) *blockSite {
+	seen := map[*funcFacts]bool{}
+	for ff != nil && ff.block != nil {
+		if ff.block.via == nil {
+			return ff.block
+		}
+		if seen[ff] {
+			return nil
+		}
+		seen[ff] = true
+		ff = pf.funcs[ff.block.via]
+	}
+	return nil
+}
+
+// isSleepBlock reports whether a direct block site is a time.Sleep (as
+// opposed to a channel operation, which is usually select-guarded).
+func isSleepBlock(b *blockSite) bool {
+	return b.via == nil && b.what == "time.Sleep"
+}

@@ -1,0 +1,117 @@
+package main
+
+// cursorleakAnalyzer enforces the Close-on-all-paths half of the
+// core.Cursor contract (and io.Closer generally): a value obtained from
+// a call whose type implements Close() error must reach Close on every
+// control-flow path out of the function — via defer, an explicit call,
+// or by escaping to an owner (returned, stored, captured by a closure,
+// or handed to a function whose package summary says it closes or
+// keeps its argument). The classic bug it catches at compile time is
+// the early return between acquisition and the deferred Close — the
+// leak the chaos suite's goroutine and finalizer accounting can only
+// catch at run time, per injected schedule.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+var cursorleakAnalyzer = &Analyzer{
+	Name: "cursorleak",
+	Doc:  "flags closers (core.Cursor, io.Closer, files) that miss Close on some path out of the acquiring function",
+	Run:  runCursorleak,
+}
+
+// closerIface is io.Closer built structurally, so the check does not
+// depend on the package under analysis importing io.
+var closerIface = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil, types.NewTuple(),
+		types.NewTuple(types.NewVar(token.NoPos, nil, "", errType)), false)
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Close", sig),
+	}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// implementsCloser reports whether t (or *t) has Close() error.
+func implementsCloser(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return types.Implements(t, closerIface)
+	}
+	if types.Implements(t, closerIface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), closerIface)
+	}
+	return false
+}
+
+func runCursorleak(p *Pass) {
+	pf := p.Facts()
+	for _, ff := range pf.funcs {
+		if isTestFile(p.Fset, ff.decl.Pos()) {
+			continue
+		}
+		for _, u := range flowUnits(ff.decl) {
+			checkUnitCloses(p, pf, u)
+		}
+	}
+}
+
+func checkUnitCloses(p *Pass, pf *packageFacts, u *flowUnit) {
+	u.eachStmt(func(s ast.Stmt) {
+		acq := assignAcquisition(p, s, implementsCloser)
+		if acq == nil {
+			return
+		}
+		// Track only locals declared (or reassigned) in this unit; a
+		// captured variable's lifecycle belongs to the enclosing scope.
+		if acq.obj.Pos() < u.body.Pos() || acq.obj.Pos() > u.body.End() {
+			return
+		}
+		q := &flowQuery{
+			p:      p,
+			pf:     pf,
+			obj:    acq.obj,
+			errObj: acq.err,
+			isRelease: func(sel *ast.SelectorExpr, asReceiver bool) bool {
+				return asReceiver && sel.Sel.Name == "Close"
+			},
+			calleeSettles: func(gf *funcFacts, i int) bool {
+				return gf.closesParams[i]
+			},
+		}
+		if bad := q.run(u, acq.stmt); bad != nil {
+			p.Reportf(acq.stmt.Pos(),
+				"%s obtained here does not reach Close on the path leaving via %s; close it on every path, defer the Close, or hand it to an owner",
+				describeCloser(acq), describeExit(p, bad))
+		}
+	})
+}
+
+// describeCloser names the acquisition for the diagnostic.
+func describeCloser(acq *acquisition) string {
+	name := acq.obj.Name()
+	t := acq.obj.Type()
+	return name + " (" + types.TypeString(t, types.RelativeTo(acq.obj.Pkg())) + ")"
+}
+
+// describeExit names the unsettled path's terminal statement.
+func describeExit(p *Pass, n *cfgNode) string {
+	if n == nil || n.stmt == nil {
+		return "the function end"
+	}
+	pos := p.Fset.Position(n.stmt.Pos())
+	if n.kind == kindReturn {
+		return "the return on line " + strconv.Itoa(pos.Line)
+	}
+	return "line " + strconv.Itoa(pos.Line)
+}

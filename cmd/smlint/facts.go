@@ -1,0 +1,448 @@
+package main
+
+// facts.go computes the per-package interprocedural substrate shared by
+// the dataflow analyzers: a static call graph over the package's
+// declared functions plus a summary per function — whether it
+// (transitively) blocks, whether it accepts and forwards a
+// context.Context, which parameters it closes or releases. Summaries
+// are computed once per package (runAnalyzers attaches them to every
+// Pass), so analyzers compose on the same substrate instead of
+// re-walking the AST.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// calleeEdge is one static call from a function body to another
+// function declared in the same package.
+type calleeEdge struct {
+	callee *types.Func
+	call   *ast.CallExpr
+}
+
+// blockSite records why a function blocks: the offending operation (or
+// the callee that transitively blocks) and where.
+type blockSite struct {
+	what string // "time.Sleep", "channel receive in loop", ...
+	pos  token.Pos
+	via  *types.Func // non-nil when inherited from a callee
+}
+
+// desc renders the blocking reason, following via chains one level.
+func (b *blockSite) desc() string {
+	if b.via != nil {
+		return "calls " + b.via.Name() + ", which blocks"
+	}
+	return b.what
+}
+
+// funcFacts is the summary for one declared function.
+type funcFacts struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+
+	callees []calleeEdge
+	// block is non-nil when the function directly or transitively
+	// reaches a blocking operation.
+	block *blockSite
+	// ctxParam is the index of the first context.Context parameter, or
+	// -1. The receiver does not count: interface-fixed signatures hold
+	// their context in a bound field instead.
+	ctxParam int
+	// closesParams[i] is true when the function closes its i-th
+	// parameter on some path (directly, via defer, or by handing it to
+	// an in-package function that does). Callers credit a call that
+	// passes a tracked closer to such a parameter as a close.
+	closesParams []bool
+	// releasesParams[i] names the release methods (refbalance pairs)
+	// the function applies to its i-th parameter.
+	releasesParams []map[string]bool
+	// escapesParams[i] is true when the function stores, returns or
+	// captures its i-th parameter — it keeps the resource, so passing
+	// one in transfers ownership.
+	escapesParams []bool
+
+	cfg *funcCFG // built lazily via factsFor().cfgOf
+}
+
+// packageFacts is the substrate for one package.
+type packageFacts struct {
+	funcs map[*types.Func]*funcFacts
+	// byDecl indexes the same facts by declaration node.
+	byDecl map[*ast.FuncDecl]*funcFacts
+}
+
+// cfgOf returns (building on first use) the CFG for a declared function.
+func (pf *packageFacts) cfgOf(ff *funcFacts) *funcCFG {
+	if ff.cfg == nil && ff.decl.Body != nil {
+		ff.cfg = buildCFG(ff.decl.Body)
+	}
+	return ff.cfg
+}
+
+// Facts returns the package's interprocedural substrate, computing it
+// on first use.
+func (p *Pass) Facts() *packageFacts {
+	if p.facts == nil {
+		p.facts = computeFacts(p)
+	}
+	return p.facts
+}
+
+func computeFacts(p *Pass) *packageFacts {
+	pf := &packageFacts{
+		funcs:  map[*types.Func]*funcFacts{},
+		byDecl: map[*ast.FuncDecl]*funcFacts{},
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := &funcFacts{
+				decl:     fd,
+				obj:      obj,
+				ctxParam: ctxParamIndex(obj),
+			}
+			nparams := obj.Type().(*types.Signature).Params().Len()
+			ff.closesParams = make([]bool, nparams)
+			ff.releasesParams = make([]map[string]bool, nparams)
+			ff.escapesParams = make([]bool, nparams)
+			pf.funcs[obj] = ff
+			pf.byDecl[fd] = ff
+			scanBody(p, ff)
+			scanParamEscapes(p, ff)
+		}
+	}
+	propagateParamFacts(pf)
+	propagateBlocking(pf)
+	return pf
+}
+
+// scanBody fills the direct (non-transitive) facts of one function:
+// call edges, direct blocking sites, and parameter close/release
+// events.
+func scanBody(p *Pass, ff *funcFacts) {
+	params := paramObjects(p, ff.decl)
+	loopDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				ast.Inspect(s.Body, walk)
+				if s.Cond != nil {
+					ast.Inspect(s.Cond, walk)
+				}
+				if s.Post != nil {
+					ast.Inspect(s.Post, walk)
+				}
+			case *ast.RangeStmt:
+				ast.Inspect(s.Body, walk)
+			}
+			loopDepth--
+			return false
+		case *ast.SendStmt:
+			if loopDepth > 0 && ff.block == nil {
+				ff.block = &blockSite{what: "channel send in a loop", pos: n.Pos()}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && loopDepth > 0 && ff.block == nil {
+				ff.block = &blockSite{what: "channel receive in a loop", pos: n.Pos()}
+			}
+		case *ast.CallExpr:
+			recordCall(p, ff, params, n)
+		case *ast.DeferStmt:
+			recordCall(p, ff, params, n.Call)
+		}
+		return true
+	}
+	ast.Inspect(ff.decl.Body, walk)
+}
+
+// recordCall classifies one call expression: an in-package edge, a
+// blocking primitive, or a close/release event on a parameter.
+func recordCall(p *Pass, ff *funcFacts, params map[types.Object]int, call *ast.CallExpr) {
+	callee := staticCallee(p.Info, call)
+	if callee != nil {
+		if callee.Pkg() == p.Pkg {
+			ff.callees = append(ff.callees, calleeEdge{callee: callee, call: call})
+		}
+		if ff.block == nil && isBlockingCallee(callee) {
+			ff.block = &blockSite{what: callee.Pkg().Name() + "." + callee.Name(), pos: call.Pos()}
+		}
+	}
+
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// p.Close() / p.Release() on a parameter: record the close and any
+	// matching pair release against the parameter index.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if i, isParam := params[p.Info.Uses[id]]; isParam {
+			if sel.Sel.Name == "Close" {
+				ff.closesParams[i] = true
+			}
+			if ff.releasesParams[i] == nil {
+				ff.releasesParams[i] = map[string]bool{}
+			}
+			ff.releasesParams[i][sel.Sel.Name] = true
+		}
+	}
+	// release(p) / bp.unpin(p, ...): a parameter passed as an argument
+	// to a release-named call counts as released by name.
+	for _, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		i, isParam := params[p.Info.Uses[id]]
+		if !isParam {
+			continue
+		}
+		if ff.releasesParams[i] == nil {
+			ff.releasesParams[i] = map[string]bool{}
+		}
+		ff.releasesParams[i][sel.Sel.Name] = true
+		if sel.Sel.Name == "Close" {
+			ff.closesParams[i] = true
+		}
+	}
+}
+
+// scanParamEscapes marks parameters the function keeps: returned,
+// stored into another value, captured by a literal, or handed to a
+// call we cannot see into. A parameter used only as a method receiver
+// or in comparisons does not escape.
+func scanParamEscapes(p *Pass, ff *funcFacts) {
+	params := paramObjects(p, ff.decl)
+	var stack []ast.Node
+	ast.Inspect(ff.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		i, isParam := params[p.Info.Uses[id]]
+		if !isParam {
+			return true
+		}
+		if paramUseEscapes(p, stack, id) {
+			ff.escapesParams[i] = true
+		}
+		return true
+	})
+}
+
+// paramUseEscapes classifies one parameter occurrence given its
+// ancestor stack.
+func paramUseEscapes(p *Pass, stack []ast.Node, id *ast.Ident) bool {
+	// Captured by a function literal anywhere above.
+	for _, anc := range stack[:len(stack)-1] {
+		if _, ok := anc.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	parent := ancestor(stack, 1)
+	switch par := parent.(type) {
+	case *ast.SelectorExpr:
+		return false // receiver or field read
+	case *ast.BinaryExpr:
+		return false
+	case *ast.CallExpr:
+		if par.Fun == ast.Node(id) {
+			return false
+		}
+		// Handing the parameter onward: escapes unless the callee is an
+		// in-package function (those are resolved transitively by
+		// propagateParamFacts — treat as non-escape here and let the
+		// fixpoint add precision).
+		if callee := staticCallee(p.Info, par); callee != nil && callee.Pkg() == p.Pkg {
+			return false
+		}
+		return true
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr,
+		*ast.SendStmt, *ast.UnaryExpr, *ast.IndexExpr, *ast.TypeAssertExpr:
+		return true
+	case *ast.AssignStmt:
+		for _, rhs := range par.Rhs {
+			if rhs == ast.Expr(id) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// propagateParamFacts iterates close/release credit through in-package
+// calls to a fixed point: if f passes its parameter j straight through
+// to g's parameter i and g closes i, then f closes j.
+func propagateParamFacts(pf *packageFacts) {
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range pf.funcs {
+			params := paramIdents(ff.decl)
+			for _, edge := range ff.callees {
+				gf := pf.funcs[edge.callee]
+				if gf == nil {
+					continue
+				}
+				for ai, arg := range edge.call.Args {
+					if ai >= len(gf.closesParams) {
+						break
+					}
+					id, ok := arg.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					j, isParam := params[id.Name]
+					if !isParam {
+						continue
+					}
+					if gf.closesParams[ai] && !ff.closesParams[j] {
+						ff.closesParams[j] = true
+						changed = true
+					}
+					if gf.escapesParams[ai] && !ff.escapesParams[j] {
+						ff.escapesParams[j] = true
+						changed = true
+					}
+					for rel := range gf.releasesParams[ai] {
+						if ff.releasesParams[j] == nil {
+							ff.releasesParams[j] = map[string]bool{}
+						}
+						if !ff.releasesParams[j][rel] {
+							ff.releasesParams[j][rel] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// propagateBlocking closes the blocking relation over the call graph:
+// a caller of a blocking function blocks.
+func propagateBlocking(pf *packageFacts) {
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range pf.funcs {
+			if ff.block != nil {
+				continue
+			}
+			for _, edge := range ff.callees {
+				gf := pf.funcs[edge.callee]
+				if gf != nil && gf.block != nil {
+					ff.block = &blockSite{pos: edge.call.Pos(), via: edge.callee}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// staticCallee resolves the *types.Func a call statically invokes:
+// a plain function, a method, or a package-qualified function. Calls
+// through function values, built-ins and type conversions return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isBlockingCallee reports whether a resolved callee is one of the
+// known blocking primitives outside the package: time.Sleep and the
+// blocking half of sync.WaitGroup.
+func isBlockingCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "time":
+		return fn.Name() == "Sleep"
+	case "sync":
+		return fn.Name() == "Wait"
+	}
+	return false
+}
+
+// ctxParamIndex returns the index of the first context.Context
+// parameter of fn, or -1.
+func ctxParamIndex(fn *types.Func) int {
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// paramObjects maps each named parameter's object to its index.
+func paramObjects(p *Pass, decl *ast.FuncDecl) map[types.Object]int {
+	out := map[types.Object]int{}
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				out[obj] = i
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// paramIdents maps parameter names to indices (for syntactic matching
+// inside propagate, where only the caller's AST is at hand).
+func paramIdents(decl *ast.FuncDecl) map[string]int {
+	out := map[string]int{}
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			out[name.Name] = i
+			i++
+		}
+	}
+	return out
+}

@@ -11,18 +11,40 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // loader parses and type-checks packages without golang.org/x/tools.
 // Imports inside the current module resolve by mapping the import path
 // onto the module directory; everything else (the standard library)
 // resolves through the stdlib source importer.
+//
+// The loader is safe for concurrent use: the driver analyzes packages
+// in parallel, so each import path is loaded exactly once (concurrent
+// requests for an in-flight package wait for the first load), and the
+// stdlib source importer — which is not synchronized internally — is
+// serialized behind its own mutex. The shared token.FileSet is
+// concurrency-safe by contract.
 type loader struct {
 	fset    *token.FileSet
 	modPath string
 	modRoot string
-	std     types.Importer
-	cache   map[string]*types.Package
+
+	std   types.Importer
+	stdMu sync.Mutex
+
+	mu      sync.Mutex
+	entries map[string]*loadEntry
+}
+
+// loadEntry is one package's load, shared by every goroutine that needs
+// it; done is closed when the fields are final.
+type loadEntry struct {
+	done  chan struct{}
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
 }
 
 func newLoader(modPath, modRoot string) *loader {
@@ -32,31 +54,50 @@ func newLoader(modPath, modRoot string) *loader {
 		modPath: modPath,
 		modRoot: modRoot,
 		std:     importer.ForCompiler(fset, "source", nil),
-		cache:   map[string]*types.Package{},
+		entries: map[string]*loadEntry{},
 	}
 }
 
 // Import implements types.Importer so repo packages can depend on each
 // other during type checking.
 func (l *loader) Import(path string) (*types.Package, error) {
-	if pkg, ok := l.cache[path]; ok {
-		return pkg, nil
-	}
 	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
-		pkg, _, _, err := l.load(path, filepath.Join(l.modRoot, rel))
-		if err != nil {
-			return nil, err
-		}
-		l.cache[path] = pkg
-		return pkg, nil
+		e := l.entry(path, filepath.Join(l.modRoot, rel))
+		return e.pkg, e.err
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
 // load parses the non-test Go files in dir and type-checks them as one
 // package, returning the package, its syntax and the filled type info.
+// Concurrent calls for the same path share one load.
 func (l *loader) load(path, dir string) (*types.Package, []*ast.File, *types.Info, error) {
+	e := l.entry(path, dir)
+	return e.pkg, e.files, e.info, e.err
+}
+
+// entry returns the (possibly in-flight) load for path, starting it if
+// this is the first request.
+func (l *loader) entry(path, dir string) *loadEntry {
+	l.mu.Lock()
+	if e, ok := l.entries[path]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e
+	}
+	e := &loadEntry{done: make(chan struct{})}
+	l.entries[path] = e
+	l.mu.Unlock()
+	e.pkg, e.files, e.info, e.err = l.parseAndCheck(path, dir)
+	close(e.done)
+	return e
+}
+
+// parseAndCheck does the actual parse + type-check of one package.
+func (l *loader) parseAndCheck(path, dir string) (*types.Package, []*ast.File, *types.Info, error) {
 	names, err := goFiles(dir)
 	if err != nil {
 		return nil, nil, nil, err

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes rel-path -> contents under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for rel, contents := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoaderErrors pins the loader's failure modes: malformed sources,
+// type-check errors and directories with nothing to build all surface
+// as errors instead of panics or silent empty packages.
+func TestLoaderErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		files   map[string]string
+		wantErr string // regexp over the error text
+	}{
+		{
+			name:    "malformed source",
+			files:   map[string]string{"broken.go": "package broken\nfunc {\n"},
+			wantErr: "expected",
+		},
+		{
+			name:    "type-check error",
+			files:   map[string]string{"broken.go": "package broken\n\nvar x = undefinedIdent\n"},
+			wantErr: "undefined|undeclared",
+		},
+		{
+			name:    "no Go files",
+			files:   map[string]string{"README.md": "not Go\n"},
+			wantErr: "no Go files",
+		},
+		{
+			name:    "missing directory",
+			files:   map[string]string{},
+			wantErr: "no such file|cannot find",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			writeTree(t, root, tc.files)
+			dir := root
+			if tc.name == "missing directory" {
+				dir = filepath.Join(root, "nope")
+			}
+			l := newLoader("loadtest.invalid/mod", root)
+			_, _, _, err := l.load("loadtest.invalid/mod", dir)
+			if err == nil {
+				t.Fatalf("load succeeded, want error matching %q", tc.wantErr)
+			}
+			if !regexp.MustCompile(tc.wantErr).MatchString(err.Error()) {
+				t.Fatalf("error = %q, want match for %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPackageDirs pins ./... expansion: package directories are found
+// recursively while testdata, vendor, hidden and underscore trees are
+// skipped.
+func TestPackageDirs(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"a/a.go":            "package a\n",
+		"a/testdata/x/x.go": "package x\n",
+		"b/b.go":            "package b\n",
+		"b/vendor/v/v.go":   "package v\n",
+		".hidden/h.go":      "package h\n",
+		"_skip/s.go":        "package s\n",
+		"empty/README.md":   "no Go here\n",
+	})
+	dirs, err := packageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rels []string
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels = append(rels, filepath.ToSlash(rel))
+	}
+	want := []string{"a", "b"}
+	if len(rels) != len(want) {
+		t.Fatalf("packageDirs = %v, want %v", rels, want)
+	}
+	for i := range want {
+		if rels[i] != want[i] {
+			t.Fatalf("packageDirs = %v, want %v", rels, want)
+		}
+	}
+}
+
+// TestRealMainExitCodes pins the driver contract scripts/check.sh and
+// CI rely on: 0 clean, 1 findings, 2 usage or load errors — and the
+// -json wire format consumed by the CI annotation step.
+func TestRealMainExitCodes(t *testing.T) {
+	module := func(t *testing.T, files map[string]string) string {
+		root := t.TempDir()
+		files["go.mod"] = "module drivertest.invalid/m\n\ngo 1.22\n"
+		writeTree(t, root, files)
+		return root
+	}
+
+	t.Run("bad flag is a usage error", func(t *testing.T) {
+		var out, errb strings.Builder
+		if got := realMain([]string{"-bogus"}, &out, &errb); got != 2 {
+			t.Fatalf("exit = %d, want 2; stderr: %s", got, errb.String())
+		}
+	})
+
+	t.Run("load failure exits 2", func(t *testing.T) {
+		t.Chdir(module(t, map[string]string{"p/p.go": "package p\nfunc {\n"}))
+		var out, errb strings.Builder
+		if got := realMain([]string{"./..."}, &out, &errb); got != 2 {
+			t.Fatalf("exit = %d, want 2; stderr: %s", got, errb.String())
+		}
+		if !strings.Contains(errb.String(), "smlint:") {
+			t.Fatalf("stderr %q does not name the failure", errb.String())
+		}
+	})
+
+	t.Run("clean tree exits 0", func(t *testing.T) {
+		t.Chdir(module(t, map[string]string{"p/p.go": "package p\n\nfunc Add(a, b int) int { return a + b }\n"}))
+		var out, errb strings.Builder
+		if got := realMain([]string{"./..."}, &out, &errb); got != 0 {
+			t.Fatalf("exit = %d, want 0; stderr: %s", got, errb.String())
+		}
+		if out.String() != "" {
+			t.Fatalf("stdout %q, want empty", out.String())
+		}
+	})
+
+	t.Run("findings exit 1 with json annotations", func(t *testing.T) {
+		t.Chdir(module(t, map[string]string{"p/p.go": "package p\n\nfunc eq(a, b float64) bool { return a == b }\n"}))
+		var out, errb strings.Builder
+		if got := realMain([]string{"-json", "./..."}, &out, &errb); got != 1 {
+			t.Fatalf("exit = %d, want 1; stderr: %s", got, errb.String())
+		}
+		var diags []jsonDiag
+		if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+			t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+		}
+		if len(diags) != 1 {
+			t.Fatalf("got %d findings, want 1: %+v", len(diags), diags)
+		}
+		d := diags[0]
+		if d.File != "p/p.go" || d.Analyzer != "floatcmp" || d.Line == 0 || d.Col == 0 || d.Message == "" {
+			t.Fatalf("jsonDiag = %+v, want cwd-relative file p/p.go from floatcmp with position and message", d)
+		}
+	})
+}

@@ -1,47 +1,72 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr,
-			"usage: smlint [packages]\n\n"+
-				"Analyzes Go packages with the repo's correctness analyzers:\n\n")
-		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
-		}
-		fmt.Fprintf(os.Stderr, "\nPatterns: ./... (everything under cwd) or package directories.\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-
-	args := flag.Args()
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-
-	diags, err := run(args)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "smlint:", err)
-		os.Exit(2)
-	}
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "smlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run resolves the patterns to package directories, loads each package
-// and applies every analyzer.
+// realMain is the driver behind main, factored out so tests can pin the
+// exit codes: 0 clean, 1 findings, 2 usage or load error.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message)")
+	fs.Usage = func() {
+		_, _ = fmt.Fprintf(stderr,
+			"usage: smlint [-json] [packages]\n\n"+
+				"Analyzes Go packages with the repo's correctness analyzers:\n\n")
+		for _, a := range analyzers {
+			_, _ = fmt.Fprintf(stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+		_, _ = fmt.Fprintf(stderr, "\nPatterns: ./... (everything under cwd) or package directories.\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := run(patterns)
+	if err != nil {
+		_, _ = fmt.Fprintln(stderr, "smlint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := emitJSON(stdout, diags); err != nil {
+			_, _ = fmt.Fprintln(stderr, "smlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			_, _ = fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		_, _ = fmt.Fprintf(stderr, "smlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// run resolves the patterns to package directories, loads and analyzes
+// each package in parallel, and returns all findings in one globally
+// deterministic order (file, line, column, analyzer) so output and CI
+// diffs are stable across runs and machine core counts.
 func run(patterns []string) ([]Diagnostic, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -81,17 +106,75 @@ func run(patterns []string) ([]Diagnostic, error) {
 		}
 	}
 
-	var diags []Diagnostic
-	for _, dir := range dirs {
-		path, err := l.importPathFor(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkg, files, info, err := l.load(path, dir)
-		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", path, err)
-		}
-		diags = append(diags, runAnalyzers(l.fset, files, pkg, info)...)
+	type result struct {
+		diags []Diagnostic
+		err   error
 	}
+	results := make([]result, len(dirs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			path, err := l.importPathFor(dir)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			pkg, files, info, err := l.load(path, dir)
+			if err != nil {
+				results[i].err = fmt.Errorf("loading %s: %w", path, err)
+				return
+			}
+			results[i].diags = runAnalyzers(l.fset, files, pkg, info)
+		}(i, dir)
+	}
+	wg.Wait()
+
+	var diags []Diagnostic
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		diags = append(diags, r.diags...)
+	}
+	sortDiags(diags)
 	return diags, nil
+}
+
+// jsonDiag is the -json wire form of one finding. File is
+// cwd-relative when possible so CI annotations resolve inside the
+// checkout.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emitJSON(w io.Writer, diags []Diagnostic) error {
+	cwd, _ := os.Getwd()
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, jsonDiag{
+			File:     filepath.ToSlash(file),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

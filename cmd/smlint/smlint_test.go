@@ -74,6 +74,12 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{enginelayeringAnalyzer, "enginelayering/internal/engine/badengine", true},
 		{timenowAnalyzer, "timenow", true},
 		{ctxpollAnalyzer, "ctxpoll/internal/exec", true},
+		{cursorleakAnalyzer, "cursorleak", true},
+		{refbalanceAnalyzer, "refbalance", true},
+		{refbalanceAnalyzer, "refbalance/internal/engine/rowstore", true},
+		{ctxflowAnalyzer, "ctxflow", true},
+		{hotallocAnalyzer, "hotalloc/internal/stats", true},
+		{hotallocAnalyzer, "hotalloc/internal/engine/fake", true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.dir, func(t *testing.T) {
@@ -119,6 +125,73 @@ func TestAnalyzerFixtures(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSuppressions pins //smlint:ignore handling end to end through
+// runAnalyzers: a well-formed directive (line-above or same-line)
+// silences its finding, and malformed directives — missing reason,
+// unknown analyzer — are findings themselves and suppress nothing.
+func TestSuppressions(t *testing.T) {
+	l := newLoader("fixture.invalid/mod", filepath.Join("testdata", "src"))
+	pkg, files, info, err := l.load("fixture.invalid/mod/suppress", filepath.Join("testdata", "src", "suppress"))
+	if err != nil {
+		t.Fatalf("loading suppress fixture: %v", err)
+	}
+	diags := runAnalyzers(l.fset, files, pkg, info)
+
+	var ignores, floats []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "ignore":
+			ignores = append(ignores, d)
+		case "floatcmp":
+			floats = append(floats, d)
+		default:
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	// The two well-formed suppressions silence their findings; the two
+	// malformed ones leave theirs standing.
+	if len(floats) != 2 {
+		t.Errorf("got %d floatcmp findings, want 2 (malformed directives must not suppress):", len(floats))
+		for _, d := range floats {
+			t.Logf("  %s", d)
+		}
+	}
+	if len(ignores) != 2 {
+		t.Fatalf("got %d ignore findings, want 2 (missing reason + unknown analyzer)", len(ignores))
+	}
+	wantMsgs := []string{"needs a reason", "unknown analyzer"}
+	for i, wantSub := range wantMsgs {
+		if !strings.Contains(ignores[i].Message, wantSub) {
+			t.Errorf("ignore finding %d = %q, want substring %q", i, ignores[i].Message, wantSub)
+		}
+	}
+}
+
+// TestSelfLint holds the analyzer, fault-injection and execution layers
+// to smlint's own standard: every analyzer over cmd/smlint,
+// internal/fault and internal/exec must report nothing.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks several packages")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, modRoot, err := findModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(modRoot)
+	diags, err := run([]string{"./cmd/smlint", "./internal/fault", "./internal/exec/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("self-lint: %s", d)
 	}
 }
 

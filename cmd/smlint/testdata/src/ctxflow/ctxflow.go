@@ -1,0 +1,69 @@
+// Fixture for the ctxflow analyzer.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// Rule 1: a context-bearing function must not wait in bare time.Sleep.
+func bareSleepWithCtx(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "accepts a context but waits in bare time.Sleep"
+	<-ctx.Done()
+}
+
+// The nil-context guard is the sanctioned fallback shape: exempt.
+func guardedFallback(ctx context.Context, d time.Duration) {
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// Rule 3: a ctx-less function that sleeps directly leaves callers no
+// way to cancel the wait.
+func sleeper(d time.Duration) {
+	time.Sleep(d) // want "sleeper blocks in time.Sleep but accepts no context.Context"
+}
+
+// Rule 2: the context dies at the edge into a ctx-less sleeper.
+func dropsAtEdge(ctx context.Context) {
+	sleeper(time.Millisecond) // want "dropsAtEdge has a context but calls sleeper, which reaches time.Sleep"
+}
+
+// The blocking fact propagates through intermediate calls.
+func indirect(d time.Duration) {
+	sleeper(d)
+}
+
+func callsIndirect(ctx context.Context) {
+	indirect(time.Millisecond) // want "callsIndirect has a context but calls indirect, which reaches time.Sleep"
+}
+
+// Forwarding the context keeps cancellation alive: no finding.
+func forwards(ctx context.Context) {
+	helper(ctx)
+}
+
+func helper(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	default:
+	}
+}
+
+// Minting a fresh context instead of forwarding drops cancellation.
+func mintsFresh(ctx context.Context) {
+	helper(context.Background()) // want "accepts a context but passes a fresh one here"
+}
+
+// main is a process entrypoint: nothing above it holds a context.
+func main() {
+	time.Sleep(time.Millisecond)
+}

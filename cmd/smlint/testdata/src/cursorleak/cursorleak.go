@@ -1,0 +1,83 @@
+// Fixture for the cursorleak analyzer.
+package cursorleak
+
+import "errors"
+
+type conn struct{ closed bool }
+
+func (c *conn) Close() error { c.closed = true; return nil }
+
+func (c *conn) Read() (int, error) { return 0, nil }
+
+func open() (*conn, error) { return &conn{}, nil }
+
+// The classic bug: an early return between acquisition and release.
+func leakEarlyReturn(fail bool) error {
+	c, err := open() // want "obtained here does not reach Close"
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("bail")
+	}
+	return c.Close()
+}
+
+// Deferring the Close settles every later path.
+func okDefer(fail bool) error {
+	c, err := open()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close() }()
+	if fail {
+		return errors.New("bail")
+	}
+	return nil
+}
+
+// Returning the closer hands it to an owner.
+func okEscapeReturn() (*conn, error) {
+	c, err := open()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Storing the closer hands it to an owner.
+func okStore(sink *[]*conn) error {
+	c, err := open()
+	if err != nil {
+		return err
+	}
+	*sink = append(*sink, c)
+	return nil
+}
+
+// closeIt's summary says it closes its parameter, so handing the conn
+// over settles the path.
+func closeIt(c *conn) { _ = c.Close() }
+
+func okHelperCloses() error {
+	c, err := open()
+	if err != nil {
+		return err
+	}
+	closeIt(c)
+	return nil
+}
+
+// peek only reads its parameter: the conn is still ours to close.
+func peek(c *conn) int {
+	n, _ := c.Read()
+	return n
+}
+
+func leakReadOnlyHelper() int {
+	c, err := open() // want "obtained here does not reach Close"
+	if err != nil {
+		return 0
+	}
+	return peek(c)
+}

@@ -1,0 +1,31 @@
+// Fixture for the hotalloc analyzer's engine scope: only a cursor's
+// Next method is implicitly hot (the consumer drives it in a loop).
+package fake
+
+import "fmt"
+
+type rowCursor struct {
+	rows []int
+	buf  []int
+	i    int
+}
+
+func (c *rowCursor) Next() (int, error) {
+	if c.i >= len(c.rows) {
+		return 0, fmt.Errorf("done") // return path: runs once, exempt
+	}
+	v := c.rows[c.i]
+	c.buf = append(c.buf, v) // want "append to field buf grows per Next call"
+	c.i++
+	return v, nil
+}
+
+// drain is not a Next method: engine packages are only held to the
+// standard on the cursor hot path.
+func (c *rowCursor) drain() []string {
+	var out []string
+	for range c.rows {
+		out = append(out, fmt.Sprintf("row"))
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+// Fixture for the hotalloc analyzer: internal/stats is a kernel
+// package, so every loop is held to the no-per-iteration-allocation
+// standard.
+package stats
+
+import "fmt"
+
+func describe(xs []float64) []string {
+	out := []string{}
+	for _, x := range xs {
+		s := fmt.Sprintf("%0.2f", x) // want "fmt.Sprintf allocates on every iteration"
+		out = append(out, s)         // want "append to out grows an un-capped slice"
+	}
+	return out
+}
+
+// Pre-sized appends are fine.
+func describeCapped(xs []float64) []string {
+	out := make([]string, 0, len(xs))
+	for range xs {
+		out = append(out, "x")
+	}
+	return out
+}
+
+// fmt.Errorf in a return statement runs once on the way out, not once
+// per iteration: exempt.
+func sum(xs []float64) (float64, error) {
+	var total float64
+	for _, x := range xs {
+		if x < 0 {
+			return 0, fmt.Errorf("negative reading %v", x)
+		}
+		total += x
+	}
+	return total, nil
+}
+
+func box(xs []float64) any {
+	var last any
+	for _, x := range xs {
+		last = x // want "storing a concrete float64 into an interface boxes it"
+	}
+	return last
+}
+
+func closures(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		add := func(v float64) { total += v } // want "closure allocated on every iteration"
+		add(x)
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Support package for the refbalance fixture: the import-path suffix
+// internal/timeseries.Dataset anchors the Flat/ReleaseFlat pair.
+package timeseries
+
+type Dataset struct{ pinned int }
+
+func (d *Dataset) Flat() ([]float64, error) {
+	d.pinned++
+	return nil, nil
+}
+
+func (d *Dataset) ReleaseFlat() { d.pinned-- }

@@ -1,0 +1,39 @@
+// Fixture for the refbalance analyzer's receiver-tracked pairs.
+package refbalance
+
+import (
+	"fixture.invalid/mod/refbalance/internal/timeseries"
+)
+
+// The acquire pins state on the receiver; the early return skips the
+// paired release.
+func leakFlat(fail bool) {
+	d := &timeseries.Dataset{}
+	d.Flat() // want "d.Flat is not balanced by ReleaseFlat"
+	if fail {
+		return
+	}
+	d.ReleaseFlat()
+}
+
+// A deferred release settles every later path.
+func okFlatDefer(fail bool) {
+	d := &timeseries.Dataset{}
+	d.Flat()
+	defer d.ReleaseFlat()
+	if fail {
+		return
+	}
+}
+
+// Returning the dataset hands the pinned state to an owner.
+func okFlatEscape() *timeseries.Dataset {
+	d := &timeseries.Dataset{}
+	d.Flat()
+	return d
+}
+
+// Acquires on parameters are exempt: the caller owns the receiver.
+func okFlatOnParam(d *timeseries.Dataset) {
+	d.Flat()
+}

@@ -1,0 +1,29 @@
+// Fixture for //smlint:ignore handling, exercised by TestSuppressions
+// (programmatic expectations rather than want comments, because the
+// malformed-directive findings land on the directive lines themselves).
+package suppress
+
+// A well-formed suppression on the line above silences the finding.
+func suppressed(a, b float64) bool {
+	//smlint:ignore floatcmp fixture exercises the suppression path
+	return a == b
+}
+
+// The same-line form works too.
+func sameLine(a, b float64) bool {
+	return a == b //smlint:ignore floatcmp same-line form
+}
+
+// A directive without a reason is itself a finding and suppresses
+// nothing.
+func missingReason(a, b float64) bool {
+	//smlint:ignore floatcmp
+	return a == b
+}
+
+// A directive naming an unknown analyzer is itself a finding and
+// suppresses nothing.
+func unknownAnalyzer(a, b float64) bool {
+	//smlint:ignore nosuchcheck because it does not exist
+	return a == b
+}

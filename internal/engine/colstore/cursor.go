@@ -42,6 +42,7 @@ func newSegmentCursor(e *Engine, img []byte) (*segmentCursor, error) {
 		n:         n,
 		temp:      temp,
 		flat:      make([]float64, consumers*n),
+		series:    make([]*timeseries.Series, consumers),
 	}, nil
 }
 
@@ -59,7 +60,7 @@ func (c *segmentCursor) Next() (*timeseries.Series, error) {
 	row := c.flat[c.i*c.n : (c.i+1)*c.n]
 	decodeColumnInto(row, c.img[off+8:off+8+8*c.n])
 	s := &timeseries.Series{ID: id, Readings: row}
-	c.series = append(c.series, s)
+	c.series[c.i] = s
 	c.i++
 	if c.i == c.consumers && c.e.decoded == nil {
 		c.e.decoded = &timeseries.Dataset{
@@ -73,7 +74,9 @@ func (c *segmentCursor) Next() (*timeseries.Series, error) {
 func (c *segmentCursor) Reset() error {
 	// The flat buffer is reused; re-decoding writes identical values.
 	c.i = 0
-	c.series = c.series[:0]
+	if c.series == nil { // Close dropped the slots; a revived replay refills them
+		c.series = make([]*timeseries.Series, c.consumers)
+	}
 	c.closed = false
 	return nil
 }

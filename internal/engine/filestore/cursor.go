@@ -223,6 +223,7 @@ type sharedIndex struct {
 func (x *sharedIndex) ensure() error {
 	x.once.Do(func() {
 		c := newIndexCursor(x.src)
+		defer func() { _ = c.Close() }()
 		if err := c.build(); err != nil {
 			x.err = err
 			return
@@ -298,8 +299,11 @@ func (c *indexPartCursor) Next() (*timeseries.Series, error) {
 }
 
 func (c *indexPartCursor) Reset() error {
+	// Rewind only: a closed partition stays closed (matching core's
+	// lazyCursor). Close released this cursor's hold on the shared
+	// index, so reviving it here would make the next Close decrement
+	// the refcount a second time.
 	c.i = 0
-	c.closed = false
 	return nil
 }
 

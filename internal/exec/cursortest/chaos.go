@@ -201,9 +201,11 @@ func RunChaos(t *testing.T, open func(t *testing.T) core.Cursor) {
 		if err := cur.Close(); err != nil {
 			t.Fatalf("Close: %v", err)
 		}
-		waitStable(t, "goroutines", baseGoroutines, numGoroutines)
+		wctx, wcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer wcancel()
+		waitStable(wctx, t, "goroutines", baseGoroutines, numGoroutines)
 		if baseFDs >= 0 {
-			waitStable(t, "fds", baseFDs, func() int { return openFDs(t) })
+			waitStable(wctx, t, "fds", baseFDs, func() int { return openFDs(t) })
 		}
 	})
 }
@@ -300,7 +302,9 @@ func RunChaosPartitioned(t *testing.T, open func(t *testing.T) core.PartitionedS
 				t.Fatalf("partition %d Close: %v", p, err)
 			}
 		}
-		waitStable(t, "goroutines", baseGoroutines, numGoroutines)
+		wctx, wcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer wcancel()
+		waitStable(wctx, t, "goroutines", baseGoroutines, numGoroutines)
 	})
 }
 
@@ -457,6 +461,8 @@ func RunPipelineChaos(t *testing.T, ids []timeseries.ID,
 			ctx, cancel = context.WithCancel(context.Background())
 		}
 		cancel()
-		waitStable(t, "goroutines", baseGoroutines, numGoroutines)
+		wctx, wcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer wcancel()
+		waitStable(wctx, t, "goroutines", baseGoroutines, numGoroutines)
 	})
 }

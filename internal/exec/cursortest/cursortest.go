@@ -11,6 +11,7 @@
 package cursortest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -110,9 +111,11 @@ func Run(t *testing.T, open func(t *testing.T) core.Cursor) {
 		if err := cur.Close(); err != nil {
 			t.Fatalf("Close: %v", err)
 		}
-		waitStable(t, "goroutines", goroutines, func() int { return runtime.NumGoroutine() })
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		waitStable(ctx, t, "goroutines", goroutines, func() int { return runtime.NumGoroutine() })
 		if fds >= 0 {
-			waitStable(t, "fds", fds, func() int { return openFDs(t) })
+			waitStable(ctx, t, "fds", fds, func() int { return openFDs(t) })
 		}
 	})
 }
@@ -280,9 +283,13 @@ func openFDs(t *testing.T) int {
 }
 
 // waitStable retries until the counter drops back to the baseline (GC
-// and runtime bookkeeping can lag a Close).
-func waitStable(t *testing.T, what string, base int, count func() int) {
+// and runtime bookkeeping can lag a Close). The context bounds the
+// whole wait so a wedged runtime cannot stall the suite past its
+// deadline.
+func waitStable(ctx context.Context, t *testing.T, what string, base int, count func() int) {
 	t.Helper()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
 	var n int
 	for i := 0; i < 50; i++ {
 		n = count()
@@ -290,7 +297,11 @@ func waitStable(t *testing.T, what string, base int, count func() int) {
 			return
 		}
 		runtime.GC()
-		time.Sleep(10 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Fatalf("%s did not settle before %v: %d before, %d after", what, ctx.Err(), base, n)
+		case <-tick.C:
+		}
 	}
 	t.Fatalf("%s leaked: %d before, %d after", what, base, n)
 }

@@ -19,14 +19,12 @@ go run ./cmd/smlint ./...
 # hot spots (the prefetcher's extract/compute goroutine fan-out, the
 # partition cursors' shared state — refcounted indexes, latched buffer
 # pools, shared RDD jobs — and block scheduling); surface a race there
-# as its own failure before the full suite runs. The engine layering
-# check rides along so an engine that re-imports a task package fails
-# fast with a named step.
+# as its own failure before the full suite runs. Engine layering (and
+# every other analyzer) is covered by the single smlint sweep above —
+# ./... includes ./internal/engine/..., so a second invocation would
+# only repeat the same findings.
 echo "== go test -race ./internal/exec/... ./internal/engine/... (prefetcher + partition cursors)"
 go test -race ./internal/exec/... ./internal/engine/...
-
-echo "== go run ./cmd/smlint ./internal/engine/... (engine layering)"
-go run ./cmd/smlint ./internal/engine/...
 
 # Chaos conformance: every engine cursor under injected faults and
 # mid-extract cancellation, raced. These tests also run inside the full
