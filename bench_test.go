@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -736,4 +737,128 @@ func BenchmarkStreamingThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(benchConsumers*benchDays*24), "events/op")
+}
+
+// --- Scale-up: compressed out-of-core segments --------------------------
+
+// scaleupSize reads the benchmark population from the environment so
+// scripts/bench.sh can drive the same code path at CI scale (the 64 x
+// 60-day default) and at paper scale (SMARTBENCH_SCALE_CONSUMERS=100000
+// SMARTBENCH_SCALE_DAYS=365 for the committed BENCH_scale.json record).
+func scaleupSize() (consumers, days int) {
+	consumers, days = 64, benchDays
+	if v, err := strconv.Atoi(os.Getenv("SMARTBENCH_SCALE_CONSUMERS")); err == nil && v > 0 {
+		consumers = v
+	}
+	if v, err := strconv.Atoi(os.Getenv("SMARTBENCH_SCALE_DAYS")); err == nil && v > 0 {
+		days = v
+	}
+	return consumers, days
+}
+
+// buildScaleupSegments streams n synthetic consumers into a Wh-quantized
+// segment file without materializing the matrix and returns the path's
+// directory plus the raw and stored byte counts.
+func buildScaleupSegments(b *testing.B, n, days int) (dir string, raw, stored int64) {
+	b.Helper()
+	seedDS, err := seed.Generate(seed.Config{Consumers: 10, Days: days, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := generator.New(seedDS, generator.Config{Clusters: 4, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir = b.TempDir()
+	w, err := colstore.NewSegmentWriter(dir+"/"+colstore.SegmentFileName, seedDS.Temperature.Values, colstore.WithQuantize(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, len(seedDS.Temperature.Values))
+	for i := 0; i < n; i++ {
+		if err := gen.SeriesInto(buf, seedDS.Temperature); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Append(timeseries.ID(i+1), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	raw = w.RawBytes()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(dir + "/" + colstore.SegmentFileName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dir, raw, st.Size()
+}
+
+// BenchmarkScaleupPagedThreeLine is the scaleup experiment at benchmark
+// scale: 3-line over the paged column store under a quarter-of-raw
+// memory budget. Custom metrics report the storage compression ratio
+// and sustained consumer throughput.
+func BenchmarkScaleupPagedThreeLine(b *testing.B) {
+	n, days := scaleupSize()
+	dir, raw, stored := buildScaleupSegments(b, n, days)
+	eng := colstore.New(dir, colstore.WithMemBudget(raw/4))
+	if _, err := eng.OpenExisting(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Release()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(core.Spec{Task: core.TaskThreeLine, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(raw)/float64(stored), "ratio")
+	b.ReportMetric(float64(raw)/(1<<20), "rawMB")
+	b.ReportMetric(float64(stored)/(1<<20), "storedMB")
+	b.ReportMetric(float64(raw/4)/(1<<20), "budgetMB")
+	if elapsed > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/elapsed.Seconds(), "rows/s")
+	}
+}
+
+// BenchmarkScaleupPagedHistogram measures the compressed-domain
+// histogram fast path: block summaries answer most consumers without
+// decoding, so throughput should beat the decode-everything baseline.
+func BenchmarkScaleupPagedHistogram(b *testing.B) {
+	n, days := scaleupSize()
+	dir, raw, _ := buildScaleupSegments(b, n, days)
+	eng := colstore.New(dir, colstore.WithMemBudget(raw/4))
+	if _, err := eng.OpenExisting(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Release()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(core.Spec{Task: core.TaskHistogram}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/elapsed.Seconds(), "rows/s")
+	}
+}
+
+// BenchmarkScaleupSegmentEncode measures streaming generation +
+// compression throughput in readings per second.
+func BenchmarkScaleupSegmentEncode(b *testing.B) {
+	const n = 32
+	b.ResetTimer()
+	start := time.Now()
+	var raw, stored int64
+	for i := 0; i < b.N; i++ {
+		_, raw, stored = buildScaleupSegments(b, n, benchDays)
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(raw)/float64(stored), "ratio")
+	if elapsed > 0 {
+		b.ReportMetric(float64(n*benchDays*24)*float64(b.N)/elapsed.Seconds(), "readings/s")
+	}
 }

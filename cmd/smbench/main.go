@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"github.com/smartmeter/smartbench/internal/benchmark"
 	"github.com/smartmeter/smartbench/internal/core"
@@ -59,7 +61,12 @@ func runExperiments(args []string) error {
 	prefetchName := fs.String("prefetch", "auto", "extraction prefetcher: auto (overlap when eligible) or off (serial extraction)")
 	policyName := fs.String("failpolicy", "failfast", "per-consumer failure policy: failfast, quarantine or repair")
 	timeout := fs.Duration("timeout", 0, "per-run deadline (0 = none), e.g. 30s")
+	memBudgetStr := fs.String("membudget", "", "column-store decoded-block cache cap, e.g. 256MiB or 1GiB (default: unbudgeted in-core)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	memBudget, err := parseMemBudget(*memBudgetStr)
+	if err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
@@ -121,6 +128,7 @@ func runExperiments(args []string) error {
 			Prefetch:   prefetch,
 			FailPolicy: policy,
 			Timeout:    *timeout,
+			MemBudget:  memBudget,
 		}
 		rep, err := e.Run(opts)
 		if err != nil {
@@ -131,6 +139,41 @@ func runExperiments(args []string) error {
 		}
 	}
 	return nil
+}
+
+// parseMemBudget parses the -membudget flag: a non-negative integer
+// with an optional unit suffix — B, KB/MB/GB (decimal) or KiB/MiB/GiB
+// (binary), case-insensitive. Empty means no budget (in-core).
+func parseMemBudget(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1000}, {"mb", 1000 * 1000}, {"gb", 1000 * 1000 * 1000},
+		{"b", 1},
+	}
+	lower := strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	num := lower
+	for _, u := range units {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.mult
+			num = strings.TrimSpace(strings.TrimSuffix(lower, u.suffix))
+			break
+		}
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad -membudget %q (want e.g. 256MiB, 1GiB)", s)
+	}
+	if mult > 1 && v > (1<<62)/mult {
+		return 0, fmt.Errorf("-membudget %q overflows", s)
+	}
+	return v * mult, nil
 }
 
 // parseFailPolicy maps the -failpolicy flag to a core.FailPolicy.
@@ -159,5 +202,8 @@ commands:
       -prefetch auto|off     overlapped extraction (default: auto; off pins the serial path)
       -failpolicy P          per-consumer failure policy: failfast (default), quarantine, repair
       -timeout D             per-run deadline, e.g. 30s (default: none)
+      -membudget SIZE        cap the column store's decoded-block cache, e.g. 256MiB;
+                             compressed segments page in and out under the cap
+                             (default: unbudgeted, fully decoded in memory)
 `)
 }

@@ -71,3 +71,39 @@ func TestFaultsExperimentUnderPolicies(t *testing.T) {
 		}
 	}
 }
+
+func TestParseMemBudget(t *testing.T) {
+	good := map[string]int64{
+		"":       0,
+		"0":      0,
+		"1024":   1024,
+		"512b":   512,
+		"1KiB":   1 << 10,
+		"256MiB": 256 << 20,
+		"2GiB":   2 << 30,
+		"1kb":    1000,
+		"100MB":  100 * 1000 * 1000,
+		"1GB":    1000 * 1000 * 1000,
+	}
+	for in, want := range good {
+		got, err := parseMemBudget(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+		} else if got != want {
+			t.Errorf("%q = %d, want %d", in, got, want)
+		}
+	}
+	for _, in := range []string{"-1", "abc", "12XB", "MiB", "9999999999GiB"} {
+		if _, err := parseMemBudget(in); err == nil {
+			t.Errorf("%q: want error", in)
+		}
+	}
+}
+
+func TestRunScaleupWithBudget(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"run", "-scale", "small", "-workdir", dir, "-membudget", "64KiB", "scaleup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

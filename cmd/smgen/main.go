@@ -10,17 +10,26 @@
 // Usage:
 //
 //	smgen -out DIR -n 1000 [-seed-size 100] [-clusters 8] [-noise 0.1]
-//	      [-days 365] [-format reading|series] [-partitioned] [-group-files N]
+//	      [-days 365] [-format reading|series|segments] [-partitioned] [-group-files N]
+//
+// The segments format streams straight into the column store's
+// compressed segment file (out/segments.col, quantized to Wh
+// resolution): generation reuses one row buffer, so arbitrarily many
+// consumers are generable without ever holding the raw matrix in
+// memory. The other formats materialize the dataset and write CSV.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"github.com/smartmeter/smartbench/internal/engine/colstore"
 	"github.com/smartmeter/smartbench/internal/generator"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
 func main() {
@@ -58,6 +67,10 @@ func run(args []string) error {
 		f = meterdata.FormatReadingPerLine
 	case "series":
 		f = meterdata.FormatSeriesPerLine
+	case "segments":
+		if *partitioned || *groupFiles > 0 {
+			return fmt.Errorf("-format segments is a single-file layout; drop -partitioned/-group-files")
+		}
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
@@ -80,6 +93,9 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "smgen: generating %d synthetic consumers...\n", *n)
+	if *format == "segments" {
+		return writeSegments(*out, *n, gen, seedDS.Temperature)
+	}
 	ds, err := gen.Dataset(*n, seedDS.Temperature)
 	if err != nil {
 		return err
@@ -103,5 +119,47 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "smgen: wrote %d consumers, %d files, %.2f MiB to %s\n",
 		*n, len(src.DataFiles), float64(bytes)/(1<<20), *out)
+	return nil
+}
+
+// writeSegments streams n synthetic consumers into a compressed column
+// store segment file, quantized to Wh resolution, reusing a single row
+// buffer so memory stays O(series length) regardless of n. The result
+// is directly loadable with colstore's OpenExisting / smbench's
+// -engine colstore.
+func writeSegments(out string, n int, gen *generator.Generator, temp *timeseries.Temperature) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(out, colstore.SegmentFileName)
+	w, err := colstore.NewSegmentWriter(path, temp.Values, colstore.WithQuantize(3))
+	if err != nil {
+		return err
+	}
+	buf := make([]float64, len(temp.Values))
+	for i := 0; i < n; i++ {
+		if err := gen.SeriesInto(buf, temp); err != nil {
+			_ = w.Close()
+			return err
+		}
+		if err := w.Append(timeseries.ID(i+1), buf); err != nil {
+			_ = w.Close()
+			return err
+		}
+		if (i+1)%100000 == 0 {
+			fmt.Fprintf(os.Stderr, "smgen: %d/%d consumers\n", i+1, n)
+		}
+	}
+	raw := w.RawBytes()
+	if err := w.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "smgen: wrote %d consumers, %.2f MiB compressed (%.2f MiB raw, %.1fx) to %s\n",
+		n, float64(st.Size())/(1<<20), float64(raw)/(1<<20),
+		float64(raw)/float64(st.Size()), path)
 	return nil
 }

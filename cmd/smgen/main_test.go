@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/engine/colstore"
 )
 
 func TestRunGeneratesDataset(t *testing.T) {
@@ -43,5 +46,42 @@ func TestRunValidation(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("case %d: want error", i)
 		}
+	}
+}
+
+func TestRunSegments(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "seg")
+	err := run([]string{"-out", out, "-n", "6", "-seed-size", "5", "-days", "10",
+		"-clusters", "3", "-format", "segments"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := colstore.New(out)
+	st, err := eng.OpenExisting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = eng.Release() }()
+	if st.Consumers != 6 {
+		t.Fatalf("consumers = %d, want 6", st.Consumers)
+	}
+	if want := int64(6 * 10 * 24 * 8); st.RawBytes != want {
+		t.Fatalf("raw bytes = %d, want %d", st.RawBytes, want)
+	}
+	if st.StorageBytes >= st.RawBytes {
+		t.Fatalf("segments not compressed: %d stored vs %d raw", st.StorageBytes, st.RawBytes)
+	}
+	res, err := eng.Run(core.Spec{Task: core.TaskHistogram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Histograms) != 6 {
+		t.Fatalf("histograms = %d, want 6", len(res.Histograms))
+	}
+}
+
+func TestRunSegmentsRejectsLayoutFlags(t *testing.T) {
+	if err := run([]string{"-out", "x", "-format", "segments", "-partitioned"}); err == nil {
+		t.Fatal("segments with -partitioned accepted")
 	}
 }

@@ -70,11 +70,14 @@ func runHotalloc(p *Pass) {
 }
 
 // hotPackage reports whether every function in the package is on the
-// hot path.
+// hot path. internal/colcodec is implicitly hot: every reading decodes
+// through it, so a per-iteration allocation there costs once per meter
+// reading, same as the stats kernels.
 func hotPackage(path string) bool {
 	path += "/"
 	return strings.Contains(path, "/internal/stats/") ||
-		strings.Contains(path, "/internal/sched/")
+		strings.Contains(path, "/internal/sched/") ||
+		strings.Contains(path, "/internal/colcodec/")
 }
 
 // checkHotFunc walks one kernel function, flagging allocation patterns

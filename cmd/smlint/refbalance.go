@@ -61,6 +61,7 @@ var refPairs = []refPair{
 	{acquire: "Persist", release: "Unpersist", ownerSuffix: "internal/engine/rdd.Dataset"},
 	{acquire: "fetch", release: "unpin", valueTracked: true, ownerSuffix: "internal/engine/rowstore.bufferPool"},
 	{acquire: "allocate", release: "unpin", valueTracked: true, ownerSuffix: "internal/engine/rowstore.bufferPool"},
+	{acquire: "fetch", release: "unpin", valueTracked: true, ownerSuffix: "internal/engine/colstore.pager"},
 }
 
 func runRefbalance(p *Pass) {

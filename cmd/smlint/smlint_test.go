@@ -77,9 +77,11 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{cursorleakAnalyzer, "cursorleak", true},
 		{refbalanceAnalyzer, "refbalance", true},
 		{refbalanceAnalyzer, "refbalance/internal/engine/rowstore", true},
+		{refbalanceAnalyzer, "refbalance/internal/engine/colstore", true},
 		{ctxflowAnalyzer, "ctxflow", true},
 		{hotallocAnalyzer, "hotalloc/internal/stats", true},
 		{hotallocAnalyzer, "hotalloc/internal/engine/fake", true},
+		{hotallocAnalyzer, "hotalloc/internal/colcodec", true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.dir, func(t *testing.T) {

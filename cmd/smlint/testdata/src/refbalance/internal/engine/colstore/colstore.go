@@ -1,0 +1,38 @@
+// Fixture for the refbalance analyzer's colstore pair: the segment
+// pager's fetch pins a decoded block frame and unpin must cover every
+// path (the import-path suffix internal/engine/colstore.pager anchors
+// the pair, mirroring the rowstore buffer pool's latch discipline).
+package colstore
+
+type blockFrame struct{ pins int }
+
+type pager struct{ resident int }
+
+func (p *pager) fetch(c, b int, scratch []byte) (*blockFrame, []byte, error) {
+	return &blockFrame{pins: 1}, scratch, nil
+}
+
+func (p *pager) unpin(f *blockFrame) { f.pins-- }
+
+// The error branch after a successful fetch leaks the pinned frame.
+func leakFetch(p *pager, fail bool) error {
+	f, _, err := p.fetch(0, 0, nil) // want "f from fetch does not reach unpin"
+	if err != nil {
+		return err
+	}
+	if fail {
+		return nil
+	}
+	p.unpin(f)
+	return nil
+}
+
+// Unpin on every path after the copy is the cursor discipline.
+func okFetch(p *pager, row []float64) error {
+	f, _, err := p.fetch(0, 0, nil)
+	if err != nil {
+		return err
+	}
+	p.unpin(f)
+	return nil
+}

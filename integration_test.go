@@ -252,3 +252,41 @@ func TestColdWarmConsistency(t *testing.T) {
 		assertResultsEqual(t, e.Name(), warm, cold)
 	}
 }
+
+// TestBudgetedColstoreAgrees runs every task on a colstore whose
+// decoded-block cache is capped well below the raw matrix size, so
+// blocks page in and out of the compressed segment file mid-run, and
+// demands the same answers as the single-threaded reference at 4
+// workers. This is the out-of-core contract: a memory budget changes
+// residency, never results.
+func TestBudgetedColstoreAgrees(t *testing.T) {
+	src, ref := buildWorkload(t)
+	raw := int64(len(ref.Series)) * int64(len(ref.Series[0].Readings)) * 8
+	budget := raw / 8
+	eng := colstore.New(t.TempDir(), colstore.WithMemBudget(budget))
+	st, err := eng.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = eng.Release() }()
+	if st.RawBytes != raw {
+		t.Fatalf("load stats raw bytes %d, want %d", st.RawBytes, raw)
+	}
+	if st.StorageBytes >= raw {
+		t.Fatalf("segments not compressed: %d stored vs %d raw", st.StorageBytes, raw)
+	}
+	for _, task := range core.Tasks {
+		want, err := core.RunReference(ref, core.Spec{Task: task, K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Run(core.Spec{Task: task, K: 3, Workers: 4})
+		if err != nil {
+			t.Fatalf("%v under budget: %v", task, err)
+		}
+		if got.Count() != want.Count() {
+			t.Fatalf("%v: count %d vs %d", task, got.Count(), want.Count())
+		}
+		assertResultsEqual(t, "colstore-budgeted", got, want)
+	}
+}

@@ -37,6 +37,12 @@ type Options struct {
 	// context deadline (cmd/smbench -timeout). Expired runs fail the
 	// experiment with context.DeadlineExceeded.
 	Timeout time.Duration
+	// MemBudget, when positive, caps the column store's decoded-block
+	// cache at this many bytes (cmd/smbench -membudget): the engine
+	// pages compressed blocks in and out instead of decoding the whole
+	// matrix, so datasets larger than memory stay runnable. Zero keeps
+	// the historical fully-decoded in-core behavior.
+	MemBudget int64
 }
 
 // run executes spec on eng under the options' failure policy and

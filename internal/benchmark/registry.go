@@ -47,6 +47,7 @@ func init() {
 	register("matmul", "matrix multiplication micro-benchmark (§5.3.2)", MatMul)
 	register("tasksweep", "reduce-task count sweep (footnote 8)", TaskSweep)
 	register("faults", "throughput vs injected fault rate per engine (containment cost)", Faults)
+	register("scaleup", "out-of-core scale-up: compressed segments under a memory budget (extends figs 7/8)", Scaleup)
 }
 
 // Lookup returns the experiment registered under id.
@@ -83,6 +84,8 @@ func experimentOrder(id string) int {
 		return 101
 	case "faults":
 		return 102
+	case "scaleup":
+		return 103
 	case "phases":
 		return 97
 	}

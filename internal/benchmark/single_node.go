@@ -62,7 +62,8 @@ func Table1(opts Options) (*Report, error) {
 func singleNodeEngines(opts *Options, tag string) (fileE *filestore.Engine, rowE *rowstore.Engine, colE *colstore.Engine) {
 	fileE = filestore.New(filestore.WithSplitDir(filepath.Join(opts.WorkDir, tag+"-split")))
 	rowE = rowstore.New(filepath.Join(opts.WorkDir, tag+"-rowstore"))
-	colE = colstore.New(filepath.Join(opts.WorkDir, tag+"-colstore"))
+	colE = colstore.New(filepath.Join(opts.WorkDir, tag+"-colstore"),
+		colstore.WithMemBudget(opts.MemBudget))
 	return fileE, rowE, colE
 }
 
@@ -239,9 +240,12 @@ func Phases(opts Options) (*Report, error) {
 	rep := &Report{
 		ID:      "phases",
 		Title:   "Pipeline phase breakdown (3-line, cold start)",
-		Columns: []string{"engine", "extract", "compute", "emit", "rows", "MB extracted"},
+		Columns: []string{"engine", "extract", "compute", "emit", "rows", "MB extracted", "MB stored", "MB raw"},
 		Notes: []string{
 			"expected shape: extract dominates cold runs; colstore's binary decode smallest",
+			"MB stored vs MB raw is the engine-native storage footprint against the",
+			"uncompressed matrix; their ratio is the storage compression factor (colstore",
+			"segments are delta/XOR compressed, file engines report no native storage)",
 		},
 	}
 	fileE, rowE, colE := singleNodeEngines(&opts, "phases")
@@ -255,7 +259,8 @@ func Phases(opts Options) (*Report, error) {
 		{"rowstore (MADLib)", rowE, srcs.unpartRPL},
 		{"colstore (System C)", colE, srcs.unpartRPL},
 	} {
-		if _, err := e.eng.Load(e.src); err != nil {
+		st, err := e.eng.Load(e.src)
+		if err != nil {
 			return nil, err
 		}
 		if err := e.eng.Release(); err != nil {
@@ -270,7 +275,8 @@ func Phases(opts Options) (*Report, error) {
 		}
 		p := res.Phases
 		rep.AddRow(e.name, fmtDur(p.Extract.Wall), fmtDur(p.Compute.Wall), fmtDur(p.Emit.Wall),
-			fmt.Sprint(p.Extract.Rows), fmtMB(p.Extract.Bytes))
+			fmt.Sprint(p.Extract.Rows), fmtMB(p.Extract.Bytes),
+			fmtMB(st.StorageBytes), fmtMB(st.RawBytes))
 	}
 	return rep, nil
 }

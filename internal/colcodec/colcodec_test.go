@@ -1,0 +1,258 @@
+package colcodec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// roundTripValues encodes vals, decodes the payload, and requires
+// bit-identical output plus exact payload-length accounting.
+func roundTripValues(t *testing.T, vals []float64) []byte {
+	t.Helper()
+	var enc Encoder
+	payload := enc.AppendValues(nil, vals)
+	got, used, err := DecodeValues(payload, nil)
+	if err != nil {
+		t.Fatalf("DecodeValues: %v", err)
+	}
+	if used != len(payload) {
+		t.Fatalf("consumed %d of %d payload bytes", used, len(payload))
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: got bits %016x want %016x (%v vs %v)",
+				i, math.Float64bits(got[i]), math.Float64bits(vals[i]), got[i], vals[i])
+		}
+	}
+	return payload
+}
+
+func roundTripTimestamps(t *testing.T, ts []int64) []byte {
+	t.Helper()
+	payload := AppendTimestamps(nil, ts)
+	got, used, err := DecodeTimestamps(payload, nil)
+	if err != nil {
+		t.Fatalf("DecodeTimestamps: %v", err)
+	}
+	if used != len(payload) {
+		t.Fatalf("consumed %d of %d payload bytes", used, len(payload))
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("decoded %d timestamps, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Fatalf("timestamp %d: got %d want %d", i, got[i], ts[i])
+		}
+	}
+	return payload
+}
+
+func TestValuesRoundTripAdversarial(t *testing.T) {
+	nan := math.NaN()
+	payloadNaN := math.Float64frombits(0x7ff8deadbeef0001) // non-canonical NaN payload
+	cases := map[string][]float64{
+		"empty":          {},
+		"single":         {42.125},
+		"single-nan":     {nan},
+		"constant":       {3.5, 3.5, 3.5, 3.5, 3.5, 3.5, 3.5},
+		"constant-zero":  make([]float64, 300),
+		"nan-inf-mix":    {1.5, nan, math.Inf(1), math.Inf(-1), 0, payloadNaN, -2.25},
+		"all-nan":        {nan, nan, nan},
+		"negative-zero":  {0, math.Copysign(0, -1), 0, math.Copysign(0, -1)},
+		"denormals":      {5e-324, 1e-310, -5e-324, math.SmallestNonzeroFloat64, 2.2250738585072009e-308},
+		"extremes":       {math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64},
+		"decimal-wh":     {1.234, 0.001, 17.5, 0, 123.456, 0.999},
+		"large-fixed":    {100000.125, 99999.875, 100001},
+		"single-decimal": {0.7},
+	}
+	for name, vals := range cases {
+		payload := roundTripValues(t, vals)
+		t.Logf("%s: %d values -> %d bytes", name, len(vals), len(payload))
+	}
+}
+
+func TestValuesRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(3000)
+		vals := make([]float64, n)
+		mode := trial % 4
+		for i := range vals {
+			switch mode {
+			case 0: // quantized Wh readings: the fixed-point sweet spot
+				vals[i] = math.Round(math.Abs(rng.NormFloat64())*1000) / 1000
+			case 1: // raw Gaussians: forces XOR mode
+				vals[i] = rng.NormFloat64()
+			case 2: // mixed magnitudes, still decimal
+				vals[i] = math.Round(rng.Float64()*math.Pow(10, float64(rng.Intn(6)))*100) / 100
+			case 3: // hostile bit patterns
+				vals[i] = math.Float64frombits(rng.Uint64())
+			}
+		}
+		roundTripValues(t, vals)
+	}
+}
+
+func TestTimestampsRoundTrip(t *testing.T) {
+	regular := make([]int64, 1024)
+	for i := range regular {
+		regular[i] = 1700000000 + int64(i)*3600
+	}
+	irregular := []int64{0, 3600, 7200, 7200 + 86400, 7200 + 86400 + 1, 7200 + 2*86400, -50, -49}
+	cases := map[string][]int64{
+		"empty":     {},
+		"single":    {1700000000},
+		"pair":      {10, 20},
+		"regular":   regular,
+		"irregular": irregular,
+		"negative":  {-1000, -400, 0, 12},
+	}
+	for name, ts := range cases {
+		payload := roundTripTimestamps(t, ts)
+		t.Logf("%s: %d timestamps -> %d bytes", name, len(ts), len(payload))
+	}
+	// A regular series must collapse to a handful of bytes: that is the
+	// whole point of delta-of-delta + RLE.
+	if p := AppendTimestamps(nil, regular); len(p) > 16 {
+		t.Fatalf("regular 1024-entry series encoded to %d bytes, want <= 16", len(p))
+	}
+}
+
+func TestTimestampsRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(2000)
+		ts := make([]int64, n)
+		var cur int64
+		for i := range ts {
+			if rng.Intn(10) == 0 {
+				cur += rng.Int63n(1 << 30) // occasional large gap
+			} else {
+				cur += 3600
+			}
+			ts[i] = cur
+		}
+		roundTripTimestamps(t, ts)
+	}
+}
+
+func TestCompressionRatioOnQuantizedGaussians(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 8192)
+	for i := range vals {
+		vals[i] = math.Round((1+0.1*rng.NormFloat64())*1000) / 1000
+	}
+	payload := roundTripValues(t, vals)
+	raw := 8 * len(vals)
+	if ratio := float64(raw) / float64(len(payload)); ratio < 4 {
+		t.Fatalf("compression ratio %.2f on quantized Gaussian block, want >= 4 (payload %d bytes)", ratio, len(payload))
+	}
+}
+
+func TestSummarizeMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	s := Summarize(vals)
+	if s.Count != len(vals) || s.NaNs != 0 {
+		t.Fatalf("Count=%d NaNs=%d", s.Count, s.NaNs)
+	}
+	min, max, sum := vals[0], vals[0], 0.0
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if math.Float64bits(s.Min) != math.Float64bits(min) || math.Float64bits(s.Max) != math.Float64bits(max) {
+		t.Fatalf("Min/Max %v/%v want %v/%v", s.Min, s.Max, min, max)
+	}
+	if math.Float64bits(s.Sum) != math.Float64bits(sum) {
+		t.Fatalf("Sum %v want %v (block-order accumulation must match scan)", s.Sum, sum)
+	}
+
+	nan := math.NaN()
+	withNaN := Summarize([]float64{nan, 2, nan, -1})
+	if withNaN.NaNs != 2 || withNaN.Min != -1 || withNaN.Max != 2 || withNaN.Sum != 1 {
+		t.Fatalf("NaN summary: %+v", withNaN)
+	}
+	allNaN := Summarize([]float64{nan, nan})
+	if !math.IsNaN(allNaN.Min) || !math.IsNaN(allNaN.Max) || allNaN.NaNs != 2 {
+		t.Fatalf("all-NaN summary: %+v", allNaN)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 || !math.IsNaN(empty.Min) {
+		t.Fatalf("empty summary: %+v", empty)
+	}
+}
+
+// TestDecodeValuesZeroAlloc pins the block decode path at zero
+// allocations when the caller supplies a sufficient buffer — the pager
+// depends on this to keep Next() allocation-flat.
+func TestDecodeValuesZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	fixed := make([]float64, 1024)
+	xor := make([]float64, 1024)
+	for i := range fixed {
+		fixed[i] = math.Round(math.Abs(rng.NormFloat64())*1000) / 1000
+		xor[i] = rng.NormFloat64()
+	}
+	var enc Encoder
+	fixedPayload := enc.AppendValues(nil, fixed)
+	xorPayload := enc.AppendValues(nil, xor)
+	dst := make([]float64, 1024)
+	for name, payload := range map[string][]byte{"fixed": fixedPayload, "xor": xorPayload} {
+		allocs := testing.AllocsPerRun(100, func() {
+			var err error
+			dst, _, err = DecodeValues(payload, dst)
+			if err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s decode: %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+	ts := make([]int64, 1024)
+	for i := range ts {
+		ts[i] = int64(i) * 3600
+	}
+	tsPayload := AppendTimestamps(nil, ts)
+	tsDst := make([]int64, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		tsDst, _, err = DecodeTimestamps(tsPayload, tsDst)
+		if err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("timestamp decode: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestDecodeValuesTruncated(t *testing.T) {
+	vals := []float64{1.5, 2.25, 3.125, 4, 5, 6, 7, 8}
+	var enc Encoder
+	payload := enc.AppendValues(nil, vals)
+	for cut := 0; cut < len(payload); cut++ {
+		if _, _, err := DecodeValues(payload[:cut], nil); err == nil {
+			// A prefix that still decodes fully must be impossible:
+			// the count header promises 8 values.
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(payload))
+		}
+	}
+	if _, _, err := DecodeValues(nil, nil); err == nil {
+		t.Fatal("empty payload decoded without error")
+	}
+}

@@ -164,6 +164,11 @@ type LoadStats struct {
 	// StorageBytes is the engine-native storage footprint, when the
 	// engine materializes one (0 for engines that read raw files).
 	StorageBytes int64
+	// RawBytes is the uncompressed size of the reading matrix
+	// (consumers × series length × 8 bytes). Engines that compress
+	// report both so extract cost is attributable to decode;
+	// StorageBytes/RawBytes is the storage compression ratio.
+	RawBytes int64
 }
 
 // Engine is the contract each platform analogue implements. Engines are

@@ -1,31 +1,34 @@
 // Package colstore implements the benchmark's "System C" analogue: a
-// main-memory column store geared towards time series.
+// column store geared towards time series, now backed by a compressed
+// block-structured segment format.
 //
 // It reproduces the traits the paper measures for System C:
 //
-//   - Load converts the text source into a compact binary segment file
-//     once; subsequent loads are a single sequential read of that image
-//     with no text parsing — the memory-mapped I/O that makes System C
-//     "easily the fastest and most efficient at data loading" (Fig. 4, 6).
-//   - Analytics run over contiguous per-consumer float64 columns decoded
-//     directly from the image, with the statistical operators
-//     hand-written (System C ships no ML toolkit — every Table 1 cell in
-//     its column is "no").
+//   - Load converts the text source into a compressed binary segment
+//     file once (colcodec delta-of-delta timestamps + fixed-point or
+//     Gorilla-XOR values, lossless either way); subsequent loads read
+//     only metadata — the cheap binary restart the paper credits to
+//     memory-mapped I/O.
+//   - Analytics run over per-consumer float64 columns decoded from
+//     blocks, with the statistical operators hand-written (System C
+//     ships no ML toolkit — every Table 1 cell in its column is "no").
 //
-// Segment file layout (little endian):
-//
-//	magic "SMCOL1\n"  (7 bytes) + 1 pad byte
-//	u32 consumer count, u32 series length
-//	temperature column: seriesLen x f64
-//	per consumer: i64 household id, seriesLen x f64 readings
+// Two residency modes share the format. In-core mode (the default,
+// MemBudget 0) reads the whole segment image into memory and keeps the
+// old contract: Warm decodes everything into one contiguous flat
+// matrix, a drained cold cursor installs the decoded dataset, the
+// similarity kernel adopts the buffer zero-copy. Paged mode (MemBudget
+// > 0) never materializes the matrix: cursors decode blocks on demand
+// through a shared fixed-budget pager with LRU eviction and refcount
+// pinning, so a dataset much larger than memory streams through the
+// same pipeline. Block headers carry min/max/sum/sumSq summaries that
+// the exec layer uses for compressed-domain fast paths.
 package colstore
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 
@@ -35,21 +38,44 @@ import (
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
-var magic = [8]byte{'S', 'M', 'C', 'O', 'L', '1', '\n', 0}
-
-const headerSize = 8 + 4 + 4
-
 // Engine is the System C analogue.
 type Engine struct {
 	dir     string
 	path    string
-	image   []byte // the "memory-mapped" segment image
+	budget  int64
+	store   *segStore
+	pager   *pager
 	decoded *timeseries.Dataset
 }
 
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMemBudget caps the decoded-block cache at the given byte budget
+// and switches the engine to paged (out-of-core) mode: cursors decode
+// blocks on demand instead of materializing the dataset. A budget of 0
+// keeps the in-core behavior.
+func WithMemBudget(bytes int64) Option {
+	return func(e *Engine) {
+		if bytes > 0 {
+			e.budget = bytes
+		}
+	}
+}
+
+// SegmentFileName is the segment file's name under the engine
+// directory. Out-of-band writers (smgen's segments format, the scaleup
+// experiment) create it directly with NewSegmentWriter and attach via
+// OpenExisting.
+const SegmentFileName = "segments.col"
+
 // New returns a column-store engine whose segment file lives under dir.
-func New(dir string) *Engine {
-	return &Engine{dir: dir, path: filepath.Join(dir, "segments.col")}
+func New(dir string, opts ...Option) *Engine {
+	e := &Engine{dir: dir, path: filepath.Join(dir, SegmentFileName)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Name implements core.Engine.
@@ -66,8 +92,8 @@ func (e *Engine) Capabilities() core.Capabilities {
 	}
 }
 
-// Load implements core.Engine: it parses the text source once, writes
-// the binary segment file, and maps it into memory.
+// Load implements core.Engine: it parses the text source once, streams
+// the compressed segment file, and attaches it.
 func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 	ds, err := meterdata.ReadDataset(src)
 	if err != nil {
@@ -76,15 +102,13 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 	if err := os.MkdirAll(e.dir, 0o755); err != nil {
 		return nil, fmt.Errorf("colstore: %w", err)
 	}
-	img, err := encodeSegments(ds)
-	if err != nil {
+	if err := writeDataset(e.path, ds); err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(e.path, img, 0o644); err != nil {
-		return nil, fmt.Errorf("colstore: write segments: %w", err)
+	e.detach()
+	if err := e.attach(); err != nil {
+		return nil, err
 	}
-	e.image = img
-	e.decoded = nil
 	var readings int64
 	for _, s := range ds.Series {
 		readings += int64(len(s.Readings))
@@ -92,54 +116,147 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 	return &core.LoadStats{
 		Consumers:    len(ds.Series),
 		Readings:     readings,
-		StorageBytes: int64(len(img)),
+		StorageBytes: e.store.fileSize,
+		RawBytes:     e.store.rawBytes,
 	}, nil
 }
 
-// Remap re-reads the segment file into memory — the cold-start path
-// after a Release. It is the cheap binary load the paper credits to
-// memory-mapped I/O.
-func (e *Engine) Remap() error {
-	img, err := os.ReadFile(e.path)
-	if err != nil {
-		return fmt.Errorf("colstore: remap: %w", err)
+// writeDataset streams ds into a fresh segment file at path (written to
+// a temp name, then renamed). CSV-parsed values are stored unquantized:
+// the codec's fixed-point probe already round-trips the text-sourced
+// decimals bit-exactly, so every engine reading the same source agrees.
+func writeDataset(path string, ds *timeseries.Dataset) error {
+	if len(ds.Series) == 0 {
+		return fmt.Errorf("colstore: empty dataset")
 	}
-	e.image = img
-	return nil
-}
-
-// Warm decodes every column into float64 slices ahead of time.
-func (e *Engine) Warm() error {
-	if e.image == nil {
-		if err := e.Remap(); err != nil {
-			return err
+	n := len(ds.Temperature.Values)
+	for _, s := range ds.Series {
+		if len(s.Readings) != n {
+			return fmt.Errorf("colstore: consumer %d has %d readings, temperature has %d",
+				s.ID, len(s.Readings), n)
 		}
 	}
-	ds, err := decodeSegments(e.image)
+	tmp := path + ".tmp"
+	w, err := NewSegmentWriter(tmp, ds.Temperature.Values)
 	if err != nil {
 		return err
 	}
-	e.decoded = ds
+	for _, s := range ds.Series {
+		if err := w.Append(s.ID, s.Readings); err != nil {
+			_ = w.Close()
+			_ = os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("colstore: rename segments: %w", err)
+	}
 	return nil
 }
 
-// Release implements core.Engine: unmaps the image and drops decoded
-// columns; the segment file stays on disk.
-func (e *Engine) Release() error {
-	e.image = nil
+// OpenExisting attaches an engine to a segment file that was written
+// out-of-band (by a SegmentWriter — e.g. smgen's streaming generator)
+// without re-ingesting any source, and reports its load stats.
+func (e *Engine) OpenExisting() (*core.LoadStats, error) {
+	e.detach()
+	if _, err := os.Stat(e.path); err != nil {
+		return nil, fmt.Errorf("colstore: %w", core.ErrNotLoaded)
+	}
+	if err := e.attach(); err != nil {
+		return nil, err
+	}
+	return &core.LoadStats{
+		Consumers:    e.store.consumers,
+		Readings:     int64(e.store.consumers) * int64(e.store.n),
+		StorageBytes: e.store.fileSize,
+		RawBytes:     e.store.rawBytes,
+	}, nil
+}
+
+// Remap re-attaches the segment file — the cold-start path after a
+// Release. In-core mode re-reads the whole image; paged mode reads only
+// metadata.
+func (e *Engine) Remap() error {
+	e.detach()
+	return e.attach()
+}
+
+func (e *Engine) attach() error {
+	st, err := openStore(e.path, e.budget == 0)
+	if err != nil {
+		return err
+	}
+	e.store = st
+	if e.budget > 0 {
+		e.pager = newPager(st, e.budget)
+	}
+	return nil
+}
+
+func (e *Engine) detach() {
+	if e.store != nil {
+		e.store.close()
+	}
+	e.store = nil
+	e.pager = nil
 	e.decoded = nil
+}
+
+// Warm readies the engine for hot runs. In-core mode decodes every
+// column into one contiguous flat matrix ahead of time; paged mode
+// pre-fills the block cache up to its byte budget instead (the matrix
+// must never materialize).
+func (e *Engine) Warm() error {
+	if err := e.ensureStorage(); err != nil {
+		return err
+	}
+	if e.budget == 0 {
+		ds, err := decodeAll(e.store)
+		if err != nil {
+			return err
+		}
+		e.decoded = ds
+		return nil
+	}
+	var scratch []byte
+	for c := 0; c < e.store.consumers; c++ {
+		for b := 0; b < e.store.blockCount; b++ {
+			_, _, resident := e.pager.Stats()
+			if resident >= e.budget {
+				return nil
+			}
+			f, s, err := e.pager.fetch(c, b, scratch)
+			if err != nil {
+				return err
+			}
+			scratch = s
+			e.pager.unpin(f)
+		}
+	}
 	return nil
 }
 
-// ensureImage maps the segment file into memory if it is not already.
-func (e *Engine) ensureImage() error {
-	if e.image != nil {
+// Release implements core.Engine: drops the image, the block cache and
+// decoded columns, and closes the file handle; the segment file stays
+// on disk.
+func (e *Engine) Release() error {
+	e.detach()
+	return nil
+}
+
+// ensureStorage attaches the segment file if it is not already.
+func (e *Engine) ensureStorage() error {
+	if e.store != nil {
 		return nil
 	}
 	if _, err := os.Stat(e.path); err != nil {
 		return fmt.Errorf("colstore: %w", core.ErrNotLoaded)
 	}
-	return e.Remap()
+	return e.attach()
 }
 
 // Run implements core.Engine by handing the engine's cursor to the
@@ -155,22 +272,26 @@ func (e *Engine) RunContext(ctx context.Context, spec core.Spec) (*core.Results,
 }
 
 // NewCursor implements core.Engine: decoded columns after Warm (or a
-// previous cold run), otherwise a cursor decoding one consumer column
-// per Next straight from the segment image.
+// previous cold in-core run), a paged on-demand cursor under a memory
+// budget, otherwise a cursor decoding one consumer per Next from the
+// resident image.
 func (e *Engine) NewCursor() (core.Cursor, error) {
 	if e.decoded != nil {
 		return core.NewDatasetCursor(e.decoded), nil
 	}
-	if err := e.ensureImage(); err != nil {
+	if err := e.ensureStorage(); err != nil {
 		return nil, err
 	}
-	return newSegmentCursor(e, e.image)
+	if e.pager != nil {
+		return newPagedCursor(e.pager, 0, e.store.consumers), nil
+	}
+	return newFlatCursor(e), nil
 }
 
-// NewCursors implements core.PartitionedSource: contiguous groups of
-// consumer segments, each decoded into its own flat buffer. After Warm
-// (or a completed cold run) the partitions are range shards of the
-// decoded arrays instead.
+// NewCursors implements core.PartitionedSource: contiguous consumer
+// ranges. Paged partitions share the engine's block cache (the budget
+// is global, not per-cursor); in-core partitions decode into private
+// flat buffers; decoded partitions are range shards of the flat matrix.
 func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
 	if max < 1 {
 		return nil, fmt.Errorf("colstore: NewCursors: max must be >= 1, got %d", max)
@@ -186,189 +307,158 @@ func (e *Engine) NewCursors(max int) ([]core.Cursor, error) {
 		}
 		return curs, nil
 	}
-	if err := e.ensureImage(); err != nil {
-		return nil, err
-	}
-	consumers, n, err := parseHeader(e.image)
-	if err != nil {
+	if err := e.ensureStorage(); err != nil {
 		return nil, err
 	}
 	curs := make([]core.Cursor, 0, max)
-	for _, r := range core.PartitionRanges(consumers, max) {
-		curs = append(curs, &segmentRangeCursor{img: e.image, n: n, lo: r[0], hi: r[1]})
+	for _, r := range core.PartitionRanges(e.store.consumers, max) {
+		if e.pager != nil {
+			curs = append(curs, newPagedCursor(e.pager, r[0], r[1]))
+		} else {
+			curs = append(curs, &flatRangeCursor{st: e.store, lo: r[0], hi: r[1]})
+		}
 	}
 	return curs, nil
 }
 
 var _ core.PartitionedSource = (*Engine)(nil)
 
-// Temperature implements core.Engine, decoding the temperature column
-// from the segment image when no decoded dataset is resident.
+// Temperature implements core.Engine; the temperature column is always
+// resident (one column per file, stored raw).
 func (e *Engine) Temperature() (*timeseries.Temperature, error) {
 	if e.decoded != nil {
 		return e.decoded.Temperature, nil
 	}
-	if err := e.ensureImage(); err != nil {
+	if err := e.ensureStorage(); err != nil {
 		return nil, err
 	}
-	_, n, err := parseHeader(e.image)
-	if err != nil {
-		return nil, err
-	}
-	return &timeseries.Temperature{Values: decodeColumn(e.image[headerSize:headerSize+8*n], n)}, nil
+	return &timeseries.Temperature{Values: e.store.temp}, nil
 }
 
 var _ core.Engine = (*Engine)(nil)
 
-// errCorrupt reports a malformed segment image.
-var errCorrupt = errors.New("colstore: corrupt segment image")
-
-func encodeSegments(ds *timeseries.Dataset) ([]byte, error) {
-	if len(ds.Series) == 0 {
-		return nil, fmt.Errorf("colstore: empty dataset")
-	}
-	n := len(ds.Temperature.Values)
-	for _, s := range ds.Series {
-		if len(s.Readings) != n {
-			return nil, fmt.Errorf("colstore: consumer %d has %d readings, temperature has %d",
-				s.ID, len(s.Readings), n)
-		}
-	}
-	size := headerSize + 8*n + len(ds.Series)*(8+8*n)
-	img := make([]byte, size)
-	copy(img, magic[:])
-	binary.LittleEndian.PutUint32(img[8:], uint32(len(ds.Series)))
-	binary.LittleEndian.PutUint32(img[12:], uint32(n))
-	off := headerSize
-	for _, v := range ds.Temperature.Values {
-		binary.LittleEndian.PutUint64(img[off:], math.Float64bits(v))
-		off += 8
-	}
-	for _, s := range ds.Series {
-		binary.LittleEndian.PutUint64(img[off:], uint64(s.ID))
-		off += 8
-		for _, v := range s.Readings {
-			binary.LittleEndian.PutUint64(img[off:], math.Float64bits(v))
-			off += 8
-		}
-	}
-	return img, nil
-}
-
-// parseHeader validates the segment image and returns its consumer
-// count and series length.
-func parseHeader(img []byte) (consumers, n int, err error) {
-	if len(img) < headerSize {
-		return 0, 0, fmt.Errorf("%w: %d bytes", errCorrupt, len(img))
-	}
-	for i, b := range magic {
-		if img[i] != b {
-			return 0, 0, fmt.Errorf("%w: bad magic", errCorrupt)
-		}
-	}
-	consumers = int(binary.LittleEndian.Uint32(img[8:]))
-	n = int(binary.LittleEndian.Uint32(img[12:]))
-	want := headerSize + 8*n + consumers*(8+8*n)
-	if len(img) != want {
-		return 0, 0, fmt.Errorf("%w: size %d, want %d", errCorrupt, len(img), want)
-	}
-	return consumers, n, nil
-}
-
-func decodeSegments(img []byte) (*timeseries.Dataset, error) {
-	consumers, n, err := parseHeader(img)
-	if err != nil {
+// NewSummaryCursor implements core.SummarySource over the stored block
+// headers. It never touches the pager: summaries are resident metadata.
+func (e *Engine) NewSummaryCursor() (core.SummaryCursor, error) {
+	if err := e.ensureStorage(); err != nil {
 		return nil, err
 	}
-	off := headerSize
-	temp := &timeseries.Temperature{Values: decodeColumn(img[off:off+8*n], n)}
-	off += 8 * n
-	// All consumer columns decode into one contiguous row-major buffer,
-	// each series a back-to-back subslice of it. The similarity engine's
-	// FlatMatrix packing detects this layout and adopts it zero-copy —
-	// the column store hands its columns straight to the blocked kernel.
-	// (Consequently a row's slice capacity extends over later rows:
-	// never append to a decoded series' Readings in place.)
-	flat := make([]float64, consumers*n)
-	series := make([]*timeseries.Series, consumers)
-	for i := 0; i < consumers; i++ {
-		id := timeseries.ID(binary.LittleEndian.Uint64(img[off:]))
-		off += 8
-		row := flat[i*n : (i+1)*n]
-		decodeColumnInto(row, img[off:off+8*n])
-		series[i] = &timeseries.Series{ID: id, Readings: row}
-		off += 8 * n
+	return &summaryCursor{st: e.store}, nil
+}
+
+var _ core.SummarySource = (*Engine)(nil)
+
+// PagerStats reports block-cache hits, misses and resident decoded
+// bytes (all zero in in-core mode).
+func (e *Engine) PagerStats() (hits, misses, resident int64) {
+	if e.pager == nil {
+		return 0, 0, 0
+	}
+	return e.pager.Stats()
+}
+
+// MetaBytes reports the resident metadata footprint of the attached
+// store (temperature + directory + block headers), 0 when detached.
+func (e *Engine) MetaBytes() int64 {
+	if e.store == nil {
+		return 0
+	}
+	return e.store.metaBytes()
+}
+
+// errCorrupt reports a malformed segment file.
+var errCorrupt = errors.New("colstore: corrupt segment file")
+
+// decodeAll materializes the dataset. All consumer columns decode into
+// one contiguous row-major buffer, each series a back-to-back subslice
+// of it. The similarity engine's FlatMatrix packing detects this layout
+// and adopts it zero-copy — the column store hands its columns straight
+// to the blocked kernel. (Consequently a row's slice capacity extends
+// over later rows: never append to a decoded series' Readings in
+// place.)
+func decodeAll(st *segStore) (*timeseries.Dataset, error) {
+	temp := &timeseries.Temperature{Values: st.temp}
+	flat := make([]float64, st.consumers*st.n)
+	series := make([]*timeseries.Series, st.consumers)
+	var scratch []byte
+	var err error
+	for c := 0; c < st.consumers; c++ {
+		row := flat[c*st.n : (c+1)*st.n]
+		scratch, err = st.decodeConsumerInto(c, row, scratch)
+		if err != nil {
+			return nil, err
+		}
+		series[c] = &timeseries.Series{ID: st.ids[c], Readings: row}
 	}
 	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
 }
 
-func decodeColumn(b []byte, n int) []float64 {
-	out := make([]float64, n)
-	decodeColumnInto(out, b)
-	return out
-}
-
-func decodeColumnInto(dst []float64, b []byte) {
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
-	}
-}
-
-// Append implements core.Appender. The read-optimized segment image has
-// no room to grow, so an append decodes the whole image, extends every
-// column and rewrites the file — deliberately expensive, illustrating
+// Append implements core.Appender. The read-optimized segment file has
+// no room to grow, so an append re-encodes every consumer — decode,
+// extend, stream to a fresh file — deliberately expensive, illustrating
 // the paper's §3 remark that read-optimized structures "may be
-// expensive to update".
+// expensive to update". The rewrite streams one consumer at a time, so
+// paged engines append without materializing the matrix.
 func (e *Engine) Append(delta *timeseries.Dataset) error {
-	if e.decoded == nil {
-		if err := e.ensureImage(); err != nil {
-			return err
-		}
-		ds, err := decodeSegments(e.image)
-		if err != nil {
-			return err
-		}
-		e.decoded = ds
+	if err := e.ensureStorage(); err != nil {
+		return err
 	}
-	cur := e.decoded
-	if len(delta.Series) != len(cur.Series) {
+	st := e.store
+	if len(delta.Series) != st.consumers {
 		return fmt.Errorf("colstore: delta has %d households, segments have %d",
-			len(delta.Series), len(cur.Series))
+			len(delta.Series), st.consumers)
 	}
 	byID := make(map[timeseries.ID]*timeseries.Series, len(delta.Series))
 	for _, s := range delta.Series {
 		byID[s.ID] = s
 	}
-	n := len(delta.Temperature.Values)
-	next := &timeseries.Dataset{
-		Temperature: &timeseries.Temperature{
-			Values: append(append([]float64(nil), cur.Temperature.Values...), delta.Temperature.Values...),
-		},
-	}
-	for _, s := range cur.Series {
-		d, ok := byID[s.ID]
-		if !ok {
-			return fmt.Errorf("colstore: delta is missing household %d", s.ID)
-		}
-		if len(d.Readings) != n {
-			return fmt.Errorf("colstore: delta household %d has %d readings, temperature has %d",
-				s.ID, len(d.Readings), n)
-		}
-		next.Series = append(next.Series, &timeseries.Series{
-			ID:       s.ID,
-			Readings: append(append([]float64(nil), s.Readings...), d.Readings...),
-		})
-	}
-	img, err := encodeSegments(next)
+	dn := len(delta.Temperature.Values)
+	newTemp := make([]float64, 0, st.n+dn)
+	newTemp = append(newTemp, st.temp...)
+	newTemp = append(newTemp, delta.Temperature.Values...)
+	tmp := e.path + ".tmp"
+	w, err := NewSegmentWriter(tmp, newTemp, WithBlockRows(st.blockRows))
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(e.path, img, 0o644); err != nil {
+	row := make([]float64, st.n+dn)
+	var scratch []byte
+	for c := 0; c < st.consumers; c++ {
+		id := st.ids[c]
+		d, ok := byID[id]
+		if !ok {
+			_ = w.Close()
+			_ = os.Remove(tmp)
+			return fmt.Errorf("colstore: delta is missing household %d", id)
+		}
+		if len(d.Readings) != dn {
+			_ = w.Close()
+			_ = os.Remove(tmp)
+			return fmt.Errorf("colstore: delta household %d has %d readings, temperature has %d",
+				id, len(d.Readings), dn)
+		}
+		scratch, err = st.decodeConsumerInto(c, row[:st.n], scratch)
+		if err != nil {
+			_ = w.Close()
+			_ = os.Remove(tmp)
+			return err
+		}
+		copy(row[st.n:], d.Readings)
+		if err := w.Append(id, row); err != nil {
+			_ = w.Close()
+			_ = os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, e.path); err != nil {
 		return fmt.Errorf("colstore: rewrite segments: %w", err)
 	}
-	e.image = img
-	e.decoded = next
-	return nil
+	e.detach()
+	return e.attach()
 }
 
 var _ core.Appender = (*Engine)(nil)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/smartmeter/smartbench/internal/core"
@@ -25,16 +26,28 @@ func writeSource(t *testing.T, consumers, days int) (*meterdata.Source, *timeser
 	return src, ds
 }
 
+// writeAndDecode round-trips ds through a segment file on disk.
+func writeAndDecode(t *testing.T, ds *timeseries.Dataset, inMemory bool) *timeseries.Dataset {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "segments.col")
+	if err := writeDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openStore(path, inMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	got, err := decodeAll(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	_, ds := writeSource(t, 5, 20)
-	img, err := encodeSegments(ds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := decodeSegments(img)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := writeAndDecode(t, ds, true)
 	if len(got.Series) != len(ds.Series) {
 		t.Fatalf("series = %d", len(got.Series))
 	}
@@ -60,14 +73,7 @@ func TestDecodedColumnsPackZeroCopy(t *testing.T) {
 	// the similarity engine's FlatMatrix packing must adopt that backing
 	// zero-copy instead of re-copying every row.
 	_, ds := writeSource(t, 6, 15)
-	img, err := encodeSegments(ds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := decodeSegments(img)
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := writeAndDecode(t, ds, true)
 	m, err := got.Flat()
 	if err != nil {
 		t.Fatal(err)
@@ -92,17 +98,30 @@ func TestDecodedColumnsPackZeroCopy(t *testing.T) {
 
 func TestDecodeRejectsCorruption(t *testing.T) {
 	_, ds := writeSource(t, 2, 2)
-	img, _ := encodeSegments(ds)
-	if _, err := decodeSegments(img[:10]); err == nil {
-		t.Error("short image: want error")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "segments.col")
+	if err := writeDataset(path, ds); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := decodeSegments(img[:len(img)-8]); err == nil {
-		t.Error("truncated image: want error")
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
 	}
-	bad := append([]byte(nil), img...)
-	bad[0] = 'X'
-	if _, err := decodeSegments(bad); err == nil {
-		t.Error("bad magic: want error")
+	for name, mutate := range map[string]func([]byte) []byte{
+		"short":     func(b []byte) []byte { return b[:10] },
+		"truncated": func(b []byte) []byte { return b[:len(b)-8] },
+		"bad-magic": func(b []byte) []byte { b2 := append([]byte(nil), b...); b2[0] = 'X'; return b2 },
+	} {
+		bad := filepath.Join(dir, name+".col")
+		if err := os.WriteFile(bad, mutate(img), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, inMemory := range []bool{true, false} {
+			if st, err := openStore(bad, inMemory); err == nil {
+				st.close()
+				t.Errorf("%s (inMemory=%v): want error", name, inMemory)
+			}
+		}
 	}
 }
 

@@ -23,8 +23,8 @@ func TestCursorConformance(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, ok := cur.(*segmentCursor); !ok {
-				t.Fatalf("cold engine yielded %T, want *segmentCursor", cur)
+			if _, ok := cur.(*flatCursor); !ok {
+				t.Fatalf("cold engine yielded %T, want *flatCursor", cur)
 			}
 			return cur
 		})

@@ -1,0 +1,366 @@
+package colstore
+
+import (
+	"io"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/colcodec"
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// buildSegments streams a seeded dataset into a segment file under dir
+// with small blocks (so short test series still span several blocks)
+// and returns the generating dataset for oracle comparisons.
+func buildSegments(t *testing.T, dir string, consumers, days, blockRows int) *timeseries.Dataset {
+	t.Helper()
+	ds, err := seed.Generate(seed.Config{Consumers: consumers, Days: days, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewSegmentWriter(filepath.Join(dir, "segments.col"), ds.Temperature.Values, WithBlockRows(blockRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ds.Series {
+		if err := w.Append(s.ID, s.Readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// pagedEngine opens a paged engine (tight budget: a handful of blocks)
+// over a pre-written segment dir.
+func pagedEngine(t *testing.T, dir string, budget int64) *Engine {
+	t.Helper()
+	e := New(dir, WithMemBudget(budget))
+	if _, err := e.OpenExisting(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPagedMatchesInCoreBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ds := buildSegments(t, dir, 9, 10, 64)
+	// Budget of two blocks: every consumer spans 4 blocks (240 rows /
+	// 64), so the cache thrashes constantly — the adversarial case.
+	e := pagedEngine(t, dir, 2*64*8)
+	cur, err := e.NewCursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for _, want := range ds.Series {
+		got, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID {
+			t.Fatalf("id %d, want %d", got.ID, want.ID)
+		}
+		for j := range want.Readings {
+			if math.Float64bits(got.Readings[j]) != math.Float64bits(want.Readings[j]) {
+				t.Fatalf("consumer %d reading %d: %v != %v", got.ID, j, got.Readings[j], want.Readings[j])
+			}
+		}
+	}
+	if _, err := cur.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	hits, misses, resident := e.PagerStats()
+	if misses == 0 || hits+misses == 0 {
+		t.Fatalf("pager stats hits=%d misses=%d", hits, misses)
+	}
+	if resident > 2*64*8 {
+		t.Fatalf("resident %d exceeds budget with no pins held", resident)
+	}
+}
+
+func TestPagerEvictionRespectsBudget(t *testing.T) {
+	dir := t.TempDir()
+	buildSegments(t, dir, 6, 20, 32)
+	budget := int64(3 * 32 * 8)
+	e := pagedEngine(t, dir, budget)
+	for pass := 0; pass < 2; pass++ {
+		cur, err := e.NewCursor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := cur.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, resident := e.PagerStats(); resident > budget {
+				t.Fatalf("resident %d exceeds budget %d mid-scan", resident, budget)
+			}
+		}
+		cur.Close()
+	}
+	hits, misses, _ := e.PagerStats()
+	t.Logf("hits=%d misses=%d", hits, misses)
+	if misses <= int64(6*15) { // two passes over 6 consumers x 15 blocks can't fit in 3 frames
+		t.Fatalf("expected re-decodes under a thrashing budget, misses=%d", misses)
+	}
+}
+
+func TestPagerCacheHitsUnderLargeBudget(t *testing.T) {
+	dir := t.TempDir()
+	buildSegments(t, dir, 4, 10, 64)
+	e := pagedEngine(t, dir, 1<<30)
+	for pass := 0; pass < 2; pass++ {
+		cur, err := e.NewCursor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := cur.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cur.Close()
+	}
+	hits, misses, _ := e.PagerStats()
+	blocks := int64(4 * 4) // 4 consumers x ceil(240/64)
+	if misses != blocks || hits != blocks {
+		t.Fatalf("hits=%d misses=%d, want %d each (second pass fully cached)", hits, misses, blocks)
+	}
+}
+
+func TestPagedCursorConformance(t *testing.T) {
+	dir := t.TempDir()
+	buildSegments(t, dir, 5, 10, 64)
+	e := pagedEngine(t, dir, 2*64*8)
+	cursortest.Run(t, func(t *testing.T) core.Cursor {
+		cur, err := e.NewCursor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := cur.(*pagedCursor); !ok {
+			t.Fatalf("budgeted engine yielded %T, want *pagedCursor", cur)
+		}
+		return cur
+	})
+}
+
+func TestPagedPartitionConformance(t *testing.T) {
+	dir := t.TempDir()
+	buildSegments(t, dir, 7, 10, 64)
+	e := pagedEngine(t, dir, 2*64*8)
+	cursortest.RunPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+}
+
+func TestPagedCursorChaos(t *testing.T) {
+	dir := t.TempDir()
+	buildSegments(t, dir, 20, 10, 64)
+	e := pagedEngine(t, dir, 2*64*8)
+	cursortest.RunChaos(t, func(t *testing.T) core.Cursor {
+		cur, err := e.NewCursor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cur
+	})
+}
+
+func TestPagedPartitionChaos(t *testing.T) {
+	dir := t.TempDir()
+	buildSegments(t, dir, 20, 10, 64)
+	e := pagedEngine(t, dir, 2*64*8)
+	cursortest.RunChaosPartitioned(t, func(t *testing.T) core.PartitionedSource { return e })
+}
+
+func TestPagedWarmPrefillsWithinBudget(t *testing.T) {
+	dir := t.TempDir()
+	buildSegments(t, dir, 6, 20, 32)
+	budget := int64(4 * 32 * 8)
+	e := pagedEngine(t, dir, budget)
+	if err := e.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if e.decoded != nil {
+		t.Fatal("paged Warm must not materialize the dataset")
+	}
+	_, misses, resident := e.PagerStats()
+	if resident == 0 || resident > budget {
+		t.Fatalf("resident %d after Warm, budget %d", resident, budget)
+	}
+	if misses == 0 {
+		t.Fatal("Warm decoded nothing")
+	}
+}
+
+func TestSegmentWriterQuantize(t *testing.T) {
+	dir := t.TempDir()
+	temp := []float64{1, 2, 3, 4}
+	w, err := NewSegmentWriter(filepath.Join(dir, "segments.col"), temp, WithQuantize(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []float64{1.23456789, 0.0004, 2.71828182, 100.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e := New(dir)
+	if _, err := e.OpenExisting(); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := e.NewCursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	s, err := cur.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.235, 0, 2.718, 100.5}
+	for i := range want {
+		if !stats.ExactEqual(s.Readings[i], want[i]) {
+			t.Fatalf("reading %d = %v, want %v", i, s.Readings[i], want[i])
+		}
+	}
+}
+
+func TestSummaryCursorMatchesDecode(t *testing.T) {
+	dir := t.TempDir()
+	ds := buildSegments(t, dir, 5, 10, 64)
+	e := New(dir) // in-core: summaries work in both modes
+	if _, err := e.OpenExisting(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := e.NewSummaryCursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	buf := make([]float64, DefaultBlockRows)
+	for _, want := range ds.Series {
+		id, blocks, err := sc.NextSummary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want.ID {
+			t.Fatalf("id %d, want %d", id, want.ID)
+		}
+		total := 0
+		for b, bs := range blocks {
+			ref := colcodec.Summarize(want.Readings[bs.Start : bs.Start+bs.Count])
+			if !stats.ExactEqual(bs.Min, ref.Min) || !stats.ExactEqual(bs.Max, ref.Max) ||
+				!stats.ExactEqual(bs.Sum, ref.Sum) || bs.NaNs != ref.NaNs {
+				t.Fatalf("block %d summary %+v, want %+v", b, bs, ref)
+			}
+			if err := sc.DecodeBlock(b, buf[:bs.Count]); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < bs.Count; j++ {
+				if math.Float64bits(buf[j]) != math.Float64bits(want.Readings[bs.Start+j]) {
+					t.Fatalf("block %d row %d mismatch", b, j)
+				}
+			}
+			total += bs.Count
+		}
+		if total != len(want.Readings) {
+			t.Fatalf("blocks cover %d rows, want %d", total, len(want.Readings))
+		}
+	}
+	if _, _, err := sc.NextSummary(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestPagedEngineAgreesWithInCore(t *testing.T) {
+	dir := t.TempDir()
+	buildSegments(t, dir, 8, 15, 64)
+	inCore := New(dir)
+	if _, err := inCore.OpenExisting(); err != nil {
+		t.Fatal(err)
+	}
+	paged := pagedEngine(t, dir, 3*64*8)
+	for _, task := range core.Tasks {
+		spec := core.Spec{Task: task, K: 2, Workers: 4}
+		want, err := inCore.Run(spec)
+		if err != nil {
+			t.Fatalf("%v in-core: %v", task, err)
+		}
+		got, err := paged.Run(spec)
+		if err != nil {
+			t.Fatalf("%v paged: %v", task, err)
+		}
+		assertResultsIdentical(t, task, got, want)
+	}
+}
+
+// assertResultsIdentical requires bit-identical task outputs.
+func assertResultsIdentical(t *testing.T, task core.Task, got, want *core.Results) {
+	t.Helper()
+	if got.Count() != want.Count() {
+		t.Fatalf("%v: count %d vs %d", task, got.Count(), want.Count())
+	}
+	switch task {
+	case core.TaskHistogram:
+		for i := range want.Histograms {
+			g, w := got.Histograms[i], want.Histograms[i]
+			if g.ID != w.ID || !stats.ExactEqual(g.Histogram.Min, w.Histogram.Min) ||
+				!stats.ExactEqual(g.Histogram.Max, w.Histogram.Max) {
+				t.Fatalf("%v consumer %d: range differs", task, w.ID)
+			}
+			for b := range w.Histogram.Counts {
+				if g.Histogram.Counts[b] != w.Histogram.Counts[b] {
+					t.Fatalf("%v consumer %d bucket %d: %d vs %d",
+						task, w.ID, b, g.Histogram.Counts[b], w.Histogram.Counts[b])
+				}
+			}
+		}
+	case core.TaskThreeLine:
+		for i := range want.ThreeLines {
+			g, w := got.ThreeLines[i], want.ThreeLines[i]
+			if g.ID != w.ID || !stats.ExactEqual(g.HeatingGradient, w.HeatingGradient) ||
+				!stats.ExactEqual(g.BaseLoad, w.BaseLoad) {
+				t.Fatalf("%v consumer %d: %+v vs %+v", task, w.ID, g, w)
+			}
+		}
+	case core.TaskPAR:
+		for i := range want.Profiles {
+			g, w := got.Profiles[i], want.Profiles[i]
+			if g.ID != w.ID {
+				t.Fatalf("%v row %d: id %d vs %d", task, i, g.ID, w.ID)
+			}
+			for j := range w.Profile {
+				if !stats.ExactEqual(g.Profile[j], w.Profile[j]) {
+					t.Fatalf("%v consumer %d hour %d: %v vs %v",
+						task, w.ID, j, g.Profile[j], w.Profile[j])
+				}
+			}
+		}
+	case core.TaskSimilarity:
+		for i := range want.Similar {
+			g, w := got.Similar[i], want.Similar[i]
+			if g.ID != w.ID || len(g.Matches) != len(w.Matches) {
+				t.Fatalf("%v row %d: shape differs", task, i)
+			}
+			for j := range w.Matches {
+				if g.Matches[j].ID != w.Matches[j].ID ||
+					!stats.ExactEqual(g.Matches[j].Score, w.Matches[j].Score) {
+					t.Fatalf("%v consumer %d match %d: %+v vs %+v",
+						task, w.ID, j, g.Matches[j], w.Matches[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,540 @@
+package colstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/smartmeter/smartbench/internal/colcodec"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Segment file layout v2 ("SMCOL2", little endian):
+//
+//	magic "SMCOL2\n" (7 bytes) + 1 pad byte
+//	u32 consumers   (patched at Close)
+//	u32 seriesLen
+//	u32 blockRows
+//	u32 reserved
+//	u64 rawBytes    (patched at Close)
+//	u64 dirOffset   (patched at Close)
+//	u64 fileSize    (patched at Close)
+//	temperature column: seriesLen x f64 (raw — one column per file)
+//	per consumer, in ascending household order:
+//	    blockCount x 56-byte block header:
+//	        u32 start, u32 count, u32 nans,
+//	        u32 payloadOff (relative to this consumer's payload area),
+//	        u32 tsLen, u32 valLen,
+//	        f64 min, f64 max, f64 sum, f64 sumSq
+//	    payload area: per block, colcodec timestamps then values
+//	directory at dirOffset: consumers x 24-byte entry:
+//	    u64 household id, u64 segOffset, u32 segLen, u32 blockCount
+//
+// The header fields a streaming writer cannot know up front are patched
+// in place at Close, so a million-consumer file is written
+// consumer-by-consumer without ever holding the raw matrix.
+
+var magic2 = [8]byte{'S', 'M', 'C', 'O', 'L', '2', '\n', 0}
+
+const (
+	headerSize2  = 48
+	blockHdrSize = 56
+	dirEntSize   = 24
+
+	// DefaultBlockRows is the row count per compressed block: 8 KiB of
+	// raw float64s, large enough to amortize per-block headers to <1%
+	// and small enough that summary-driven block skipping has
+	// resolution.
+	DefaultBlockRows = 1024
+)
+
+// blockHdr is the in-memory mirror of an on-disk block header.
+type blockHdr struct {
+	start, count, nans     uint32
+	payloadOff             uint32
+	tsLen, valLen          uint32
+	min, max, sum, sumSq   float64
+}
+
+// SegmentWriter streams consumers into a v2 segment file in ascending
+// household order. It holds one consumer's encoded blocks at a time —
+// never the dataset — so generation and load run out-of-core.
+type SegmentWriter struct {
+	path       string
+	f          *os.File
+	w          *bufio.Writer
+	n          int
+	blockRows  int
+	blockCount int
+	quantPow   float64 // 0: no quantization
+	off        int64
+	consumers  int
+	lastID     timeseries.ID
+	rawBytes   int64
+	dir        []byte
+	enc        colcodec.Encoder
+	hdrBuf     []byte
+	payload    []byte
+	qbuf       []float64
+	ts         []int64
+	closed     bool
+}
+
+// WriterOption configures a SegmentWriter.
+type WriterOption func(*SegmentWriter)
+
+// WithBlockRows overrides the rows-per-block (tests use small blocks to
+// exercise multi-block series with short datasets).
+func WithBlockRows(rows int) WriterOption {
+	return func(w *SegmentWriter) {
+		if rows > 0 {
+			w.blockRows = rows
+		}
+	}
+}
+
+// WithQuantize rounds every reading to the given number of decimal
+// digits before encoding — the stored values ARE the dataset from then
+// on (every engine reading this file sees the quantized values, so
+// results stay bit-identical across engines). Generated data uses 3
+// digits: Wh resolution, beyond any real meter, and what makes the
+// fixed-point codec bite.
+func WithQuantize(digits int) WriterOption {
+	return func(w *SegmentWriter) {
+		if digits >= 0 {
+			w.quantPow = math.Pow(10, float64(digits))
+		}
+	}
+}
+
+// NewSegmentWriter creates path (truncating any previous file) and
+// writes the header and temperature column. Callers must Append every
+// consumer in ascending ID order and then Close.
+func NewSegmentWriter(path string, temp []float64, opts ...WriterOption) (*SegmentWriter, error) {
+	w := &SegmentWriter{path: path, n: len(temp), blockRows: DefaultBlockRows}
+	for _, opt := range opts {
+		opt(w)
+	}
+	w.blockCount = 0
+	if w.n > 0 {
+		w.blockCount = (w.n + w.blockRows - 1) / w.blockRows
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: create segments: %w", err)
+	}
+	w.f = f
+	w.w = bufio.NewWriterSize(f, 1<<20)
+	hdr := make([]byte, headerSize2)
+	copy(hdr, magic2[:])
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(w.n))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(w.blockRows))
+	if _, err := w.w.Write(hdr); err != nil {
+		return nil, w.fail(err)
+	}
+	col := make([]byte, 8*len(temp))
+	for i, v := range temp {
+		binary.LittleEndian.PutUint64(col[i*8:], math.Float64bits(v))
+	}
+	if _, err := w.w.Write(col); err != nil {
+		return nil, w.fail(err)
+	}
+	w.off = int64(headerSize2 + len(col))
+	return w, nil
+}
+
+func (w *SegmentWriter) fail(err error) error {
+	w.closed = true
+	_ = w.f.Close()
+	return fmt.Errorf("colstore: write segments: %w", err)
+}
+
+// Append encodes one consumer's readings. IDs must arrive in strictly
+// ascending order (the cursor contract downstream).
+func (w *SegmentWriter) Append(id timeseries.ID, readings []float64) error {
+	if w.closed {
+		return fmt.Errorf("colstore: append to closed segment writer")
+	}
+	if len(readings) != w.n {
+		return fmt.Errorf("colstore: consumer %d has %d readings, temperature has %d", id, len(readings), w.n)
+	}
+	if w.consumers > 0 && id <= w.lastID {
+		return fmt.Errorf("colstore: appends must arrive in ascending household order: %d after %d", id, w.lastID)
+	}
+	vals := readings
+	if w.quantPow > 0 {
+		if cap(w.qbuf) < len(readings) {
+			w.qbuf = make([]float64, len(readings))
+		}
+		w.qbuf = w.qbuf[:len(readings)]
+		for i, v := range readings {
+			w.qbuf[i] = math.Round(v*w.quantPow) / w.quantPow
+		}
+		vals = w.qbuf
+	}
+	w.rawBytes += int64(8 * len(readings))
+	w.hdrBuf = w.hdrBuf[:0]
+	w.payload = w.payload[:0]
+	if cap(w.ts) < w.blockRows {
+		w.ts = make([]int64, w.blockRows)
+	}
+	for b := 0; b < w.blockCount; b++ {
+		start := b * w.blockRows
+		end := start + w.blockRows
+		if end > w.n {
+			end = w.n
+		}
+		blk := vals[start:end]
+		sum := colcodec.Summarize(blk)
+		ts := w.ts[:end-start]
+		for i := range ts {
+			ts[i] = int64(start + i)
+		}
+		payloadOff := len(w.payload)
+		w.payload = colcodec.AppendTimestamps(w.payload, ts)
+		tsLen := len(w.payload) - payloadOff
+		w.payload = w.enc.AppendValues(w.payload, blk)
+		valLen := len(w.payload) - payloadOff - tsLen
+		w.hdrBuf = appendBlockHdr(w.hdrBuf, blockHdr{
+			start:      uint32(start),
+			count:      uint32(end - start),
+			nans:       uint32(sum.NaNs),
+			payloadOff: uint32(payloadOff),
+			tsLen:      uint32(tsLen),
+			valLen:     uint32(valLen),
+			min:        sum.Min,
+			max:        sum.Max,
+			sum:        sum.Sum,
+			sumSq:      sum.SumSq,
+		})
+	}
+	if _, err := w.w.Write(w.hdrBuf); err != nil {
+		return w.fail(err)
+	}
+	if _, err := w.w.Write(w.payload); err != nil {
+		return w.fail(err)
+	}
+	segLen := len(w.hdrBuf) + len(w.payload)
+	var ent [dirEntSize]byte
+	binary.LittleEndian.PutUint64(ent[0:], uint64(id))
+	binary.LittleEndian.PutUint64(ent[8:], uint64(w.off))
+	binary.LittleEndian.PutUint32(ent[16:], uint32(segLen))
+	binary.LittleEndian.PutUint32(ent[20:], uint32(w.blockCount))
+	w.dir = append(w.dir, ent[:]...)
+	w.off += int64(segLen)
+	w.lastID = id
+	w.consumers++
+	return nil
+}
+
+func appendBlockHdr(dst []byte, h blockHdr) []byte {
+	var buf [blockHdrSize]byte
+	binary.LittleEndian.PutUint32(buf[0:], h.start)
+	binary.LittleEndian.PutUint32(buf[4:], h.count)
+	binary.LittleEndian.PutUint32(buf[8:], h.nans)
+	binary.LittleEndian.PutUint32(buf[12:], h.payloadOff)
+	binary.LittleEndian.PutUint32(buf[16:], h.tsLen)
+	binary.LittleEndian.PutUint32(buf[20:], h.valLen)
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(h.min))
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(h.max))
+	binary.LittleEndian.PutUint64(buf[40:], math.Float64bits(h.sum))
+	binary.LittleEndian.PutUint64(buf[48:], math.Float64bits(h.sumSq))
+	return append(dst, buf[:]...)
+}
+
+func parseBlockHdr(b []byte) blockHdr {
+	return blockHdr{
+		start:      binary.LittleEndian.Uint32(b[0:]),
+		count:      binary.LittleEndian.Uint32(b[4:]),
+		nans:       binary.LittleEndian.Uint32(b[8:]),
+		payloadOff: binary.LittleEndian.Uint32(b[12:]),
+		tsLen:      binary.LittleEndian.Uint32(b[16:]),
+		valLen:     binary.LittleEndian.Uint32(b[20:]),
+		min:        math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+		max:        math.Float64frombits(binary.LittleEndian.Uint64(b[32:])),
+		sum:        math.Float64frombits(binary.LittleEndian.Uint64(b[40:])),
+		sumSq:      math.Float64frombits(binary.LittleEndian.Uint64(b[48:])),
+	}
+}
+
+// RawBytes returns the uncompressed reading-matrix size appended so far.
+func (w *SegmentWriter) RawBytes() int64 { return w.rawBytes }
+
+// Consumers returns the number of consumers appended so far.
+func (w *SegmentWriter) Consumers() int { return w.consumers }
+
+// Close writes the directory, patches the header, and closes the file.
+func (w *SegmentWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.consumers == 0 {
+		_ = w.f.Close()
+		_ = os.Remove(w.path)
+		return fmt.Errorf("colstore: empty dataset")
+	}
+	dirOff := w.off
+	if _, err := w.w.Write(w.dir); err != nil {
+		_ = w.f.Close()
+		return fmt.Errorf("colstore: write segments: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		_ = w.f.Close()
+		return fmt.Errorf("colstore: write segments: %w", err)
+	}
+	fileSize := dirOff + int64(len(w.dir))
+	var patch [40]byte
+	binary.LittleEndian.PutUint32(patch[0:], uint32(w.consumers))
+	binary.LittleEndian.PutUint32(patch[4:], uint32(w.n))
+	binary.LittleEndian.PutUint32(patch[8:], uint32(w.blockRows))
+	binary.LittleEndian.PutUint64(patch[16:], uint64(w.rawBytes))
+	binary.LittleEndian.PutUint64(patch[24:], uint64(dirOff))
+	binary.LittleEndian.PutUint64(patch[32:], uint64(fileSize))
+	if _, err := w.f.WriteAt(patch[:], 8); err != nil {
+		_ = w.f.Close()
+		return fmt.Errorf("colstore: patch header: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("colstore: close segments: %w", err)
+	}
+	return nil
+}
+
+// segStore is an attached v2 segment file: resident metadata (directory
+// and block headers) plus either a fully resident image (in-core mode)
+// or an open file handle for on-demand block reads (paged mode).
+type segStore struct {
+	path       string
+	f          *os.File // nil in in-core mode
+	img        []byte   // nil in paged mode
+	consumers  int
+	n          int
+	blockRows  int
+	blockCount int
+	rawBytes   int64
+	fileSize   int64
+	temp       []float64
+	ids        []timeseries.ID
+	segOff     []int64
+	hdrs       []blockHdr // consumers x blockCount, row-major
+}
+
+// openStore attaches a segment file. In-core mode reads the whole file
+// once (the old "memory-mapped image" behavior); paged mode reads only
+// header, temperature, directory and block headers, leaving payloads on
+// disk for the pager.
+func openStore(path string, inMemory bool) (*segStore, error) {
+	st := &segStore{path: path}
+	var hdr [headerSize2]byte
+	if inMemory {
+		img, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: open segments: %w", err)
+		}
+		if len(img) < headerSize2 {
+			return nil, fmt.Errorf("%w: %d bytes", errCorrupt, len(img))
+		}
+		st.img = img
+		copy(hdr[:], img)
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: open segments: %w", err)
+		}
+		st.f = f
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("%w: header: %v", errCorrupt, err)
+		}
+	}
+	if err := st.parseMeta(hdr); err != nil {
+		st.close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func (st *segStore) parseMeta(hdr [headerSize2]byte) error {
+	for i, b := range magic2 {
+		if hdr[i] != b {
+			return fmt.Errorf("%w: bad magic", errCorrupt)
+		}
+	}
+	st.consumers = int(binary.LittleEndian.Uint32(hdr[8:]))
+	st.n = int(binary.LittleEndian.Uint32(hdr[12:]))
+	st.blockRows = int(binary.LittleEndian.Uint32(hdr[16:]))
+	st.rawBytes = int64(binary.LittleEndian.Uint64(hdr[24:]))
+	dirOff := int64(binary.LittleEndian.Uint64(hdr[32:]))
+	st.fileSize = int64(binary.LittleEndian.Uint64(hdr[40:]))
+	if st.consumers <= 0 || st.n < 0 || st.blockRows <= 0 {
+		return fmt.Errorf("%w: header counts", errCorrupt)
+	}
+	if st.img != nil && int64(len(st.img)) != st.fileSize {
+		return fmt.Errorf("%w: size %d, want %d", errCorrupt, len(st.img), st.fileSize)
+	}
+	if st.f != nil {
+		fi, err := st.f.Stat()
+		if err != nil || fi.Size() != st.fileSize {
+			return fmt.Errorf("%w: size mismatch", errCorrupt)
+		}
+	}
+	st.blockCount = 0
+	if st.n > 0 {
+		st.blockCount = (st.n + st.blockRows - 1) / st.blockRows
+	}
+	// Temperature column.
+	tempRaw, err := st.read(headerSize2, 8*st.n, nil)
+	if err != nil {
+		return err
+	}
+	st.temp = make([]float64, st.n)
+	for i := range st.temp {
+		st.temp[i] = math.Float64frombits(binary.LittleEndian.Uint64(tempRaw[i*8:]))
+	}
+	// Directory.
+	dirLen := st.consumers * dirEntSize
+	if dirOff < headerSize2 || dirOff+int64(dirLen) != st.fileSize {
+		return fmt.Errorf("%w: directory bounds", errCorrupt)
+	}
+	dir, err := st.read(dirOff, dirLen, nil)
+	if err != nil {
+		return err
+	}
+	st.ids = make([]timeseries.ID, st.consumers)
+	st.segOff = make([]int64, st.consumers)
+	st.hdrs = make([]blockHdr, st.consumers*st.blockCount)
+	var scratch []byte
+	for c := 0; c < st.consumers; c++ {
+		ent := dir[c*dirEntSize:]
+		st.ids[c] = timeseries.ID(binary.LittleEndian.Uint64(ent[0:]))
+		st.segOff[c] = int64(binary.LittleEndian.Uint64(ent[8:]))
+		if c > 0 && st.ids[c] <= st.ids[c-1] {
+			return fmt.Errorf("%w: household order", errCorrupt)
+		}
+		if int(binary.LittleEndian.Uint32(ent[20:])) != st.blockCount {
+			return fmt.Errorf("%w: block count", errCorrupt)
+		}
+		if st.segOff[c] < headerSize2 || st.segOff[c]+int64(st.blockCount*blockHdrSize) > dirOff {
+			return fmt.Errorf("%w: segment bounds", errCorrupt)
+		}
+		scratch, err = st.readInto(st.segOff[c], st.blockCount*blockHdrSize, scratch)
+		if err != nil {
+			return err
+		}
+		for b := 0; b < st.blockCount; b++ {
+			st.hdrs[c*st.blockCount+b] = parseBlockHdr(scratch[b*blockHdrSize:])
+		}
+	}
+	return nil
+}
+
+// read returns length bytes at off: a zero-copy image subslice in
+// in-core mode, a fresh (or reused) buffer in paged mode.
+func (st *segStore) read(off int64, length int, scratch []byte) ([]byte, error) {
+	if st.img != nil {
+		if off < 0 || off+int64(length) > int64(len(st.img)) {
+			return nil, fmt.Errorf("%w: read out of bounds", errCorrupt)
+		}
+		return st.img[off : off+int64(length)], nil
+	}
+	b, err := st.readInto(off, length, scratch)
+	return b, err
+}
+
+func (st *segStore) readInto(off int64, length int, scratch []byte) ([]byte, error) {
+	if cap(scratch) < length {
+		scratch = make([]byte, length)
+	}
+	scratch = scratch[:length]
+	if st.img != nil {
+		if off < 0 || off+int64(length) > int64(len(st.img)) {
+			return nil, fmt.Errorf("%w: read out of bounds", errCorrupt)
+		}
+		copy(scratch, st.img[off:])
+		return scratch, nil
+	}
+	if _, err := st.f.ReadAt(scratch, off); err != nil {
+		return nil, fmt.Errorf("%w: read: %v", errCorrupt, err)
+	}
+	return scratch, nil
+}
+
+func (st *segStore) close() {
+	if st.f != nil {
+		_ = st.f.Close()
+		st.f = nil
+	}
+	st.img = nil
+}
+
+func (st *segStore) hdr(c, b int) *blockHdr { return &st.hdrs[c*st.blockCount+b] }
+
+// payloadBase returns the absolute file offset of consumer c's payload
+// area (its block headers precede it).
+func (st *segStore) payloadBase(c int) int64 {
+	return st.segOff[c] + int64(st.blockCount*blockHdrSize)
+}
+
+// readBlockVals decodes block b of consumer c into dst (which must hold
+// h.count values) and returns the possibly-grown scratch buffer.
+func (st *segStore) readBlockVals(c, b int, scratch []byte, dst []float64) ([]byte, error) {
+	h := st.hdr(c, b)
+	off := st.payloadBase(c) + int64(h.payloadOff) + int64(h.tsLen)
+	raw, err := st.read(off, int(h.valLen), scratch)
+	if err != nil {
+		return scratch, err
+	}
+	if st.img == nil {
+		scratch = raw
+	}
+	out, _, err := colcodec.DecodeValues(raw, dst[:0])
+	if err != nil {
+		return scratch, fmt.Errorf("colstore: consumer %d block %d: %w", st.ids[c], b, err)
+	}
+	if len(out) != int(h.count) {
+		return scratch, fmt.Errorf("%w: block row count", errCorrupt)
+	}
+	return scratch, nil
+}
+
+// readBlockTs decodes block b of consumer c's timestamps.
+func (st *segStore) readBlockTs(c, b int, scratch []byte, dst []int64) ([]int64, []byte, error) {
+	h := st.hdr(c, b)
+	off := st.payloadBase(c) + int64(h.payloadOff)
+	raw, err := st.read(off, int(h.tsLen), scratch)
+	if err != nil {
+		return nil, scratch, err
+	}
+	if st.img == nil {
+		scratch = raw
+	}
+	out, _, err := colcodec.DecodeTimestamps(raw, dst)
+	if err != nil {
+		return nil, scratch, fmt.Errorf("colstore: consumer %d block %d: %w", st.ids[c], b, err)
+	}
+	return out, scratch, nil
+}
+
+// decodeConsumerInto decodes consumer c's full series into dst (length
+// st.n) and returns the possibly-grown scratch buffer.
+func (st *segStore) decodeConsumerInto(c int, dst []float64, scratch []byte) ([]byte, error) {
+	for b := 0; b < st.blockCount; b++ {
+		h := st.hdr(c, b)
+		var err error
+		scratch, err = st.readBlockVals(c, b, scratch, dst[h.start:h.start+h.count])
+		if err != nil {
+			return scratch, err
+		}
+	}
+	return scratch, nil
+}
+
+// metaBytes reports the resident metadata footprint (temperature,
+// directory and block headers) — what an attached paged store costs
+// before any block is decoded.
+func (st *segStore) metaBytes() int64 {
+	return int64(8*len(st.temp)) + int64(len(st.ids))*dirEntSize + int64(len(st.hdrs))*blockHdrSize
+}

@@ -318,6 +318,20 @@ func RunContext(ctx context.Context, src Source, spec core.Spec) (*core.Results,
 	out := &core.Results{Task: spec.Task, Phases: ph}
 	cn := &contain{policy: spec.FailPolicy}
 
+	// Compressed-domain fast path: the histogram task over a source that
+	// publishes per-block summaries skips decoding blocks whose min and
+	// max share a bucket. Results are bit-identical to the cursor
+	// pipeline (see summary.go for the argument); fault-injecting
+	// wrappers don't forward SummarySource, so chaos runs keep
+	// exercising the generic path.
+	if ss, ok := summaryHistogramApplies(src, spec); ok {
+		if err := runHistogramSummaries(ctx, ss, spec, out); err != nil {
+			return nil, err
+		}
+		cn.finish(out)
+		return out, nil
+	}
+
 	// Overlapped extraction: streaming task + >1 worker + engine exposes
 	// disjoint partitions + the spec didn't pin the serial path. A
 	// single-partition answer falls back to the serial loop over that

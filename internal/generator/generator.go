@@ -163,9 +163,29 @@ func (g *Generator) NextSeries(temp *timeseries.Temperature) (*timeseries.Series
 
 // Series synthesizes one new consumer with an explicit ID.
 func (g *Generator) Series(id timeseries.ID, temp *timeseries.Temperature) (*timeseries.Series, error) {
+	readings := make([]float64, len(temp.Values))
+	if err := g.SeriesInto(readings, temp); err != nil {
+		return nil, err
+	}
+	return &timeseries.Series{ID: id, Readings: readings}, nil
+}
+
+// SeriesInto synthesizes one new consumer's readings directly into dst,
+// which must be exactly len(temp.Values) long. It is the streaming
+// variant of Series: callers generating millions of consumers reuse one
+// buffer and hand each filled row to a streaming sink (the column
+// store's SegmentWriter, a CSV encoder) instead of materializing the
+// whole matrix. The PRNG consumption per consumer is identical to
+// Series, so a streamed run and a materialized run with the same seed
+// produce the same readings.
+func (g *Generator) SeriesInto(dst []float64, temp *timeseries.Temperature) error {
 	if len(temp.Values) == 0 || len(temp.Values)%timeseries.HoursPerDay != 0 {
-		return nil, fmt.Errorf("generator: temperature series of %d values: %w",
+		return fmt.Errorf("generator: temperature series of %d values: %w",
 			len(temp.Values), timeseries.ErrBadLength)
+	}
+	if len(dst) != len(temp.Values) {
+		return fmt.Errorf("generator: dst of %d values for %d temperatures: %w",
+			len(dst), len(temp.Values), timeseries.ErrBadLength)
 	}
 	// Select a random activity-profile cluster, then a random member of
 	// that cluster for the thermal gradients (paper Figure 3).
@@ -177,8 +197,7 @@ func (g *Generator) Series(id timeseries.ID, temp *timeseries.Temperature) (*tim
 	member := g.members[c][g.rng.Intn(len(g.members[c]))]
 	grad := g.gradients[member]
 
-	readings := make([]float64, len(temp.Values))
-	for i := range readings {
+	for i := range dst {
 		hour := i % timeseries.HoursPerDay
 		t := temp.Values[i]
 		v := centroid[hour] +
@@ -188,9 +207,9 @@ func (g *Generator) Series(id timeseries.ID, temp *timeseries.Temperature) (*tim
 		if v < 0 {
 			v = 0
 		}
-		readings[i] = v
+		dst[i] = v
 	}
-	return &timeseries.Series{ID: id, Readings: readings}, nil
+	return nil
 }
 
 // Dataset synthesizes n new consumers sharing the given temperature

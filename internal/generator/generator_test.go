@@ -194,3 +194,43 @@ func TestDatasetErrors(t *testing.T) {
 		t.Error("bad temperature length: want error")
 	}
 }
+
+func TestSeriesIntoMatchesSeries(t *testing.T) {
+	seedDS := seedDataset(t, 6, 60)
+	g1, err := New(seedDS, Config{Clusters: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := New(seedDS, Config{Clusters: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, len(seedDS.Temperature.Values))
+	for i := 0; i < 4; i++ {
+		s, err := g1.Series(timeseries.ID(i+1), seedDS.Temperature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.SeriesInto(buf, seedDS.Temperature); err != nil {
+			t.Fatal(err)
+		}
+		for j := range buf {
+			if !stats.ExactEqual(buf[j], s.Readings[j]) {
+				t.Fatalf("consumer %d reading %d: streamed %g vs materialized %g",
+					i+1, j, buf[j], s.Readings[j])
+			}
+		}
+	}
+}
+
+func TestSeriesIntoBadLength(t *testing.T) {
+	seedDS := seedDataset(t, 6, 60)
+	g, err := New(seedDS, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := make([]float64, len(seedDS.Temperature.Values)-1)
+	if err := g.SeriesInto(short, seedDS.Temperature); err == nil {
+		t.Fatal("short dst accepted")
+	}
+}

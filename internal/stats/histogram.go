@@ -29,7 +29,7 @@ func NewHistogram(xs []float64, buckets int) (*Histogram, error) {
 	min, max, _ := MinMax(xs)
 	h := &Histogram{Min: min, Max: max, Counts: make([]int64, buckets)}
 	for _, x := range xs {
-		h.Counts[h.bucket(x)]++
+		h.Counts[h.Bucket(x)]++
 	}
 	return h, nil
 }
@@ -46,12 +46,16 @@ func NewHistogramRange(xs []float64, buckets int, min, max float64) (*Histogram,
 	}
 	h := &Histogram{Min: min, Max: max, Counts: make([]int64, buckets)}
 	for _, x := range xs {
-		h.Counts[h.bucket(x)]++
+		h.Counts[h.Bucket(x)]++
 	}
 	return h, nil
 }
 
-func (h *Histogram) bucket(x float64) int {
+// Bucket returns the bucket index x falls into. It is monotone
+// non-decreasing in x: compressed-domain fast paths rely on
+// Bucket(min) == Bucket(max) implying every value in [min, max] shares
+// that bucket, so AddN from a block summary is exact.
+func (h *Histogram) Bucket(x float64) int {
 	n := len(h.Counts)
 	if h.Max <= h.Min {
 		return 0
@@ -77,7 +81,12 @@ func (h *Histogram) bucket(x float64) int {
 }
 
 // Add incorporates a single value.
-func (h *Histogram) Add(x float64) { h.Counts[h.bucket(x)]++ }
+func (h *Histogram) Add(x float64) { h.Counts[h.Bucket(x)]++ }
+
+// AddN incorporates n occurrences of x in one step. Combined with the
+// Bucket monotonicity contract it lets a whole stored block be counted
+// from its (min, max, count) summary without decoding.
+func (h *Histogram) AddN(x float64, n int64) { h.Counts[h.Bucket(x)] += n }
 
 // Total returns the number of samples recorded.
 func (h *Histogram) Total() int64 {

@@ -26,6 +26,16 @@
 #      zero-rate-over-baseline overhead ratio. Containment that nobody
 #      triggers should be nearly free: the no-fault overhead target is
 #      <3% (ratio <= 1.03).
+#   5. BenchmarkScaleupPaged{ThreeLine,Histogram} (tasks over the
+#      compressed, paged column store under a quarter-of-raw memory
+#      budget) -> BENCH_scale.json with the storage compression ratio,
+#      resident raw/stored MB and sustained rows/s per task. The ratio
+#      target is >= 4x on Wh-quantized synthetic data. Set
+#      SCALE_CONSUMERS (and optionally SCALE_DAYS, default 365) to add
+#      a single-shot large run — e.g. SCALE_CONSUMERS=100000 streams a
+#      100k-consumer x 365-day year through the same paged path and
+#      records it as a "large_run" object alongside the CI-scale
+#      numbers.
 #
 # For a statistical A/B over two checkouts, feed the raw output files
 # to benchstat (golang.org/x/perf) instead.
@@ -35,6 +45,9 @@
 #   PIPE_OUT=BENCH_pipeline.json      # pipeline output path override
 #   EXTRACT_OUT=BENCH_extract.json    # extraction output path override
 #   FAULT_OUT=BENCH_fault.json        # fault output path override
+#   SCALE_OUT=BENCH_scale.json        # scale-up output path override
+#   SCALE_CONSUMERS=100000            # add a paper-scale single-shot run
+#   SCALE_DAYS=365                    # days for the large run (default 365)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +56,7 @@ OUT="${OUT:-BENCH_similarity.json}"
 PIPE_OUT="${PIPE_OUT:-BENCH_pipeline.json}"
 EXTRACT_OUT="${EXTRACT_OUT:-BENCH_extract.json}"
 FAULT_OUT="${FAULT_OUT:-BENCH_fault.json}"
+SCALE_OUT="${SCALE_OUT:-BENCH_scale.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -184,3 +198,82 @@ awk -v out="$FAULT_OUT" '
 
 echo "== wrote $FAULT_OUT"
 cat "$FAULT_OUT"
+echo "== go test -bench 'BenchmarkScaleupPaged(ThreeLine|Histogram)' -count $COUNT"
+go test -run '^$' -bench 'BenchmarkScaleupPaged(ThreeLine|Histogram)$' \
+  -count "$COUNT" -timeout 20m . | tee "$RAW"
+
+# Optional paper-scale pass: one shot at SCALE_CONSUMERS x SCALE_DAYS
+# through the same benchmarks. Streaming generation means the raw
+# matrix (8 bytes/reading) never materializes; only the compressed
+# segment file and the quarter-of-raw page cache are resident.
+RAW_BIG=""
+if [ -n "${SCALE_CONSUMERS:-}" ]; then
+  RAW_BIG="$(mktemp)"
+  trap 'rm -f "$RAW" "$RAW_BIG"' EXIT
+  echo "== large run: $SCALE_CONSUMERS consumers x ${SCALE_DAYS:-365} days (single shot)"
+  SMARTBENCH_SCALE_CONSUMERS="$SCALE_CONSUMERS" SMARTBENCH_SCALE_DAYS="${SCALE_DAYS:-365}" \
+    go test -run '^$' -bench 'BenchmarkScaleupPaged(ThreeLine|Histogram)$' \
+    -benchtime 1x -count 1 -timeout 120m . | tee "$RAW_BIG"
+fi
+
+awk -v out="$SCALE_OUT" -v bigc="${SCALE_CONSUMERS:-0}" -v bigd="${SCALE_DAYS:-365}" '
+  /^BenchmarkScaleupPaged(ThreeLine|Histogram)/ {
+    name = $1
+    sub(/^BenchmarkScaleupPaged/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    # Records from the second input file (the large run) land in their
+    # own arrays, keyed the same way.
+    if (ARGC > 2 && FILENAME == ARGV[2]) { name = "Big" name }
+    ns[name] += $3; runs[name]++
+    # Custom metrics follow ns/op as value-unit pairs (budgetMB, ratio,
+    # rawMB, storedMB, rows/s), alphabetically ordered by go test.
+    for (i = 4; i < NF; i += 2) {
+      v = $(i + 1); u = $(i + 2)
+      if (u == "ratio")    { ratio[name] += v; }
+      if (u == "rawMB")    { raw[name] += v; }
+      if (u == "storedMB") { stored[name] += v; }
+      if (u == "budgetMB") { budget[name] += v; }
+      if (u == "rows/s")   { rows[name] += v; }
+    }
+  }
+  END {
+    if (runs["ThreeLine"] == 0 || runs["Histogram"] == 0) {
+      print "bench.sh: missing scaleup benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    tr = runs["ThreeLine"]; hr = runs["Histogram"]
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkScaleupPaged\",\n" >> out
+    printf "  \"consumers\": 64,\n" >> out
+    printf "  \"budget_fraction_of_raw\": 0.25,\n" >> out
+    printf "  \"count\": %d,\n", tr >> out
+    printf "  \"raw_mb\": %.3f,\n", raw["ThreeLine"] / tr >> out
+    printf "  \"stored_mb\": %.3f,\n", stored["ThreeLine"] / tr >> out
+    printf "  \"compression_ratio\": %.2f,\n", ratio["ThreeLine"] / tr >> out
+    printf "  \"compression_ratio_target\": 4.0,\n" >> out
+    printf "  \"threeline\": {\"ns_per_op\": %.1f, \"rows_per_s\": %.1f},\n", \
+      ns["ThreeLine"] / tr, rows["ThreeLine"] / tr >> out
+    sep = (runs["BigThreeLine"] > 0) ? "," : ""
+    printf "  \"histogram\": {\"ns_per_op\": %.1f, \"rows_per_s\": %.1f}%s\n", \
+      ns["Histogram"] / hr, rows["Histogram"] / hr, sep >> out
+    if (runs["BigThreeLine"] > 0) {
+      btr = runs["BigThreeLine"]; bhr = runs["BigHistogram"]
+      printf "  \"large_run\": {\n" >> out
+      printf "    \"consumers\": %d,\n", bigc >> out
+      printf "    \"days\": %d,\n", bigd >> out
+      printf "    \"raw_mb\": %.1f,\n", raw["BigThreeLine"] / btr >> out
+      printf "    \"stored_mb\": %.1f,\n", stored["BigThreeLine"] / btr >> out
+      printf "    \"budget_mb\": %.1f,\n", budget["BigThreeLine"] / btr >> out
+      printf "    \"compression_ratio\": %.2f,\n", ratio["BigThreeLine"] / btr >> out
+      printf "    \"threeline\": {\"ns_per_op\": %.0f, \"rows_per_s\": %.1f},\n", \
+        ns["BigThreeLine"] / btr, rows["BigThreeLine"] / btr >> out
+      printf "    \"histogram\": {\"ns_per_op\": %.0f, \"rows_per_s\": %.1f}\n", \
+        ns["BigHistogram"] / bhr, rows["BigHistogram"] / bhr >> out
+      printf "  }\n" >> out
+    }
+    printf "}\n" >> out
+  }
+' "$RAW" ${RAW_BIG:+"$RAW_BIG"}
+
+echo "== wrote $SCALE_OUT"
+cat "$SCALE_OUT"
