@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -616,7 +617,7 @@ func BenchmarkUpdatesAppendDay(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := eng.Append(delta); err != nil {
+			if err := eng.AppendDelta(delta); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -628,7 +629,7 @@ func BenchmarkUpdatesAppendDay(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := eng.Append(delta); err != nil {
+			if err := eng.AppendDelta(delta); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -861,4 +862,109 @@ func BenchmarkScaleupSegmentEncode(b *testing.B) {
 	if elapsed > 0 {
 		b.ReportMetric(float64(n*benchDays*24)*float64(b.N)/elapsed.Seconds(), "readings/s")
 	}
+}
+
+// --- Live ingestion: append-driven engines ---------------------------------
+
+// liveBenchEngine is the shape both append-driven engines share.
+type liveBenchEngine interface {
+	core.Engine
+	core.Appender
+}
+
+const ingestLiveDays = 3
+const ingestWorkers = 4
+
+// benchIngest loads the standard base, then appends ingestLiveDays of
+// fresh hour batches through ingestWorkers sharded writers. ns/op is
+// the append phase; records/s is the sustained append throughput and
+// lagNs the freshness lag — the time from the last append to a
+// histogram answer over a read-isolated snapshot of base + tail.
+func benchIngest(b *testing.B, mk func(b *testing.B) (liveBenchEngine, func())) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	live, err := seed.Generate(seed.Config{Consumers: benchConsumers, Days: ingestLiveDays, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseHours := benchDays * timeseries.HoursPerDay
+	liveHours := ingestLiveDays * timeseries.HoursPerDay
+
+	shards := make([][]*timeseries.Series, ingestWorkers)
+	for _, s := range live.Series {
+		w := core.ShardFor(s.ID, ingestWorkers)
+		shards[w] = append(shards[w], s)
+	}
+
+	var appendTime, lagTime time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, done := mk(b)
+		if _, err := eng.Load(src); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, ingestWorkers)
+		for w := 0; w < ingestWorkers; w++ {
+			wg.Add(1)
+			go func(own []*timeseries.Series) {
+				defer wg.Done()
+				batch := make([]core.Reading, len(own))
+				for h := 0; h < liveHours; h++ {
+					for j, s := range own {
+						batch[j] = core.Reading{
+							ID: s.ID, Hour: baseHours + h,
+							Consumption: s.Readings[h],
+							Temperature: live.Temperature.Values[h],
+						}
+					}
+					if err := eng.Append(batch); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(shards[w])
+		}
+		wg.Wait()
+		appendTime += time.Since(start)
+		select {
+		case err := <-errs:
+			b.Fatal(err)
+		default:
+		}
+
+		lagStart := time.Now()
+		res, _, err := exec.RunSnapshot(context.Background(), eng,
+			core.Spec{Task: core.TaskHistogram, Workers: ingestWorkers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lagTime += time.Since(lagStart)
+		if len(res.Histograms) != benchConsumers {
+			b.Fatalf("snapshot saw %d consumers, want %d", len(res.Histograms), benchConsumers)
+		}
+		b.StopTimer()
+		done()
+		b.StartTimer()
+	}
+	records := float64(liveHours) * float64(benchConsumers) * float64(b.N)
+	b.ReportMetric(records/appendTime.Seconds(), "records/s")
+	b.ReportMetric(float64(lagTime.Nanoseconds())/float64(b.N), "lagNs")
+}
+
+func BenchmarkIngestColstore(b *testing.B) {
+	benchIngest(b, func(b *testing.B) (liveBenchEngine, func()) {
+		eng := colstore.New(b.TempDir())
+		return eng, func() { _ = eng.Release() }
+	})
+}
+
+func BenchmarkIngestRowstore(b *testing.B) {
+	benchIngest(b, func(b *testing.B) (liveBenchEngine, func()) {
+		eng := rowstore.New(b.TempDir())
+		return eng, func() { _ = eng.Close() }
+	})
 }

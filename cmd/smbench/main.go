@@ -17,8 +17,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
 	"github.com/smartmeter/smartbench/internal/benchmark"
 	"github.com/smartmeter/smartbench/internal/core"
@@ -141,53 +139,20 @@ func runExperiments(args []string) error {
 	return nil
 }
 
-// parseMemBudget parses the -membudget flag: a non-negative integer
-// with an optional unit suffix — B, KB/MB/GB (decimal) or KiB/MiB/GiB
-// (binary), case-insensitive. Empty means no budget (in-core).
+// parseMemBudget parses the -membudget flag via the shared byte-size
+// parser: a non-negative integer with an optional B/KB/MB/GB (decimal)
+// or KiB/MiB/GiB (binary) suffix. Empty means no budget (in-core).
 func parseMemBudget(s string) (int64, error) {
-	if s == "" {
-		return 0, nil
-	}
-	units := []struct {
-		suffix string
-		mult   int64
-	}{
-		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
-		{"kb", 1000}, {"mb", 1000 * 1000}, {"gb", 1000 * 1000 * 1000},
-		{"b", 1},
-	}
-	lower := strings.ToLower(strings.TrimSpace(s))
-	mult := int64(1)
-	num := lower
-	for _, u := range units {
-		if strings.HasSuffix(lower, u.suffix) {
-			mult = u.mult
-			num = strings.TrimSpace(strings.TrimSuffix(lower, u.suffix))
-			break
-		}
-	}
-	v, err := strconv.ParseInt(num, 10, 64)
-	if err != nil || v < 0 {
+	v, err := core.ParseByteSize(s)
+	if err != nil {
 		return 0, fmt.Errorf("bad -membudget %q (want e.g. 256MiB, 1GiB)", s)
 	}
-	if mult > 1 && v > (1<<62)/mult {
-		return 0, fmt.Errorf("-membudget %q overflows", s)
-	}
-	return v * mult, nil
+	return v, nil
 }
 
 // parseFailPolicy maps the -failpolicy flag to a core.FailPolicy.
 func parseFailPolicy(name string) (core.FailPolicy, error) {
-	switch name {
-	case "failfast":
-		return core.FailFast, nil
-	case "quarantine":
-		return core.Quarantine, nil
-	case "repair":
-		return core.Repair, nil
-	default:
-		return core.FailFast, fmt.Errorf("unknown fail policy %q (want failfast, quarantine or repair)", name)
-	}
+	return core.ParseFailPolicy(name)
 }
 
 func usage() {

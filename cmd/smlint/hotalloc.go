@@ -72,12 +72,16 @@ func runHotalloc(p *Pass) {
 // hotPackage reports whether every function in the package is on the
 // hot path. internal/colcodec is implicitly hot: every reading decodes
 // through it, so a per-iteration allocation there costs once per meter
-// reading, same as the stats kernels.
+// reading, same as the stats kernels. internal/incr is hot for the
+// same reason from the other direction: its maintainers run on every
+// ingested reading, so a per-reading allocation there taxes the whole
+// live path.
 func hotPackage(path string) bool {
 	path += "/"
 	return strings.Contains(path, "/internal/stats/") ||
 		strings.Contains(path, "/internal/sched/") ||
-		strings.Contains(path, "/internal/colcodec/")
+		strings.Contains(path, "/internal/colcodec/") ||
+		strings.Contains(path, "/internal/incr/")
 }
 
 // checkHotFunc walks one kernel function, flagging allocation patterns

@@ -82,6 +82,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{hotallocAnalyzer, "hotalloc/internal/stats", true},
 		{hotallocAnalyzer, "hotalloc/internal/engine/fake", true},
 		{hotallocAnalyzer, "hotalloc/internal/colcodec", true},
+		{hotallocAnalyzer, "hotalloc/internal/incr", true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.dir, func(t *testing.T) {

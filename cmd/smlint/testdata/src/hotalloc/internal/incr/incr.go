@@ -1,0 +1,53 @@
+// Fixture for the hotalloc analyzer: internal/incr maintains analytics
+// on every ingested reading, so the whole package is hot — a
+// per-reading allocation in a Consume loop taxes live ingestion the
+// way a per-reading decode allocation taxes extraction.
+package incr
+
+import "fmt"
+
+type reading struct {
+	id   int64
+	hour int
+	val  float64
+}
+
+func consume(batch []reading, vals map[int64][]float64) error {
+	for _, r := range batch {
+		key := fmt.Sprintf("h%d", r.id) // want "fmt.Sprintf allocates on every iteration"
+		_ = key
+		vals[r.id] = append(vals[r.id], r.val) // map-element append: amortized, silent
+	}
+	return nil
+}
+
+// Closures hoisted to function scope stay silent; building one per
+// reading does not.
+func dispatch(batch []reading, sinks []func(reading)) {
+	for _, r := range batch {
+		f := func(x reading) { _ = x.val } // want "closure allocated on every iteration"
+		f(r)
+		for _, s := range sinks {
+			s(r)
+		}
+	}
+}
+
+// fmt.Errorf on the return path runs once, not per reading: exempt.
+func validate(batch []reading) error {
+	for _, r := range batch {
+		if r.hour < 0 {
+			return fmt.Errorf("negative hour %d for %d", r.hour, r.id)
+		}
+	}
+	return nil
+}
+
+// Pre-capped accumulation is the blessed pattern.
+func snapshot(vals []float64) []float64 {
+	out := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}

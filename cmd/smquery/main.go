@@ -6,12 +6,20 @@
 //
 //	smquery -data DIR -engine colstore -task 3line
 //	smquery -data DIR -engine hive -task similarity -k 5
+//	smquery -data SEGDIR -engine colstore -membudget 64MiB -task histogram
+//
+// When -engine colstore is given a directory that already holds a
+// sealed segment file (segments.col), it is opened in place with
+// OpenExisting — optionally under a -membudget page-cache cap — rather
+// than re-loaded from raw meter files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/distsim"
@@ -43,6 +51,9 @@ func run(args []string) error {
 	workers := fs.Int("workers", 1, "intra-engine parallelism")
 	limit := fs.Int("limit", 5, "max consumers to print")
 	imputeGaps := fs.Bool("impute", false, "fill missing readings (hybrid imputation) before running")
+	policyName := fs.String("failpolicy", "failfast", "per-consumer failure policy: failfast, quarantine or repair")
+	timeout := fs.Duration("timeout", 0, "per-run deadline (0 = none), e.g. 30s")
+	memBudgetStr := fs.String("membudget", "", "column-store decoded-block cache cap, e.g. 64MiB (colstore only; default: unbudgeted in-core)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,15 +61,19 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("-data is required")
 	}
-
-	src, err := meterdata.DiscoverSource(*dataDir)
+	policy, err := core.ParseFailPolicy(*policyName)
 	if err != nil {
 		return err
 	}
-	if *imputeGaps {
-		if err := cleanSource(src); err != nil {
-			return err
-		}
+	if *timeout < 0 {
+		return fmt.Errorf("negative timeout %v", *timeout)
+	}
+	memBudget, err := core.ParseByteSize(*memBudgetStr)
+	if err != nil {
+		return fmt.Errorf("bad -membudget %q (want e.g. 64MiB, 1GiB)", *memBudgetStr)
+	}
+	if memBudget > 0 && *engineName != "colstore" {
+		return fmt.Errorf("-membudget applies only to -engine colstore")
 	}
 
 	var task core.Task
@@ -75,23 +90,66 @@ func run(args []string) error {
 		return fmt.Errorf("unknown task %q", *taskName)
 	}
 
-	eng, cleanup, err := makeEngine(*engineName)
-	if err != nil {
-		return err
+	var eng core.Engine
+	var cleanup func()
+	var st *core.LoadStats
+	segPath := filepath.Join(*dataDir, colstore.SegmentFileName)
+	if _, serr := os.Stat(segPath); *engineName == "colstore" && serr == nil {
+		// The directory is already engine-native storage: open the
+		// sealed segment in place, paging under the budget if one is
+		// set, instead of bulk-loading raw meter files.
+		if *imputeGaps {
+			return fmt.Errorf("-impute needs raw meter files, not a sealed segment dir")
+		}
+		var opts []colstore.Option
+		if memBudget > 0 {
+			opts = append(opts, colstore.WithMemBudget(memBudget))
+		}
+		e := colstore.New(*dataDir, opts...)
+		eng, cleanup = e, func() { _ = e.Release() }
+		st, err = e.OpenExisting()
+		if err != nil {
+			cleanup()
+			return err
+		}
+		fmt.Printf("opened %d consumers (%d readings) from %s\n", st.Consumers, st.Readings, segPath)
+	} else {
+		src, err := meterdata.DiscoverSource(*dataDir)
+		if err != nil {
+			return err
+		}
+		if *imputeGaps {
+			if err := cleanSource(src); err != nil {
+				return err
+			}
+		}
+		eng, cleanup, err = makeEngine(*engineName, memBudget)
+		if err != nil {
+			return err
+		}
+		st, err = eng.Load(src)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		fmt.Printf("loaded %d consumers (%d readings) into %s\n", st.Consumers, st.Readings, eng.Name())
 	}
 	defer cleanup()
 
-	st, err := eng.Load(src)
-	if err != nil {
-		return err
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	fmt.Printf("loaded %d consumers (%d readings) into %s\n", st.Consumers, st.Readings, eng.Name())
-
-	res, err := eng.Run(core.Spec{Task: task, K: *k, Workers: *workers})
+	res, err := eng.RunContext(ctx, core.Spec{Task: task, K: *k, Workers: *workers, FailPolicy: policy})
 	if err != nil {
 		return err
 	}
 	printResults(res, *limit)
+	for _, f := range res.Failed {
+		fmt.Printf("  quarantined consumer %d: %s\n", f.ID, f.Err)
+	}
 	return nil
 }
 
@@ -126,7 +184,7 @@ func cleanSource(src *meterdata.Source) error {
 	return err
 }
 
-func makeEngine(name string) (core.Engine, func(), error) {
+func makeEngine(name string, memBudget int64) (core.Engine, func(), error) {
 	noop := func() {}
 	switch name {
 	case "filestore":
@@ -147,7 +205,12 @@ func makeEngine(name string) (core.Engine, func(), error) {
 		if err != nil {
 			return nil, noop, err
 		}
-		return colstore.New(dir), func() { _ = os.RemoveAll(dir) }, nil
+		var opts []colstore.Option
+		if memBudget > 0 {
+			opts = append(opts, colstore.WithMemBudget(memBudget))
+		}
+		e := colstore.New(dir, opts...)
+		return e, func() { _ = e.Release(); _ = os.RemoveAll(dir) }, nil
 	case "spark", "hive":
 		cluster, err := distsim.New(distsim.DefaultConfig())
 		if err != nil {

@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/smartmeter/smartbench/internal/engine/colstore"
+	"github.com/smartmeter/smartbench/internal/meterdata"
 )
 
 // writeTestData shells through smgen's sibling logic by writing a tiny
@@ -61,5 +64,56 @@ func TestRunValidation(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("case %d: want error", i)
 		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	dir := writeTestData(t)
+	cases := [][]string{
+		{"-data", dir, "-failpolicy", "maybe"},
+		{"-data", dir, "-timeout", "-3s"},
+		{"-data", dir, "-membudget", "lots"},
+		{"-data", dir, "-engine", "rowstore", "-membudget", "64KiB"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%v): want error", i, args)
+		}
+	}
+}
+
+func TestRunWithPolicyTimeoutAndBudget(t *testing.T) {
+	dir := writeTestData(t)
+	err := run([]string{"-data", dir, "-engine", "colstore", "-task", "histogram",
+		"-failpolicy", "quarantine", "-timeout", "2m", "-membudget", "64KiB", "-limit", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunOpensSealedSegmentDir points smquery at a directory that is
+// already colstore-native storage: it must open the segment in place
+// (under a budget) instead of looking for raw meter files.
+func TestRunOpensSealedSegmentDir(t *testing.T) {
+	raw := writeTestData(t)
+	src, err := meterdata.DiscoverSource(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segDir := t.TempDir()
+	e := colstore.New(segDir)
+	if _, err := e.Load(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", segDir, "-task", "histogram",
+		"-membudget", "64KiB", "-limit", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Imputation needs the raw files; a sealed dir must refuse it.
+	if err := run([]string{"-data", segDir, "-impute"}); err == nil {
+		t.Error("impute over sealed segment dir: want error")
 	}
 }

@@ -1,0 +1,151 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/engine/colstore"
+	"github.com/smartmeter/smartbench/internal/engine/rowstore"
+	"github.com/smartmeter/smartbench/internal/exec"
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// ingestWriters is the concurrent sharded writer count for the live
+// ingestion experiment; households map onto writers with core.ShardFor.
+const ingestWriters = 4
+
+// ingestDays is how many days each household receives through the live
+// append path on top of the loaded base.
+const ingestDays = 3
+
+// Ingest measures the append-driven engines under live ingestion: a
+// base period is bulk-loaded, then ingestWriters sharded writers append
+// hour batches concurrently. Reported per engine: sustained append
+// throughput in records/s, and the freshness lag — how stale an answer
+// must be, measured as the time from the last append landing to a
+// histogram over a read-isolated snapshot of everything ingested.
+func Ingest(opts Options) (*Report, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	n := opts.Scale.BaseConsumers
+	srcs, err := opts.makeSources(n, "ingest", false, false)
+	if err != nil {
+		return nil, err
+	}
+	// The live tail continues the stored period, generated with the
+	// same seed pipeline (cf. the updates experiment's delta).
+	live, err := seed.Generate(seed.Config{
+		Consumers: n, Days: ingestDays, Seed: opts.Seed + 2000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseHours := opts.Scale.Days * timeseries.HoursPerDay
+	liveHours := ingestDays * timeseries.HoursPerDay
+	records := int64(liveHours) * int64(n)
+
+	rep := &Report{
+		ID: "ingest",
+		Title: fmt.Sprintf("Live ingestion: %d consumers x %d hours, %d sharded writers",
+			n, liveHours, ingestWriters),
+		Columns: []string{"engine", "records/s", "append time", "freshness lag", "epochs"},
+		Notes: []string{
+			"append-driven engine contract: hour batches land through Append while snapshots stay read-isolated",
+			"records/s = live readings appended / wall time across all writers",
+			"freshness lag = last append -> histogram answer over a snapshot (base + live), Workers=" + fmt.Sprint(ingestWriters),
+		},
+	}
+
+	type liveEngine interface {
+		core.Engine
+		core.Appender
+	}
+	rowE := rowstore.New(filepath.Join(opts.WorkDir, "ingest-rowstore"))
+	defer rowE.Close()
+	colE := colstore.New(filepath.Join(opts.WorkDir, "ingest-colstore"))
+	for _, e := range []struct {
+		name string
+		eng  liveEngine
+	}{
+		{"colstore (System C)", colE},
+		{"rowstore (MADLib)", rowE},
+	} {
+		if _, err := e.eng.Load(srcs.unpartRPL); err != nil {
+			return nil, err
+		}
+		d, err := Timed(func() error {
+			return ingestConcurrently(e.eng, live, baseHours)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ingest %s: %w", e.name, err)
+		}
+		lagStart := time.Now()
+		res, epoch, err := exec.RunSnapshot(context.Background(), e.eng,
+			core.Spec{Task: core.TaskHistogram, Workers: ingestWriters, Prefetch: opts.Prefetch})
+		if err != nil {
+			return nil, fmt.Errorf("ingest %s: %w", e.name, err)
+		}
+		lag := time.Since(lagStart)
+		// The snapshot must already hold every appended reading.
+		wantTotal := int64(baseHours + liveHours)
+		for _, h := range res.Histograms {
+			if h.Histogram.Total() != wantTotal {
+				return nil, fmt.Errorf("ingest %s: consumer %d has %d readings, want %d",
+					e.name, h.ID, h.Histogram.Total(), wantTotal)
+			}
+		}
+		rep.AddRow(e.name,
+			fmt.Sprintf("%.0f", float64(records)/d.Seconds()),
+			fmtDur(d), fmtDur(lag), fmt.Sprint(epoch))
+	}
+	return rep, nil
+}
+
+// ingestConcurrently drives ingestWriters goroutines, each appending
+// per-hour batches for its shard of the households, offset hours after
+// the loaded base.
+func ingestConcurrently(app core.Appender, live *timeseries.Dataset, offset int) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, ingestWriters)
+	hours := len(live.Temperature.Values)
+	for w := 0; w < ingestWriters; w++ {
+		var own []*timeseries.Series
+		for _, s := range live.Series {
+			if core.ShardFor(s.ID, ingestWriters) == w {
+				own = append(own, s)
+			}
+		}
+		wg.Add(1)
+		go func(own []*timeseries.Series) {
+			defer wg.Done()
+			batch := make([]core.Reading, len(own))
+			for h := 0; h < hours; h++ {
+				for i, s := range own {
+					batch[i] = core.Reading{
+						ID:          s.ID,
+						Hour:        offset + h,
+						Consumption: s.Readings[h],
+						Temperature: live.Temperature.Values[h],
+					}
+				}
+				if err := app.Append(batch); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(own)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

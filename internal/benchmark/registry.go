@@ -43,6 +43,7 @@ func init() {
 	register("fig18", "data format 3: UDTF vs UDAF vs Spark, file-count sweep", Fig18)
 	register("fig19", "speedup with cluster size, format 3", Fig19)
 	register("updates", "cost of appending one day to every series (§3 future work)", Updates)
+	register("ingest", "live ingestion: concurrent sharded appends with snapshot freshness lag", Ingest)
 	register("streaming", "streaming anomaly alerts (§6 future work)", Streaming)
 	register("matmul", "matrix multiplication micro-benchmark (§5.3.2)", MatMul)
 	register("tasksweep", "reduce-task count sweep (footnote 8)", TaskSweep)

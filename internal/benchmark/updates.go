@@ -48,7 +48,7 @@ func Updates(opts Options) (*Report, error) {
 
 	type appendable interface {
 		core.Engine
-		core.Appender
+		core.DeltaAppender
 	}
 	fileE := filestore.New(filestore.WithSplitDir(filepath.Join(opts.WorkDir, "updates-split")))
 	rowE := rowstore.New(filepath.Join(opts.WorkDir, "updates-rowstore"))
@@ -75,7 +75,7 @@ func Updates(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		d, err := Timed(func() error { return e.eng.Append(delta) })
+		d, err := Timed(func() error { return e.eng.AppendDelta(delta) })
 		if err != nil {
 			return nil, fmt.Errorf("updates %s: %w", e.name, err)
 		}

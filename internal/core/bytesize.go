@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a human-readable byte size: a non-negative
+// integer with an optional unit suffix — B, KB/MB/GB (decimal) or
+// KiB/MiB/GiB (binary), case-insensitive. The empty string parses as
+// 0. Both CLIs use it for their -membudget flags.
+func ParseByteSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1000}, {"mb", 1000 * 1000}, {"gb", 1000 * 1000 * 1000},
+		{"b", 1},
+	}
+	lower := strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	num := lower
+	for _, u := range units {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.mult
+			num = strings.TrimSpace(strings.TrimSuffix(lower, u.suffix))
+			break
+		}
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("core: bad byte size %q (want e.g. 256MiB, 1GiB)", s)
+	}
+	if mult > 1 && v > (1<<62)/mult {
+		return 0, fmt.Errorf("core: byte size %q overflows", s)
+	}
+	return v * mult, nil
+}

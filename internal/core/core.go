@@ -363,14 +363,15 @@ func RunParallel(ctx context.Context, d *timeseries.Dataset, spec Spec) (*Result
 	return out, nil
 }
 
-// Appender is the optional engine interface for the paper's future-work
-// update workload (§3): appending new hourly readings (e.g. a day's
-// worth) to every stored series. Read-optimized engines may pay a high
-// price here — measuring that price is the point of the "updates"
-// experiment.
-type Appender interface {
-	// Append extends every stored household with the delta dataset's
-	// readings; the delta must cover exactly the stored households and
-	// include the matching new temperature values.
-	Append(delta *timeseries.Dataset) error
+// DeltaAppender is the optional engine interface for the paper's
+// future-work update workload (§3): appending new hourly readings
+// (e.g. a day's worth) to every stored series in one bulk delta.
+// Read-optimized engines may pay a high price here — measuring that
+// price is the point of the "updates" experiment. The live-ingestion
+// path is the separate Appender contract (append.go).
+type DeltaAppender interface {
+	// AppendDelta extends every stored household with the delta
+	// dataset's readings; the delta must cover exactly the stored
+	// households and include the matching new temperature values.
+	AppendDelta(delta *timeseries.Dataset) error
 }

@@ -56,3 +56,56 @@ func TestPipelineChaos(t *testing.T) {
 		return exec.RunContext(ctx, fault.New(e, cfg), spec)
 	})
 }
+
+// TestSnapshotIsolationChaos races sharded live writers against
+// snapshot readers on an engine born empty: every household starts at
+// hour 0 through the live path.
+func TestSnapshotIsolationChaos(t *testing.T) {
+	e := New(t.TempDir())
+	defer e.Release()
+	ids := make([]timeseries.ID, 0, 12)
+	for id := timeseries.ID(1); id <= 12; id++ {
+		ids = append(ids, id)
+	}
+	cursortest.RunSnapshotIsolation(t, e, ids, 0, 72)
+}
+
+// TestSnapshotIsolationPagedChaos runs the same race with the base
+// half of the stream sealed into an on-disk segment read back under a
+// tiny memory budget, so snapshot reads page blocks in and out while
+// appends land.
+func TestSnapshotIsolationPagedChaos(t *testing.T) {
+	dir := t.TempDir()
+	ids := make([]timeseries.ID, 0, 8)
+	for id := timeseries.ID(1); id <= 8; id++ {
+		ids = append(ids, id)
+	}
+	const base = 48
+	seeder := New(dir)
+	for h := 0; h < base; h++ {
+		batch := make([]core.Reading, 0, len(ids))
+		for _, id := range ids {
+			batch = append(batch, core.Reading{
+				ID: id, Hour: h,
+				Consumption: cursortest.IsolationValue(id, h),
+				Temperature: cursortest.IsolationTemp(h),
+			})
+		}
+		if err := seeder.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seeder.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seeder.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(dir, WithMemBudget(1<<12))
+	defer e.Release()
+	if _, err := e.OpenExisting(); err != nil {
+		t.Fatal(err)
+	}
+	cursortest.RunSnapshotIsolation(t, e, ids, base, 48)
+}

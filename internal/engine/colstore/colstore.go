@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/exec"
@@ -46,6 +47,11 @@ type Engine struct {
 	store   *segStore
 	pager   *pager
 	decoded *timeseries.Dataset
+
+	// liveMu guards lazy creation of the live tail; the tail has its
+	// own internal locking (see live.go).
+	liveMu sync.Mutex
+	live   *liveTail
 }
 
 // Option configures an Engine.
@@ -204,6 +210,9 @@ func (e *Engine) detach() {
 	e.store = nil
 	e.pager = nil
 	e.decoded = nil
+	e.liveMu.Lock()
+	e.live = nil
+	e.liveMu.Unlock()
 }
 
 // Warm readies the engine for hot runs. In-core mode decodes every
@@ -393,15 +402,20 @@ func decodeAll(st *segStore) (*timeseries.Dataset, error) {
 	return &timeseries.Dataset{Series: series, Temperature: temp}, nil
 }
 
-// Append implements core.Appender. The read-optimized segment file has
-// no room to grow, so an append re-encodes every consumer — decode,
-// extend, stream to a fresh file — deliberately expensive, illustrating
-// the paper's §3 remark that read-optimized structures "may be
-// expensive to update". The rewrite streams one consumer at a time, so
-// paged engines append without materializing the matrix.
-func (e *Engine) Append(delta *timeseries.Dataset) error {
+// AppendDelta implements core.DeltaAppender. The read-optimized
+// segment file has no room to grow, so an append re-encodes every
+// consumer — decode, extend, stream to a fresh file — deliberately
+// expensive, illustrating the paper's §3 remark that read-optimized
+// structures "may be expensive to update". The rewrite streams one
+// consumer at a time, so paged engines append without materializing
+// the matrix. It refuses to run while an uncheckpointed live tail
+// exists (see Append): the rewrite would collide with tail hours.
+func (e *Engine) AppendDelta(delta *timeseries.Dataset) error {
 	if err := e.ensureStorage(); err != nil {
 		return err
+	}
+	if e.liveHours() > 0 {
+		return fmt.Errorf("colstore: live tail present; Checkpoint before AppendDelta")
 	}
 	st := e.store
 	if len(delta.Series) != st.consumers {
@@ -461,7 +475,7 @@ func (e *Engine) Append(delta *timeseries.Dataset) error {
 	return e.attach()
 }
 
-var _ core.Appender = (*Engine)(nil)
+var _ core.DeltaAppender = (*Engine)(nil)
 
 // StorageBytes returns the size of the segment file on disk.
 func (e *Engine) StorageBytes() (int64, error) {

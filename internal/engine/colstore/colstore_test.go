@@ -255,7 +255,7 @@ func TestAppendRewritesSegments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Append(delta); err != nil {
+	if err := e.AppendDelta(delta); err != nil {
 		t.Fatal(err)
 	}
 	// New data visible immediately and after a cold remap.
@@ -282,7 +282,7 @@ func TestAppendRewritesSegments(t *testing.T) {
 
 func TestAppendValidation(t *testing.T) {
 	e := New(t.TempDir())
-	if err := e.Append(&timeseries.Dataset{}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
+	if err := e.AppendDelta(&timeseries.Dataset{}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("append before load: %v", err)
 	}
 	src, _ := writeSource(t, 2, 5)
@@ -293,7 +293,7 @@ func TestAppendValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Append(wrong); err == nil {
+	if err := e.AppendDelta(wrong); err == nil {
 		t.Error("wrong household count: want error")
 	}
 	// Missing household IDs (right count, wrong IDs).
@@ -301,7 +301,7 @@ func TestAppendValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Append(bad); err == nil {
+	if err := e.AppendDelta(bad); err == nil {
 		t.Error("unknown households: want error")
 	}
 }

@@ -267,10 +267,10 @@ func (e *Engine) CleanSplitDir() error {
 
 var _ core.Engine = (*Engine)(nil)
 
-// Append implements core.Appender by extending the underlying CSV files
-// (cheap row appends for reading-per-line files, a rewrite for
+// AppendDelta implements core.DeltaAppender by extending the underlying
+// CSV files (cheap row appends for reading-per-line files, a rewrite for
 // series-per-line files).
-func (e *Engine) Append(delta *timeseries.Dataset) error {
+func (e *Engine) AppendDelta(delta *timeseries.Dataset) error {
 	if e.src == nil {
 		return fmt.Errorf("filestore: %w", core.ErrNotLoaded)
 	}
@@ -285,7 +285,7 @@ func (e *Engine) Append(delta *timeseries.Dataset) error {
 	return nil
 }
 
-var _ core.Appender = (*Engine)(nil)
+var _ core.DeltaAppender = (*Engine)(nil)
 
 // Source returns the engine's current data source (nil before Load).
 func (e *Engine) Source() *meterdata.Source { return e.src }

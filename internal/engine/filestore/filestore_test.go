@@ -220,7 +220,7 @@ func TestAppendToPartitionedSource(t *testing.T) {
 		t.Fatal(err)
 	}
 	delta := makeDataset(t, 3, 1)
-	if err := e.Append(delta); err != nil {
+	if err := e.AppendDelta(delta); err != nil {
 		t.Fatal(err)
 	}
 	res, err := e.Run(core.Spec{Task: core.TaskHistogram})
@@ -245,7 +245,7 @@ func TestAppendToSeriesPerLineSource(t *testing.T) {
 		t.Fatal(err)
 	}
 	delta := makeDataset(t, 3, 1)
-	if err := e.Append(delta); err != nil {
+	if err := e.AppendDelta(delta); err != nil {
 		t.Fatal(err)
 	}
 	back, err := meterdata.ReadDataset(src)
@@ -264,7 +264,7 @@ func TestAppendToSeriesPerLineSource(t *testing.T) {
 
 func TestAppendWithoutLoad(t *testing.T) {
 	e := New()
-	if err := e.Append(&timeseries.Dataset{}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
+	if err := e.AppendDelta(&timeseries.Dataset{}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("err = %v", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/smartmeter/smartbench/internal/exec"
 	"github.com/smartmeter/smartbench/internal/exec/cursortest"
 	"github.com/smartmeter/smartbench/internal/fault"
+	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
@@ -51,4 +52,39 @@ func TestPipelineChaos(t *testing.T) {
 	cursortest.RunPipelineChaos(t, ids, func(ctx context.Context, cfg fault.Config, spec core.Spec) (*core.Results, error) {
 		return exec.RunContext(ctx, fault.New(e, cfg), spec)
 	})
+}
+
+// TestSnapshotIsolationChaos races sharded live writers against
+// snapshot readers over a loaded base, for both page layouts. The base
+// is seeded with the suite's deterministic values so every snapshot
+// can verify the full prefix, base and tail alike.
+func TestSnapshotIsolationChaos(t *testing.T) {
+	const base = 48
+	ids := make([]timeseries.ID, 0, 10)
+	ds := &timeseries.Dataset{Temperature: &timeseries.Temperature{}}
+	for h := 0; h < base; h++ {
+		ds.Temperature.Values = append(ds.Temperature.Values, cursortest.IsolationTemp(h))
+	}
+	for id := timeseries.ID(1); id <= 10; id++ {
+		ids = append(ids, id)
+		s := &timeseries.Series{ID: id}
+		for h := 0; h < base; h++ {
+			s.Readings = append(s.Readings, cursortest.IsolationValue(id, h))
+		}
+		ds.Series = append(ds.Series, s)
+	}
+	src, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range []Layout{LayoutRows, LayoutArrays} {
+		t.Run(layout.String(), func(t *testing.T) {
+			e := New(t.TempDir(), WithLayout(layout))
+			defer e.Close()
+			if _, err := e.Load(src); err != nil {
+				t.Fatal(err)
+			}
+			cursortest.RunSnapshotIsolation(t, e, ids, base, 48)
+		})
+	}
 }

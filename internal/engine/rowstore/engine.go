@@ -36,7 +36,14 @@ type Engine struct {
 	// per readSeries — the analogue of connections contending on the
 	// shared buffer latch. heap.get copies tuple bytes out before
 	// unpinning, so nothing pool-owned escapes the critical section.
+	// Live ingestion (live.go) runs entirely under the same latch:
+	// Append holds it across a whole batch, so a snapshot (or any
+	// reader) observes batches atomically.
 	readMu sync.Mutex
+
+	// live is the lazily built live-ingestion state (live.go), guarded
+	// by readMu.
+	live *liveState
 }
 
 // Option configures the engine.
@@ -232,12 +239,14 @@ func (e *Engine) closeStorage() error {
 	if err := e.bp.flush(); err != nil {
 		_ = e.pf.close()
 		e.pf, e.bp, e.table = nil, nil, nil
+		e.live = nil
 		return err
 	}
 	err := e.pf.close()
 	e.pf, e.bp, e.table = nil, nil, nil
 	e.cache = nil
 	e.temp = nil
+	e.live = nil
 	return err
 }
 
@@ -373,11 +382,16 @@ func (e *Engine) PoolStats() (hits, misses int64) {
 
 var _ core.Engine = (*Engine)(nil)
 
-// Append implements core.Appender: new readings become ordinary tuple
-// inserts (cheap — the write-optimized side of the trade-off).
-func (e *Engine) Append(delta *timeseries.Dataset) error {
+// AppendDelta implements core.DeltaAppender: new readings become
+// ordinary tuple inserts (cheap — the write-optimized side of the
+// trade-off). It refuses to run while live-ingested tuples exist (see
+// Append in live.go): delta hours would collide with live hours.
+func (e *Engine) AppendDelta(delta *timeseries.Dataset) error {
 	if e.table == nil {
 		return fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
+	}
+	if e.live != nil && e.live.appended > 0 {
+		return fmt.Errorf("rowstore: live tuples present; AppendDelta is unsupported after live Append")
 	}
 	if len(delta.Series) != len(e.ids) {
 		return fmt.Errorf("rowstore: delta has %d households, table has %d", len(delta.Series), len(e.ids))
@@ -397,6 +411,7 @@ func (e *Engine) Append(delta *timeseries.Dataset) error {
 	e.table.setSeriesLen(e.table.seriesLen + n)
 	e.cache = nil
 	e.temp = nil
+	e.live = nil // series lengths changed; rebuild lazily
 	return writeMeta(e.bp, metaPage{
 		layout:    e.table.layout,
 		heapFirst: e.table.heap.first,
@@ -409,7 +424,7 @@ func (e *Engine) Append(delta *timeseries.Dataset) error {
 	})
 }
 
-var _ core.Appender = (*Engine)(nil)
+var _ core.DeltaAppender = (*Engine)(nil)
 
 // StorageBytes returns the current size of the engine's table file.
 func (e *Engine) StorageBytes() int64 {

@@ -371,7 +371,7 @@ func TestAppendExtendsEverySeries(t *testing.T) {
 				t.Fatal(err)
 			}
 			delta := deltaFor(t, ds, 2)
-			if err := e.Append(delta); err != nil {
+			if err := e.AppendDelta(delta); err != nil {
 				t.Fatal(err)
 			}
 			// Every series must now hold 12 days and the appended values
@@ -421,7 +421,7 @@ func TestAppendValidation(t *testing.T) {
 	defer e.Close()
 	empty := New(t.TempDir())
 	defer empty.Close()
-	if err := empty.Append(&timeseries.Dataset{}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
+	if err := empty.AppendDelta(&timeseries.Dataset{}); err == nil || !errors.Is(err, core.ErrNotLoaded) {
 		t.Errorf("append before load: %v", err)
 	}
 	if _, err := e.Load(src); err != nil {
@@ -430,13 +430,13 @@ func TestAppendValidation(t *testing.T) {
 	// Wrong household count.
 	short := deltaFor(t, ds, 1)
 	short.Series = short.Series[:2]
-	if err := e.Append(short); err == nil {
+	if err := e.AppendDelta(short); err == nil {
 		t.Error("short delta: want error")
 	}
 	// Readings/temperature mismatch.
 	bad := deltaFor(t, ds, 1)
 	bad.Series[0].Readings = bad.Series[0].Readings[:12]
-	if err := e.Append(bad); err == nil {
+	if err := e.AppendDelta(bad); err == nil {
 		t.Error("ragged delta: want error")
 	}
 }

@@ -243,9 +243,38 @@ func (tb *table) setSeriesLen(n int) { tb.seriesLen = n }
 
 // readSeries extracts one consumer via an index scan, decoding tuples
 // one at a time (the per-row cost the paper attributes to the DBMS).
+// It reads the published seriesLen prefix: live-appended tuples beyond
+// it (see live.go) are invisible to the base view until a bulk
+// AppendDelta or reload publishes a new length.
 func (tb *table) readSeries(id timeseries.ID) (*timeseries.Series, *timeseries.Temperature, error) {
-	cons := make([]float64, tb.seriesLen)
-	temp := make([]float64, tb.seriesLen)
+	cons, temp, err := tb.readSeriesInto(id, tb.seriesLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &timeseries.Series{ID: id, Readings: cons}, &timeseries.Temperature{Values: temp}, nil
+}
+
+// readSeriesUpTo extracts the first n hours of one consumer — the
+// snapshot cursors' truncating read: n is a household length captured
+// at snapshot time, so tuples appended after the capture are skipped.
+func (tb *table) readSeriesUpTo(id timeseries.ID, n int) (*timeseries.Series, error) {
+	cons, _, err := tb.readSeriesInto(id, n)
+	if err != nil {
+		return nil, err
+	}
+	return &timeseries.Series{ID: id, Readings: cons}, nil
+}
+
+// readSeriesInto scans one household's index range, decoding tuples
+// into n-hour consumption and temperature arrays. Tuples at or beyond
+// hour n terminate the scan: the index orders a household's tuples by
+// sequence, so everything after the first out-of-prefix tuple is also
+// out of prefix. An array chunk straddling n is an invariant breach —
+// chunks never span an append batch, and prefixes are only ever cut at
+// batch boundaries.
+func (tb *table) readSeriesInto(id timeseries.ID, n int) ([]float64, []float64, error) {
+	cons := make([]float64, n)
+	temp := make([]float64, n)
 	found := false
 	lo := key{ID: uint64(id), Seq: 0}
 	hi := key{ID: uint64(id) + 1, Seq: 0}
@@ -261,23 +290,45 @@ func (tb *table) readSeries(id timeseries.ID) (*timeseries.Series, *timeseries.T
 			if err != nil {
 				return err
 			}
-			if hour >= tb.seriesLen {
-				return fmt.Errorf("rowstore: hour %d outside series of %d", hour, tb.seriesLen)
+			if hour >= n {
+				return errStopScan
 			}
 			cons[hour], temp[hour] = cv, tv
 		case LayoutArrays:
-			_, err := decodeArrayChunk(t, cons, temp)
+			start, count, err := chunkBounds(t)
+			if err != nil {
+				return err
+			}
+			if start >= n {
+				return errStopScan
+			}
+			if start+count > n {
+				return fmt.Errorf("rowstore: prefix of %d hours cuts chunk [%d, %d)", n, start, start+count)
+			}
+			_, err = decodeArrayChunk(t, cons, temp)
 			return err
 		}
 		return nil
 	})
+	if err == errStopScan {
+		err = nil
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	if !found {
 		return nil, nil, fmt.Errorf("rowstore: household %d not found", id)
 	}
-	return &timeseries.Series{ID: id, Readings: cons}, &timeseries.Temperature{Values: temp}, nil
+	return cons, temp, nil
+}
+
+// chunkBounds decodes just the [start, start+count) hour range from a
+// LayoutArrays chunk tuple header.
+func chunkBounds(t []byte) (start, count int, err error) {
+	if len(t) < 16 {
+		return 0, 0, fmt.Errorf("rowstore: chunk tuple of %d bytes", len(t))
+	}
+	return int(getU32(t, 8)), int(getU32(t, 12)), nil
 }
 
 // distinctIDs returns every stored household ID in ascending order by

@@ -9,7 +9,6 @@ import (
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/exec/cursortest"
 	"github.com/smartmeter/smartbench/internal/seed"
-	"github.com/smartmeter/smartbench/internal/stats"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
@@ -48,50 +47,7 @@ func TestRunMatchesReference(t *testing.T) {
 // compareResults checks bit-identical agreement with the reference.
 func compareResults(t *testing.T, got, want *core.Results) {
 	t.Helper()
-	for i := range want.Histograms {
-		g, w := got.Histograms[i], want.Histograms[i]
-		if g.ID != w.ID {
-			t.Fatalf("histogram %d: ID %d vs %d", i, g.ID, w.ID)
-		}
-		for j := range w.Histogram.Counts {
-			if g.Histogram.Counts[j] != w.Histogram.Counts[j] {
-				t.Fatalf("histogram %d bucket %d: %d vs %d",
-					i, j, g.Histogram.Counts[j], w.Histogram.Counts[j])
-			}
-		}
-	}
-	for i := range want.ThreeLines {
-		g, w := got.ThreeLines[i], want.ThreeLines[i]
-		if g.ID != w.ID ||
-			!stats.ExactEqual(g.HeatingGradient, w.HeatingGradient) ||
-			!stats.ExactEqual(g.CoolingGradient, w.CoolingGradient) ||
-			!stats.ExactEqual(g.BaseLoad, w.BaseLoad) {
-			t.Fatalf("3-line %d: %+v vs %+v", i, g, w)
-		}
-	}
-	for i := range want.Profiles {
-		g, w := got.Profiles[i], want.Profiles[i]
-		if g.ID != w.ID {
-			t.Fatalf("profile %d: ID %d vs %d", i, g.ID, w.ID)
-		}
-		for h := range w.Profile {
-			if !stats.ExactEqual(g.Profile[h], w.Profile[h]) {
-				t.Fatalf("profile %d hour %d differs", i, h)
-			}
-		}
-	}
-	for i := range want.Similar {
-		g, w := got.Similar[i], want.Similar[i]
-		if g.ID != w.ID {
-			t.Fatalf("similar %d: ID %d vs %d", i, g.ID, w.ID)
-		}
-		for j := range w.Matches {
-			if g.Matches[j].ID != w.Matches[j].ID ||
-				!stats.ExactEqual(g.Matches[j].Score, w.Matches[j].Score) {
-				t.Fatalf("similar %d match %d differs", i, j)
-			}
-		}
-	}
+	cursortest.CompareResults(t, got, want)
 }
 
 func TestRunPopulatesPhases(t *testing.T) {

@@ -1,0 +1,59 @@
+package incr
+
+import (
+	"github.com/smartmeter/smartbench/internal/histogram"
+	"github.com/smartmeter/smartbench/internal/stats"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Incremental histogram maintenance (task 1). The benchmark histogram
+// is equi-width over each household's own [min, max], so a new reading
+// inside the observed range lands in a fixed bucket grid: one O(1)
+// Add. A reading outside the range moves the bucket edges for every
+// previously counted value, so the household rebuilds from its
+// mirrored series — exactly what a full recompute would produce, since
+// stats.NewHistogram derives the same range from the same values and
+// both paths share stats.Histogram.Bucket. Rebuilds decay quickly in
+// practice: the observed range widens monotonically, so late readings
+// almost always fall inside it.
+
+type histState struct {
+	h *stats.Histogram
+}
+
+// applyHist folds one fresh reading (already mirrored into a.vals)
+// into the household's histogram.
+func (a *Analytics) applyHist(id timeseries.ID, v float64) error {
+	st := a.hist[id]
+	if st == nil {
+		st = &histState{}
+		a.hist[id] = st
+	}
+	if st.h != nil && v >= st.h.Min && v <= st.h.Max {
+		st.h.Add(v)
+		a.stats.HistDeltas++
+		return nil
+	}
+	h, err := stats.NewHistogram(a.vals[id], a.cfg.Buckets)
+	if err != nil {
+		return err
+	}
+	st.h = h
+	a.stats.HistRebuilds++
+	return nil
+}
+
+// Histograms returns the current per-household histograms in ascending
+// ID order. The returned histograms are the live maintained state; do
+// not mutate them.
+func (a *Analytics) Histograms() []*histogram.Result {
+	out := make([]*histogram.Result, 0, len(a.ids))
+	for _, id := range a.ids {
+		st := a.hist[id]
+		if st == nil || st.h == nil {
+			continue
+		}
+		out = append(out, &histogram.Result{ID: id, Histogram: st.h})
+	}
+	return out
+}

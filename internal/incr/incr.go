@@ -1,0 +1,191 @@
+// Package incr maintains the four benchmark analytics incrementally
+// over the live append stream (paper §3 tasks 1-4, recast for the
+// "append forever, query any time" engine contract in internal/core).
+// An Analytics instance consumes the same []core.Reading batches the
+// storage engines ingest — exec.Ingestor fans one committed stream to
+// both — and keeps per-task state current:
+//
+//   - histogram: O(1) bucket deltas while a reading stays inside the
+//     household's observed [min, max]; a range-extending reading
+//     rebuilds that household from the mirrored series (histogram.go);
+//   - 3-line: per-household sorted temperature bins with a re-fit only
+//     when the extracted percentile point set actually changes — a
+//     thermal-regime change — and a skip otherwise (threeline.go);
+//   - PAR: a sliding window of the most recent WindowDays days, refit
+//     per household at each completed day (par.go);
+//   - similarity top-k: cached pairwise cosine scores with repair —
+//     only pairs with a dirty (appended-to) endpoint are rescored
+//     (topk.go).
+//
+// Exactness. Each maintainer's output is provably equal to a full
+// recompute over the same committed readings: bit-identical for the
+// histogram (same bucket function, same range) and top-k (commutative
+// identical scoring into an insertion-order-independent heap), within
+// 1e-9 for PAR and 3-line (identical-input refits; see the oracle
+// tests). Redelivered hours are skipped exactly like the engines skip
+// them, so the maintainers stay in lockstep with storage across
+// retried batches.
+//
+// Analytics is not safe for concurrent use; callers serialize Consume
+// and the result accessors (exec.Ingestor does).
+package incr
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/histogram"
+	"github.com/smartmeter/smartbench/internal/par"
+	"github.com/smartmeter/smartbench/internal/similarity"
+	"github.com/smartmeter/smartbench/internal/threeline"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// DefaultWindowDays is the default PAR sliding-window length.
+const DefaultWindowDays = 28
+
+// Config parameterizes the maintained analytics.
+type Config struct {
+	// Buckets is the histogram bucket count. Default histogram.DefaultBuckets.
+	Buckets int
+	// K is the top-k match count. Default similarity.DefaultK.
+	K int
+	// Order is the PAR auto-regressive order. Default par.DefaultOrder.
+	Order int
+	// WindowDays is the PAR sliding-window length in days. Default 28.
+	WindowDays int
+	// ThreeLine parameterizes the 3-line fit. Zero value = defaults.
+	ThreeLine threeline.Config
+}
+
+func (c *Config) fillDefaults() {
+	if c.Buckets <= 0 {
+		c.Buckets = histogram.DefaultBuckets
+	}
+	if c.K <= 0 {
+		c.K = similarity.DefaultK
+	}
+	if c.Order <= 0 {
+		c.Order = par.DefaultOrder
+	}
+	if c.WindowDays <= 0 {
+		c.WindowDays = DefaultWindowDays
+	}
+	if c.ThreeLine.BinWidth <= 0 {
+		c.ThreeLine = threeline.DefaultConfig()
+	}
+}
+
+// Stats counts the incremental work performed, distinguishing cheap
+// delta updates from full per-household recomputes.
+type Stats struct {
+	Readings   int64 // fresh readings applied
+	Duplicates int64 // redelivered hours skipped
+
+	HistDeltas   int64 // O(1) bucket increments
+	HistRebuilds int64 // range-extension rebuilds
+
+	TLRefits int64 // 3-line refits (point set changed)
+	TLSkips  int64 // 3-line refreshes skipped (point set unchanged)
+
+	PARRefits int64 // sliding-window refits at completed days
+
+	PairsRescored int64 // similarity pairs recomputed (dirty endpoint)
+	PairsReused   int64 // similarity pairs served from cache
+}
+
+// Analytics incrementally maintains all four benchmark tasks.
+type Analytics struct {
+	cfg  Config
+	ids  []timeseries.ID // ascending
+	vals map[timeseries.ID][]float64
+	temp []float64
+
+	hist  map[timeseries.ID]*histState
+	tl    map[timeseries.ID]*tlState
+	parSt map[timeseries.ID]*parState
+	topk  topkState
+
+	stats Stats
+}
+
+// New returns an empty Analytics with the given configuration.
+func New(cfg Config) *Analytics {
+	cfg.fillDefaults()
+	return &Analytics{
+		cfg:   cfg,
+		vals:  make(map[timeseries.ID][]float64),
+		hist:  make(map[timeseries.ID]*histState),
+		tl:    make(map[timeseries.ID]*tlState),
+		parSt: make(map[timeseries.ID]*parState),
+		topk: topkState{
+			dirty:  make(map[timeseries.ID]bool),
+			norms:  make(map[timeseries.ID]float64),
+			scores: make(map[pairKey]float64),
+		},
+	}
+}
+
+// Consume applies one committed batch, mirroring the engines' ordering
+// contract: per household in order and gap-free, with hours below the
+// household's next expected hour skipped as redelivery. A mid-batch
+// error leaves already-applied readings in place; retrying the batch
+// after fixing the cause applies the remainder exactly once.
+func (a *Analytics) Consume(batch []core.Reading) error {
+	for i := range batch {
+		r := &batch[i]
+		if r.Hour < 0 {
+			return fmt.Errorf("incr: negative hour %d for household %d", r.Hour, r.ID)
+		}
+		vs, known := a.vals[r.ID]
+		if r.Hour < len(vs) {
+			a.stats.Duplicates++
+			continue
+		}
+		if r.Hour > len(vs) {
+			return fmt.Errorf("incr: household %d: gap at hour %d, expected %d", r.ID, r.Hour, len(vs))
+		}
+		if !known {
+			if r.ID <= 0 {
+				return fmt.Errorf("incr: household id must be positive, got %d", r.ID)
+			}
+			a.ids = insertID(a.ids, r.ID)
+		}
+		switch {
+		case r.Hour == len(a.temp):
+			a.temp = append(a.temp, r.Temperature)
+		case r.Hour > len(a.temp):
+			return fmt.Errorf("incr: temperature gap: reading at hour %d, column covers %d", r.Hour, len(a.temp))
+		}
+		a.vals[r.ID] = append(vs, r.Consumption)
+		a.stats.Readings++
+
+		if err := a.applyHist(r.ID, r.Consumption); err != nil {
+			return err
+		}
+		a.applyThreeLine(r.ID, r.Consumption, r.Temperature)
+		if err := a.applyPAR(r.ID); err != nil {
+			return err
+		}
+		a.topk.dirty[r.ID] = true
+	}
+	return nil
+}
+
+// Stats returns a copy of the work counters.
+func (a *Analytics) Stats() Stats { return a.stats }
+
+// IDs returns the registered households in ascending order.
+func (a *Analytics) IDs() []timeseries.ID {
+	return append([]timeseries.ID(nil), a.ids...)
+}
+
+// insertID adds id to the ascending list, keeping it sorted.
+func insertID(ids []timeseries.ID, id timeseries.ID) []timeseries.ID {
+	pos := sort.Search(len(ids), func(j int) bool { return ids[j] >= id })
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	return ids
+}

@@ -1,0 +1,86 @@
+package incr
+
+import (
+	"github.com/smartmeter/smartbench/internal/par"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Incremental PAR maintenance (task 3). The PAR fit regresses each
+// hour-of-day across days, so partial days cannot contribute; the
+// natural increment is one completed day. Each household refits over a
+// sliding window of its most recent WindowDays days whenever it
+// completes a day — bounding refit cost by the window length instead
+// of the ever-growing history, which is what makes per-day refits
+// sustainable under continuous ingestion. The refit input is the exact
+// window slice of the mirrored series and temperature column, so the
+// result equals a from-scratch par.ComputeOrder over that window.
+
+type parState struct {
+	res *par.Result
+	// windowStart and windowEnd are the absolute hour range the last
+	// refit was fitted over.
+	windowStart, windowEnd int
+}
+
+// minPARDays is the shortest window the regression accepts for order
+// p: it needs more observations (days - p) than regressors (p + 1).
+func minPARDays(p int) int { return 2*p + 2 }
+
+// applyPAR refits the household's sliding window when a fresh reading
+// completes a day.
+func (a *Analytics) applyPAR(id timeseries.ID) error {
+	n := len(a.vals[id])
+	if n == 0 || n%timeseries.HoursPerDay != 0 {
+		return nil
+	}
+	days := n / timeseries.HoursPerDay
+	if days < minPARDays(a.cfg.Order) {
+		return nil
+	}
+	wd := a.cfg.WindowDays
+	if wd > days {
+		wd = days
+	}
+	start := (days - wd) * timeseries.HoursPerDay
+	st := a.parSt[id]
+	if st == nil {
+		st = &parState{}
+		a.parSt[id] = st
+	}
+	s := &timeseries.Series{ID: id, Readings: a.vals[id][start:n]}
+	temp := &timeseries.Temperature{Values: a.temp[start:n]}
+	res, err := par.ComputeOrder(s, temp, a.cfg.Order)
+	if err != nil {
+		return err
+	}
+	st.res = res
+	st.windowStart, st.windowEnd = start, n
+	a.stats.PARRefits++
+	return nil
+}
+
+// Profiles returns the current sliding-window PAR results in ascending
+// ID order. Households that have not yet completed enough days are
+// skipped.
+func (a *Analytics) Profiles() []*par.Result {
+	out := make([]*par.Result, 0, len(a.ids))
+	for _, id := range a.ids {
+		st := a.parSt[id]
+		if st == nil || st.res == nil {
+			continue
+		}
+		out = append(out, st.res)
+	}
+	return out
+}
+
+// PARWindow reports the absolute hour range [start, end) the
+// household's current PAR result was fitted over, for oracle
+// verification. ok is false before the first refit.
+func (a *Analytics) PARWindow(id timeseries.ID) (start, end int, ok bool) {
+	st := a.parSt[id]
+	if st == nil || st.res == nil {
+		return 0, 0, false
+	}
+	return st.windowStart, st.windowEnd, true
+}

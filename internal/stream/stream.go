@@ -24,20 +24,16 @@ import (
 	"math"
 	"sync"
 
+	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/stats"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
-// Event is one streamed meter reading.
-type Event struct {
-	ID timeseries.ID
-	// Hour is the absolute hour index since the stream epoch.
-	Hour int
-	// Consumption is the reading in kWh.
-	Consumption float64
-	// Temperature is the outdoor temperature at the reading's time.
-	Temperature float64
-}
+// Event is one streamed meter reading. It is the ingestion path's
+// core.Reading, not a parallel type: what the detectors observe is
+// exactly what the storage engines commit, so an alert can always be
+// joined back to the stored reading it fired on.
+type Event = core.Reading
 
 // Alert is an anomaly notification.
 type Alert struct {
@@ -262,12 +258,28 @@ func (p *Processor) Run(events <-chan Event, out chan<- Alert) error {
 			wg.Wait()
 			return fmt.Errorf("stream: negative household id %d", e.ID)
 		}
-		chans[int(uint64(e.ID)%uint64(p.workers))] <- e
+		chans[core.ShardFor(e.ID, p.workers)] <- e
 	}
 	for _, c := range chans {
 		close(c)
 	}
 	wg.Wait()
+	return nil
+}
+
+// Feeder bridges the ingestion fan-out to a running Processor: it
+// satisfies the executor's reading-sink shape, forwarding every
+// committed batch into the processor's event channel. Close the
+// channel when ingestion ends to let Run drain and return.
+type Feeder struct {
+	Events chan<- Event
+}
+
+// Consume forwards one committed batch to the stream processor.
+func (f Feeder) Consume(batch []core.Reading) error {
+	for _, r := range batch {
+		f.Events <- r
+	}
 	return nil
 }
 

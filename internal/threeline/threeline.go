@@ -173,26 +173,44 @@ func ComputeTimed(s *timeseries.Series, temp *timeseries.Temperature, cfg Config
 	start := time.Now()
 	xs, lows, highs := percentilePoints(s.Readings, temp.Values, cfg)
 	tm.T1Quantiles = time.Since(start)
-	if len(xs) < 2 {
-		return nil, tm, fmt.Errorf("%w: consumer %d has %d populated temperature bins",
-			ErrInsufficientData, s.ID, len(xs))
-	}
 
-	// Phase T2: segmented least squares for both percentile series.
-	start = time.Now()
+	// Phases T2 + T3 on the extracted point set.
+	res, t2, t3, err := fitPointsPhased(s.ID, xs, lows, highs, cfg)
+	tm.T2Regression, tm.T3Adjust = t2, t3
+	if err != nil {
+		return nil, tm, err
+	}
+	return res, tm, nil
+}
+
+// FitPoints runs phases T2 (segmented least squares) and T3 (continuity
+// adjustment) on an already-extracted percentile point set: xs are bin
+// centers in ascending order, lows/highs the matching percentile
+// values. It is the re-fit entry point for incremental maintenance
+// (internal/incr), which tracks the bins itself and only calls here
+// when the point set actually changed.
+func FitPoints(id timeseries.ID, xs, lows, highs []float64, cfg Config) (*Result, error) {
+	res, _, _, err := fitPointsPhased(id, xs, lows, highs, cfg)
+	return res, err
+}
+
+func fitPointsPhased(id timeseries.ID, xs, lows, highs []float64, cfg Config) (*Result, time.Duration, time.Duration, error) {
+	cfg.fillDefaults()
+	if len(xs) < 2 {
+		return nil, 0, 0, fmt.Errorf("%w: consumer %d has %d populated temperature bins",
+			ErrInsufficientData, id, len(xs))
+	}
+	start := time.Now()
 	high := fitSegmented(xs, highs, cfg.MinSegmentPoints, cfg.MinOuterSpanFrac)
 	low := fitSegmented(xs, lows, cfg.MinSegmentPoints, cfg.MinOuterSpanFrac)
-	tm.T2Regression = time.Since(start)
-
-	// Phase T3: continuity adjustment.
+	t2 := time.Since(start)
 	start = time.Now()
 	high.makeContinuous()
 	low.makeContinuous()
-	tm.T3Adjust = time.Since(start)
-
+	t3 := time.Since(start)
 	tmin, tmax := xs[0], xs[len(xs)-1]
-	res := &Result{
-		ID:              s.ID,
+	return &Result{
+		ID:              id,
 		High:            high,
 		Low:             low,
 		HeatingGradient: -high.Heating.Slope,
@@ -200,8 +218,7 @@ func ComputeTimed(s *timeseries.Series, temp *timeseries.Temperature, cfg Config
 		BaseLoad:        low.MinValue(tmin, tmax),
 		TempMin:         tmin,
 		TempMax:         tmax,
-	}
-	return res, tm, nil
+	}, t2, t3, nil
 }
 
 // ComputeAll runs the task for every series in the dataset.
@@ -217,15 +234,35 @@ func ComputeAll(d *timeseries.Dataset) ([]*Result, error) {
 	return out, nil
 }
 
+// BinIndex returns the temperature bin a reading at temperature t falls
+// into for the given bin width.
+func BinIndex(t, binWidth float64) int {
+	return int(math.Floor(t / binWidth))
+}
+
 // percentilePoints bins readings by temperature and returns, for each
 // sufficiently populated bin in ascending temperature order, the bin
 // center and the low/high consumption percentiles.
 func percentilePoints(readings, temps []float64, cfg Config) (xs, lows, highs []float64) {
 	bins := make(map[int][]float64)
 	for i, r := range readings {
-		b := int(math.Floor(temps[i] / cfg.BinWidth))
+		b := BinIndex(temps[i], cfg.BinWidth)
 		bins[b] = append(bins[b], r)
 	}
+	for _, v := range bins {
+		sort.Float64s(v)
+	}
+	return PointsFromSortedBins(bins, cfg)
+}
+
+// PointsFromSortedBins extracts the phase-T1 percentile point set from
+// temperature bins whose consumption values are already sorted
+// ascending, keyed by BinIndex. Incremental maintenance keeps such bins
+// current across appends (sorted insertion yields the same slice
+// contents as sorting from scratch) and re-extracts points from here;
+// the output is identical to the batch path's for the same readings.
+func PointsFromSortedBins(bins map[int][]float64, cfg Config) (xs, lows, highs []float64) {
+	cfg.fillDefaults()
 	keys := make([]int, 0, len(bins))
 	for k, v := range bins {
 		if len(v) >= cfg.MinBinPoints {
@@ -238,7 +275,6 @@ func percentilePoints(readings, temps []float64, cfg Config) (xs, lows, highs []
 	highs = make([]float64, 0, len(keys))
 	for _, k := range keys {
 		v := bins[k]
-		sort.Float64s(v)
 		lo, _ := stats.QuantileSorted(v, cfg.LowQ)
 		hi, _ := stats.QuantileSorted(v, cfg.HighQ)
 		xs = append(xs, (float64(k)+0.5)*cfg.BinWidth)

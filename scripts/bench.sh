@@ -36,6 +36,11 @@
 #      100k-consumer x 365-day year through the same paged path and
 #      records it as a "large_run" object alongside the CI-scale
 #      numbers.
+#   6. BenchmarkIngest{Colstore,Rowstore} (4 sharded writers appending
+#      3 live days onto the loaded base through the core.Appender
+#      contract) -> BENCH_ingest.json with sustained append records/s
+#      and the freshness lag (last append -> histogram over a
+#      read-isolated snapshot) per engine.
 #
 # For a statistical A/B over two checkouts, feed the raw output files
 # to benchstat (golang.org/x/perf) instead.
@@ -57,6 +62,7 @@ PIPE_OUT="${PIPE_OUT:-BENCH_pipeline.json}"
 EXTRACT_OUT="${EXTRACT_OUT:-BENCH_extract.json}"
 FAULT_OUT="${FAULT_OUT:-BENCH_fault.json}"
 SCALE_OUT="${SCALE_OUT:-BENCH_scale.json}"
+INGEST_OUT="${INGEST_OUT:-BENCH_ingest.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -277,3 +283,44 @@ awk -v out="$SCALE_OUT" -v bigc="${SCALE_CONSUMERS:-0}" -v bigd="${SCALE_DAYS:-3
 
 echo "== wrote $SCALE_OUT"
 cat "$SCALE_OUT"
+
+echo "== go test -bench 'BenchmarkIngest(Colstore|Rowstore)' -count $COUNT"
+go test -run '^$' -bench 'BenchmarkIngest(Colstore|Rowstore)$' \
+  -count "$COUNT" -timeout 20m . | tee "$RAW"
+
+awk -v out="$INGEST_OUT" '
+  /^BenchmarkIngest(Colstore|Rowstore)/ {
+    name = $1
+    sub(/^BenchmarkIngest/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns[name] += $3; runs[name]++
+    # Custom metrics follow ns/op as value-unit pairs, alphabetically
+    # ordered by go test: lagNs then records/s.
+    for (i = 4; i < NF; i += 2) {
+      v = $(i + 1); u = $(i + 2)
+      if (u == "lagNs")     { lag[name] += v; }
+      if (u == "records/s") { rate[name] += v; }
+    }
+  }
+  END {
+    if (runs["Colstore"] == 0 || runs["Rowstore"] == 0) {
+      print "bench.sh: missing ingest benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    cr = runs["Colstore"]; rr = runs["Rowstore"]
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkIngest\",\n" >> out
+    printf "  \"consumers\": 16,\n" >> out
+    printf "  \"live_days\": 3,\n" >> out
+    printf "  \"workers\": 4,\n" >> out
+    printf "  \"count\": %d,\n", cr >> out
+    printf "  \"colstore\": {\"ns_per_op\": %.1f, \"records_per_s\": %.0f, \"freshness_lag_ms\": %.3f},\n", \
+      ns["Colstore"] / cr, rate["Colstore"] / cr, lag["Colstore"] / cr / 1e6 >> out
+    printf "  \"rowstore\": {\"ns_per_op\": %.1f, \"records_per_s\": %.0f, \"freshness_lag_ms\": %.3f}\n", \
+      ns["Rowstore"] / rr, rate["Rowstore"] / rr, lag["Rowstore"] / rr / 1e6 >> out
+    printf "}\n" >> out
+  }
+' "$RAW"
+
+echo "== wrote $INGEST_OUT"
+cat "$INGEST_OUT"
