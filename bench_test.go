@@ -757,10 +757,22 @@ func scaleupSize() (consumers, days int) {
 	return consumers, days
 }
 
+// scaleupEncoders reads the segment-encode worker count from the
+// environment (SMARTBENCH_SCALE_ENCODERS, default 1). The written file
+// is byte-identical at any count, so the setting only moves the encode
+// wall-clock that the Paged benchmarks report as enc-rows/s.
+func scaleupEncoders() int {
+	if v, err := strconv.Atoi(os.Getenv("SMARTBENCH_SCALE_ENCODERS")); err == nil && v > 0 {
+		return v
+	}
+	return 1
+}
+
 // buildScaleupSegments streams n synthetic consumers into a Wh-quantized
-// segment file without materializing the matrix and returns the path's
-// directory plus the raw and stored byte counts.
-func buildScaleupSegments(b *testing.B, n, days int) (dir string, raw, stored int64) {
+// segment file without materializing the matrix, fanning encoding out
+// over the given worker count (1 = serial), and returns the path's
+// directory, the raw and stored byte counts and the encode wall time.
+func buildScaleupSegments(b *testing.B, n, days, encoders int) (dir string, raw, stored int64, encTime time.Duration) {
 	b.Helper()
 	seedDS, err := seed.Generate(seed.Config{Consumers: 10, Days: days, Seed: 42})
 	if err != nil {
@@ -771,7 +783,12 @@ func buildScaleupSegments(b *testing.B, n, days int) (dir string, raw, stored in
 		b.Fatal(err)
 	}
 	dir = b.TempDir()
-	w, err := colstore.NewSegmentWriter(dir+"/"+colstore.SegmentFileName, seedDS.Temperature.Values, colstore.WithQuantize(3))
+	start := time.Now()
+	wopts := []colstore.WriterOption{colstore.WithQuantize(3)}
+	if encoders > 1 {
+		wopts = append(wopts, colstore.WithEncoders(encoders))
+	}
+	w, err := colstore.NewSegmentWriter(dir+"/"+colstore.SegmentFileName, seedDS.Temperature.Values, wopts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -788,20 +805,24 @@ func buildScaleupSegments(b *testing.B, n, days int) (dir string, raw, stored in
 	if err := w.Close(); err != nil {
 		b.Fatal(err)
 	}
+	encTime = time.Since(start)
 	st, err := os.Stat(dir + "/" + colstore.SegmentFileName)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return dir, raw, st.Size()
+	return dir, raw, st.Size(), encTime
 }
 
 // BenchmarkScaleupPagedThreeLine is the scaleup experiment at benchmark
 // scale: 3-line over the paged column store under a quarter-of-raw
-// memory budget. Custom metrics report the storage compression ratio
-// and sustained consumer throughput.
+// memory budget. Custom metrics report the storage compression ratio,
+// the untimed build phase's encode throughput (generate+encode wall, so
+// the 1M-consumer run needs no second full encode) and the sustained
+// consumer throughput of the measured task.
 func BenchmarkScaleupPagedThreeLine(b *testing.B) {
 	n, days := scaleupSize()
-	dir, raw, stored := buildScaleupSegments(b, n, days)
+	encoders := scaleupEncoders()
+	dir, raw, stored, encTime := buildScaleupSegments(b, n, days, encoders)
 	eng := colstore.New(dir, colstore.WithMemBudget(raw/4))
 	if _, err := eng.OpenExisting(); err != nil {
 		b.Fatal(err)
@@ -819,6 +840,11 @@ func BenchmarkScaleupPagedThreeLine(b *testing.B) {
 	b.ReportMetric(float64(raw)/(1<<20), "rawMB")
 	b.ReportMetric(float64(stored)/(1<<20), "storedMB")
 	b.ReportMetric(float64(raw/4)/(1<<20), "budgetMB")
+	b.ReportMetric(float64(encoders), "encoders")
+	if s := encTime.Seconds(); s > 0 {
+		b.ReportMetric(float64(n)/s, "enc-rows/s")
+		b.ReportMetric(float64(n*days*24)/s, "enc-readings/s")
+	}
 	if elapsed > 0 {
 		b.ReportMetric(float64(n)*float64(b.N)/elapsed.Seconds(), "rows/s")
 	}
@@ -829,7 +855,7 @@ func BenchmarkScaleupPagedThreeLine(b *testing.B) {
 // decoding, so throughput should beat the decode-everything baseline.
 func BenchmarkScaleupPagedHistogram(b *testing.B) {
 	n, days := scaleupSize()
-	dir, raw, _ := buildScaleupSegments(b, n, days)
+	dir, raw, _, _ := buildScaleupSegments(b, n, days, scaleupEncoders())
 	eng := colstore.New(dir, colstore.WithMemBudget(raw/4))
 	if _, err := eng.OpenExisting(); err != nil {
 		b.Fatal(err)
@@ -847,22 +873,56 @@ func BenchmarkScaleupPagedHistogram(b *testing.B) {
 	}
 }
 
-// BenchmarkScaleupSegmentEncode measures streaming generation +
-// compression throughput in readings per second.
-func BenchmarkScaleupSegmentEncode(b *testing.B) {
+// BenchmarkScaleupPagedPAR measures the compressed-domain PAR fast
+// path: per-hour sum lanes in the block headers reconstruct most
+// consumers' series without touching the compressed payloads, then the
+// unchanged PAR kernel runs bit-identically over the result.
+func BenchmarkScaleupPagedPAR(b *testing.B) {
+	n, days := scaleupSize()
+	dir, raw, _, _ := buildScaleupSegments(b, n, days, scaleupEncoders())
+	eng := colstore.New(dir, colstore.WithMemBudget(raw/4))
+	if _, err := eng.OpenExisting(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Release()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(core.Spec{Task: core.TaskPAR, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/elapsed.Seconds(), "rows/s")
+	}
+}
+
+// benchScaleupEncode measures streaming generation + compression
+// throughput at a fixed CI-scale population so the serial/parallel pair
+// below is a like-for-like A/B of the encode pool.
+func benchScaleupEncode(b *testing.B, encoders int) {
 	const n = 32
 	b.ResetTimer()
 	start := time.Now()
 	var raw, stored int64
 	for i := 0; i < b.N; i++ {
-		_, raw, stored = buildScaleupSegments(b, n, benchDays)
+		_, raw, stored, _ = buildScaleupSegments(b, n, benchDays, encoders)
 	}
 	elapsed := time.Since(start)
 	b.ReportMetric(float64(raw)/float64(stored), "ratio")
+	b.ReportMetric(float64(encoders), "encoders")
 	if elapsed > 0 {
 		b.ReportMetric(float64(n*benchDays*24)*float64(b.N)/elapsed.Seconds(), "readings/s")
 	}
 }
+
+// BenchmarkScaleupEncodeSerial / BenchmarkScaleupEncodeParallel A/B the
+// segment-encode worker pool against the serial writer. The output file
+// is byte-identical either way; only wall-clock moves. On a multi-core
+// host the parallel side should win roughly linearly in core count
+// (>=1.8x at 4 cores); on a 1-CPU host expect parity.
+func BenchmarkScaleupEncodeSerial(b *testing.B)   { benchScaleupEncode(b, 1) }
+func BenchmarkScaleupEncodeParallel(b *testing.B) { benchScaleupEncode(b, 4) }
 
 // --- Live ingestion: append-driven engines ---------------------------------
 

@@ -60,8 +60,12 @@ func runExperiments(args []string) error {
 	policyName := fs.String("failpolicy", "failfast", "per-consumer failure policy: failfast, quarantine or repair")
 	timeout := fs.Duration("timeout", 0, "per-run deadline (0 = none), e.g. 30s")
 	memBudgetStr := fs.String("membudget", "", "column-store decoded-block cache cap, e.g. 256MiB or 1GiB (default: unbudgeted in-core)")
+	encoders := fs.Int("encoders", 1, "segment-encode workers for the scale-up experiment (byte-identical output)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *encoders < 1 {
+		return fmt.Errorf("-encoders must be at least 1, got %d", *encoders)
 	}
 	memBudget, err := parseMemBudget(*memBudgetStr)
 	if err != nil {
@@ -127,6 +131,7 @@ func runExperiments(args []string) error {
 			FailPolicy: policy,
 			Timeout:    *timeout,
 			MemBudget:  memBudget,
+			Encoders:   *encoders,
 		}
 		rep, err := e.Run(opts)
 		if err != nil {
@@ -170,5 +175,7 @@ commands:
       -membudget SIZE        cap the column store's decoded-block cache, e.g. 256MiB;
                              compressed segments page in and out under the cap
                              (default: unbudgeted, fully decoded in memory)
+      -encoders N            segment-encode workers for the scale-up experiment
+                             (default: 1; the file is byte-identical at any count)
 `)
 }

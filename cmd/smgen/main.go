@@ -11,12 +11,15 @@
 //
 //	smgen -out DIR -n 1000 [-seed-size 100] [-clusters 8] [-noise 0.1]
 //	      [-days 365] [-format reading|series|segments] [-partitioned] [-group-files N]
+//	      [-encoders N] [-flat-rate P]
 //
 // The segments format streams straight into the column store's
 // compressed segment file (out/segments.col, quantized to Wh
 // resolution): generation reuses one row buffer, so arbitrarily many
 // consumers are generable without ever holding the raw matrix in
-// memory. The other formats materialize the dataset and write CSV.
+// memory, and -encoders fans block encoding out over a worker pool
+// (byte-identical output; default: the machine's CPU count). The other
+// formats materialize the dataset and write CSV.
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"github.com/smartmeter/smartbench/internal/engine/colstore"
 	"github.com/smartmeter/smartbench/internal/generator"
@@ -50,6 +55,8 @@ func run(args []string) error {
 	format := fs.String("format", "reading", "row format: reading (per line) or series (per line)")
 	partitioned := fs.Bool("partitioned", false, "write one file per consumer")
 	groupFiles := fs.Int("group-files", 0, "write the paper's third format with this many files")
+	encoders := fs.Int("encoders", runtime.GOMAXPROCS(0), "segment-encode workers for -format segments")
+	flatRate := fs.Float64("flat-rate", 0, "probability a consumer is a flat (constant) load")
 	seedVal := fs.Int64("seed", 42, "PRNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,13 +95,14 @@ func run(args []string) error {
 		Clusters:    *clusters,
 		NoiseStdDev: *noise,
 		Seed:        *seedVal,
+		FlatRate:    *flatRate,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "smgen: generating %d synthetic consumers...\n", *n)
 	if *format == "segments" {
-		return writeSegments(*out, *n, gen, seedDS.Temperature)
+		return writeSegments(*out, *n, *encoders, gen, seedDS.Temperature)
 	}
 	ds, err := gen.Dataset(*n, seedDS.Temperature)
 	if err != nil {
@@ -127,16 +135,25 @@ func run(args []string) error {
 // buffer so memory stays O(series length) regardless of n. The result
 // is directly loadable with colstore's OpenExisting / smbench's
 // -engine colstore.
-func writeSegments(out string, n int, gen *generator.Generator, temp *timeseries.Temperature) error {
+func writeSegments(out string, n, encoders int, gen *generator.Generator, temp *timeseries.Temperature) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
+	if encoders < 1 {
+		encoders = 1
+	}
 	path := filepath.Join(out, colstore.SegmentFileName)
-	w, err := colstore.NewSegmentWriter(path, temp.Values, colstore.WithQuantize(3))
+	opts := []colstore.WriterOption{colstore.WithQuantize(3)}
+	if encoders > 1 {
+		opts = append(opts, colstore.WithEncoders(encoders))
+	}
+	w, err := colstore.NewSegmentWriter(path, temp.Values, opts...)
 	if err != nil {
 		return err
 	}
 	buf := make([]float64, len(temp.Values))
+	began := time.Now()
+	lastReport, lastCount := began, 0
 	for i := 0; i < n; i++ {
 		if err := gen.SeriesInto(buf, temp); err != nil {
 			_ = w.Close()
@@ -146,20 +163,31 @@ func writeSegments(out string, n int, gen *generator.Generator, temp *timeseries
 			_ = w.Close()
 			return err
 		}
-		if (i+1)%100000 == 0 {
-			fmt.Fprintf(os.Stderr, "smgen: %d/%d consumers\n", i+1, n)
+		// Progress every ~5s of wall clock (checked every 4096
+		// consumers so the hot loop stays cheap), with instantaneous
+		// and cumulative throughput.
+		if (i+1)%4096 == 0 {
+			if now := time.Now(); now.Sub(lastReport) >= 5*time.Second {
+				inst := float64(i+1-lastCount) / now.Sub(lastReport).Seconds()
+				avg := float64(i+1) / now.Sub(began).Seconds()
+				fmt.Fprintf(os.Stderr, "smgen: %d/%d consumers (%.0f/s, %.0f/s avg)\n",
+					i+1, n, inst, avg)
+				lastReport, lastCount = now, i+1
+			}
 		}
 	}
 	raw := w.RawBytes()
 	if err := w.Close(); err != nil {
 		return err
 	}
+	elapsed := time.Since(began)
 	st, err := os.Stat(path)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "smgen: wrote %d consumers, %.2f MiB compressed (%.2f MiB raw, %.1fx) to %s\n",
-		n, float64(st.Size())/(1<<20), float64(raw)/(1<<20),
+	fmt.Fprintf(os.Stderr, "smgen: wrote %d consumers in %s (%.0f consumers/s, %d encoders), %.2f MiB compressed (%.2f MiB raw, %.1fx) to %s\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), encoders,
+		float64(st.Size())/(1<<20), float64(raw)/(1<<20),
 		float64(raw)/float64(st.Size()), path)
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -83,5 +84,32 @@ func TestRunSegments(t *testing.T) {
 func TestRunSegmentsRejectsLayoutFlags(t *testing.T) {
 	if err := run([]string{"-out", "x", "-format", "segments", "-partitioned"}); err == nil {
 		t.Fatal("segments with -partitioned accepted")
+	}
+}
+
+// TestRunSegmentsEncodersIdentical checks -encoders produces the same
+// segment file byte-for-byte as the serial writer, with -flat-rate
+// mixing constant consumers into the stream.
+func TestRunSegmentsEncodersIdentical(t *testing.T) {
+	dir := t.TempDir()
+	serial, pooled := filepath.Join(dir, "serial"), filepath.Join(dir, "pooled")
+	common := []string{"-n", "20", "-seed-size", "5", "-days", "10",
+		"-clusters", "3", "-format", "segments", "-flat-rate", "0.3"}
+	if err := run(append([]string{"-out", serial, "-encoders", "1"}, common...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-out", pooled, "-encoders", "4"}, common...)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(serial, colstore.SegmentFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(pooled, colstore.SegmentFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("segment files differ: %d vs %d bytes", len(a), len(b))
 	}
 }

@@ -27,8 +27,16 @@ package main
 // (c.buf = append(c.buf, …)) — state that grows across Next calls
 // should be pre-sized when the cursor is built.
 //
-// Scope is deliberate: only the kernel packages are held to this
-// standard. Orchestration and reporting code may allocate freely.
+// Beyond those structural rules, hotFuncs names individual functions in
+// otherwise-unpoliced packages that profiling showed on the per-consumer
+// path: the parallel encode pool's per-consumer encoder in colstore and
+// the PAR fast path's series reconstruction in exec. Listed functions
+// get the kernel treatment; listed Next methods get the cursor
+// treatment.
+//
+// Scope is deliberate: only the kernel packages and the named hot
+// functions are held to this standard. Orchestration and reporting code
+// may allocate freely.
 
 import (
 	"go/ast"
@@ -45,7 +53,8 @@ var hotallocAnalyzer = &Analyzer{
 func runHotalloc(p *Pass) {
 	wholePkg := hotPackage(p.Pkg.Path())
 	enginePkg := strings.Contains(p.Pkg.Path()+"/", "/internal/engine/")
-	if !wholePkg && !enginePkg {
+	named := hotFuncNames(p.Pkg.Path())
+	if !wholePkg && !enginePkg && len(named) == 0 {
 		return
 	}
 	for _, f := range p.Files {
@@ -54,19 +63,68 @@ func runHotalloc(p *Pass) {
 			if !ok || fd.Body == nil || isTestFile(p.Fset, fd.Pos()) {
 				continue
 			}
-			// In engine packages only the cursor hot path is a kernel:
-			// the Next method, whose whole body is implicitly a loop
-			// body (the consumer drives it once per row).
-			if !wholePkg {
-				if fd.Recv == nil || fd.Name.Name != "Next" {
-					continue
-				}
+			if wholePkg {
+				checkHotFunc(p, fd, nil)
+				continue
+			}
+			// In engine packages the cursor hot path is always a
+			// kernel: the Next method, whose whole body is implicitly a
+			// loop body (the consumer drives it once per row).
+			if enginePkg && fd.Recv != nil && fd.Name.Name == "Next" {
 				checkHotFunc(p, fd, fd.Body)
 				continue
 			}
-			checkHotFunc(p, fd, nil)
+			if named[funcKey(fd)] {
+				if fd.Name.Name == "Next" {
+					checkHotFunc(p, fd, fd.Body)
+				} else {
+					checkHotFunc(p, fd, nil)
+				}
+			}
 		}
 	}
+}
+
+// hotFuncs names individual hot functions in packages the structural
+// rules above do not already police wholesale. Each entry maps a
+// package-path substring to function names within it; methods are
+// written "Type.Method". These run once per consumer with per-reading
+// inner loops, so they are held to the same standard as the stats
+// kernels.
+var hotFuncs = map[string][]string{
+	"/internal/engine/colstore/": {"encodeConsumer"},
+	"/internal/exec/":            {"summaryAssemblyCursor.Next", "summaryAssemblyCursor.assemble"},
+}
+
+// hotFuncNames resolves the hotFuncs entries that apply to pkg path.
+func hotFuncNames(path string) map[string]bool {
+	out := map[string]bool{}
+	path += "/"
+	for sub, names := range hotFuncs {
+		if !strings.Contains(path, sub) {
+			continue
+		}
+		for _, n := range names {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// funcKey renders a declaration the way hotFuncs spells it: the bare
+// name for functions, "Type.Method" for methods.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := ast.Unparen(fd.Recv.List[0].Type)
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = ast.Unparen(star.X)
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
 }
 
 // hotPackage reports whether every function in the package is on the

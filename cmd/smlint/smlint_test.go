@@ -83,6 +83,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{hotallocAnalyzer, "hotalloc/internal/engine/fake", true},
 		{hotallocAnalyzer, "hotalloc/internal/colcodec", true},
 		{hotallocAnalyzer, "hotalloc/internal/incr", true},
+		{hotallocAnalyzer, "hotalloc/internal/engine/colstore", true},
+		{hotallocAnalyzer, "hotalloc/internal/exec", true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.dir, func(t *testing.T) {

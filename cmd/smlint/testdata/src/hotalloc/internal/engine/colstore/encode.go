@@ -1,0 +1,30 @@
+// Fixture for the hotalloc analyzer's named hot functions: in the
+// colstore package, encodeConsumer (the parallel encode pool's
+// per-consumer kernel) is policed even though it is not a cursor Next
+// method.
+package colstore
+
+import "fmt"
+
+// encodeConsumer is named in hotFuncs: its loops are kernel loops.
+func encodeConsumer(vals []float64) []byte {
+	var out []byte
+	for i, v := range vals {
+		if v < 0 {
+			_ = fmt.Sprintf("block %d", i) // want "fmt.Sprintf allocates on every iteration of this loop"
+		}
+		out = append(out, byte(v)) // want "append to out grows an un-capped slice inside this loop"
+	}
+	return out
+}
+
+// flushSegment is not named in hotFuncs and is not a Next method:
+// engine packages are otherwise only held to the standard on the
+// cursor hot path.
+func flushSegment(vals []float64) []string {
+	var out []string
+	for range vals {
+		out = append(out, fmt.Sprintf("x"))
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Fixture for the hotalloc analyzer's named hot methods: the PAR fast
+// path's summaryAssemblyCursor is policed in internal/exec even though
+// exec is not an engine package.
+package exec
+
+import "fmt"
+
+type summaryAssemblyCursor struct {
+	rows []float64
+	buf  []float64
+	i    int
+}
+
+// Next is listed as "summaryAssemblyCursor.Next": the whole body is
+// loop context and receiver-field appends are policed, exactly like an
+// engine cursor.
+func (c *summaryAssemblyCursor) Next() (float64, error) {
+	if c.i >= len(c.rows) {
+		return 0, fmt.Errorf("done") // return path: runs once, exempt
+	}
+	v := c.rows[c.i]
+	c.buf = append(c.buf, v) // want "append to field buf grows per Next call"
+	c.i++
+	return v, nil
+}
+
+// assemble is listed as "summaryAssemblyCursor.assemble": its loops
+// are kernel loops.
+func (c *summaryAssemblyCursor) assemble(dst []float64) error {
+	var err error
+	for i := range dst {
+		err = fmt.Errorf("block %d", i) // want "fmt.Errorf allocates on every iteration of this loop"
+		dst[i] = 0
+	}
+	return err
+}
+
+// report is not listed: the rest of exec may allocate freely.
+func (c *summaryAssemblyCursor) report() []string {
+	var out []string
+	for range c.rows {
+		out = append(out, fmt.Sprintf("row"))
+	}
+	return out
+}

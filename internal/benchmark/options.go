@@ -43,6 +43,11 @@ type Options struct {
 	// matrix, so datasets larger than memory stay runnable. Zero keeps
 	// the historical fully-decoded in-core behavior.
 	MemBudget int64
+	// Encoders, when above 1, fans the scale-up experiment's segment
+	// encoding out over that many workers (cmd/smbench -encoders). The
+	// written file is byte-identical to the serial writer's; only the
+	// generate wall-clock changes. Zero or 1 keeps the serial path.
+	Encoders int
 }
 
 // run executes spec on eng under the options' failure policy and

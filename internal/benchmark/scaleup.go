@@ -35,11 +35,13 @@ func Scaleup(opts Options) (*Report, error) {
 		ID:    "scaleup",
 		Title: fmt.Sprintf("Out-of-core scale-up (%d-day series, budget = MemBudget or raw/4)", days),
 		Columns: []string{"consumers", "raw MB", "stored MB", "ratio",
-			"budget MB", "generate", "histogram", "3-line", "rows/s", "peak MB"},
+			"budget MB", "generate", "enc/s", "histogram", "3-line", "PAR", "rows/s", "peak MB"},
 		Notes: []string{
 			"consumers stream into compressed segments (Wh-quantized); the raw matrix is never held",
+			fmt.Sprintf("segment encoding uses %d encoder worker(s); the file is byte-identical at any count", max(1, opts.Encoders)),
 			"tasks run on the paged column store: blocks decode on demand into a budgeted cache",
-			"rows/s is consumers per second of 3-line wall time at 4 workers",
+			"histogram and PAR take the compressed-domain fast paths over the segment block headers",
+			"enc/s is consumers per second of generate+encode wall; rows/s is consumers per second of 3-line wall at 4 workers",
 		},
 	}
 
@@ -74,7 +76,11 @@ func scaleupRun(opts *Options, gen *generator.Generator, temp *timeseries.Temper
 
 	var raw int64
 	genTime, err := Timed(func() error {
-		w, err := colstore.NewSegmentWriter(path, temp.Values, colstore.WithQuantize(3))
+		wopts := []colstore.WriterOption{colstore.WithQuantize(3)}
+		if opts.Encoders > 1 {
+			wopts = append(wopts, colstore.WithEncoders(opts.Encoders))
+		}
+		w, err := colstore.NewSegmentWriter(path, temp.Values, wopts...)
 		if err != nil {
 			return err
 		}
@@ -126,6 +132,13 @@ func scaleupRun(opts *Options, gen *generator.Generator, temp *timeseries.Temper
 	if err != nil {
 		return nil, err
 	}
+	parTime, err := Timed(func() error {
+		_, err := opts.run(eng, core.Spec{Task: core.TaskPAR, Workers: 4, Prefetch: opts.Prefetch})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	ratio := "n/a"
 	if st.StorageBytes > 0 {
@@ -133,7 +146,7 @@ func scaleupRun(opts *Options, gen *generator.Generator, temp *timeseries.Temper
 	}
 	return []string{
 		fmt.Sprint(n), fmtMB(st.RawBytes), fmtMB(st.StorageBytes), ratio,
-		fmtMB(budget), fmtDur(genTime), fmtDur(histTime), fmtDur(tlTime),
-		fmtRate(n, tlTime), fmtMB(mem.PeakBytes),
+		fmtMB(budget), fmtDur(genTime), fmtRate(n, genTime), fmtDur(histTime), fmtDur(tlTime),
+		fmtDur(parTime), fmtRate(n, tlTime), fmtMB(mem.PeakBytes),
 	}, nil
 }

@@ -1,11 +1,19 @@
 // Package colcodec implements the compressed block codecs behind the
 // column store's segment format: delta-of-delta varint timestamp
-// encoding and two lossless float64 value encodings chosen per block.
+// encoding and four lossless float64 value encodings chosen per block.
 //
 // A block is one consumer's contiguous row range (the segment layer
-// fixes the row count). Values are encoded in whichever of two modes is
+// fixes the row count). Values are encoded in whichever mode is
 // smaller-safe for the block's payload:
 //
+//   - run-length: runs of bit-identical values become (raw bits, run
+//     length) pairs. Near-constant series — vacant meters, flat
+//     tariffs, imputed stretches — collapse to a handful of bytes per
+//     block regardless of length.
+//   - dictionary: when a block holds at most 64 distinct bit patterns,
+//     values become bit-packed indexes into a small table of raw
+//     bits. This wins on repetitive-but-interleaved series where runs
+//     are short.
 //   - fixed-point: when every value is bit-exactly representable as a
 //     decimal with at most 8 fractional digits (true for anything that
 //     round-tripped through the benchmark's CSV formatting), values
@@ -17,8 +25,14 @@
 //     lossless for every bit pattern — NaN payloads, infinities,
 //     denormals and negative zero included.
 //
-// Both modes decode to bit-identical float64s; the segment pager and
-// every analytic above it rely on that.
+// The repeat modes are probed first with one scan that computes their
+// exact encoded sizes; either is chosen only when it beats one byte
+// per value, a bar the fixed/XOR modes never get near on real meter
+// blocks, so the selection is deterministic and never inflates a block
+// that the dense modes handle well. All four modes decode to
+// bit-identical float64s (run-length and dictionary store raw bit
+// patterns verbatim); the segment pager and every analytic above it
+// rely on that.
 //
 // Timestamps compress as delta-of-delta with run-length encoding: a
 // regular hourly block costs a handful of bytes regardless of length,
@@ -37,7 +51,16 @@ import (
 const (
 	modeFixed = 0
 	modeXOR   = 1
+	modeRLE   = 2
+	modeDict  = 3
 )
+
+// maxDict caps the dictionary mode's table size. 64 entries keep the
+// first-appearance lookup a short linear scan at encode time and the
+// decode table a small stack array, while covering every realistic
+// repetitive block (tariff steps, imputation constants, sentinel
+// mixes); anything richer is better served by fixed/XOR anyway.
+const maxDict = 64
 
 // maxFixedScale caps the decimal scaling exponent probed by the
 // fixed-point mode: 10^8 resolves anything the repo's CSV formatter
@@ -120,10 +143,116 @@ func (e *Encoder) AppendValues(dst []byte, vals []float64) []byte {
 	if len(vals) == 0 {
 		return dst
 	}
+	if mode, ok := repeatMode(vals); ok {
+		if mode == modeRLE {
+			return appendRLE(dst, vals)
+		}
+		return e.appendDict(dst, vals)
+	}
 	if scale, ok := e.fixedScale(vals); ok {
 		return e.appendFixed(dst, scale)
 	}
 	return appendXOR(dst, vals)
+}
+
+// uvarintLen is the encoded size of u as a uvarint.
+func uvarintLen(u uint64) int { return (bits.Len64(u|1) + 6) / 7 }
+
+// repeatMode scans the block once, computing the exact encoded sizes
+// of the run-length and dictionary modes, and picks the smaller when
+// it beats one byte per value — a bar that guarantees the repeat mode
+// is a clear win over what fixed/XOR would produce. The scan is bit-
+// pattern based so NaN payloads and signed zeros count as themselves.
+func repeatMode(vals []float64) (byte, bool) {
+	var dict [maxDict]uint64
+	d := 0
+	rleBytes := 1 // mode byte
+	run := 0
+	var prev uint64
+	for i, v := range vals {
+		b := math.Float64bits(v)
+		if i == 0 || b != prev {
+			if i > 0 {
+				rleBytes += 8 + uvarintLen(uint64(run))
+			}
+			prev, run = b, 1
+			if d <= maxDict {
+				k := 0
+				for k < d && dict[k] != b {
+					k++
+				}
+				if k == d {
+					if d == maxDict {
+						d = maxDict + 1 // overflow: dictionary mode is out
+					} else {
+						dict[d] = b
+						d++
+					}
+				}
+			}
+		} else {
+			run++
+		}
+	}
+	rleBytes += 8 + uvarintLen(uint64(run))
+	best, mode := rleBytes, byte(modeRLE)
+	if d <= maxDict {
+		w := bits.Len(uint(d - 1))
+		if dictBytes := 2 + 8*d + (len(vals)*w+7)/8; dictBytes < best {
+			best, mode = dictBytes, modeDict
+		}
+	}
+	if best >= len(vals) {
+		return 0, false
+	}
+	return mode, true
+}
+
+// appendRLE emits (raw 8-byte bit pattern, uvarint run length) pairs;
+// the runs sum exactly to the block count, which delimits the payload.
+func appendRLE(dst []byte, vals []float64) []byte {
+	dst = append(dst, modeRLE)
+	i := 0
+	for i < len(vals) {
+		b := math.Float64bits(vals[i])
+		run := 1
+		for i+run < len(vals) && math.Float64bits(vals[i+run]) == b {
+			run++
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, b)
+		dst = binary.AppendUvarint(dst, uint64(run))
+		i += run
+	}
+	return dst
+}
+
+// appendDict emits the table size, the raw bit patterns in first-
+// appearance order, then every value as a ceil(log2(d))-bit index.
+// The caller (repeatMode) guarantees 1 <= d <= maxDict.
+func (e *Encoder) appendDict(dst []byte, vals []float64) []byte {
+	var dict [maxDict]uint64
+	d := 0
+	if cap(e.zz) < len(vals) {
+		e.zz = make([]uint64, len(vals))
+	}
+	idx := e.zz[:len(vals)]
+	for i, v := range vals {
+		b := math.Float64bits(v)
+		k := 0
+		for k < d && dict[k] != b {
+			k++
+		}
+		if k == d {
+			dict[d] = b
+			d++
+		}
+		idx[i] = uint64(k)
+	}
+	dst = append(dst, modeDict, byte(d))
+	for k := 0; k < d; k++ {
+		dst = binary.LittleEndian.AppendUint64(dst, dict[k])
+	}
+	return appendPacked(dst, idx, uint(bits.Len(uint(d-1))))
 }
 
 // fixedScale probes for the smallest decimal scale at which every value
@@ -298,6 +427,10 @@ func DecodeValues(payload []byte, dst []float64) ([]float64, int, error) {
 		used, err = decodeFixed(body, dst)
 	case modeXOR:
 		used, err = decodeXOR(body, dst)
+	case modeRLE:
+		used, err = decodeRLE(body, dst)
+	case modeDict:
+		used, err = decodeDict(body, dst)
 	default:
 		return nil, 0, ErrCorrupt
 	}
@@ -421,6 +554,62 @@ func decodeXOR(b []byte, dst []float64) (int, error) {
 		havePrev = true
 	}
 	return br.consumed(), nil
+}
+
+func decodeRLE(b []byte, dst []float64) (int, error) {
+	off, i := 0, 0
+	for i < len(dst) {
+		if off+8 > len(b) {
+			return 0, ErrCorrupt
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		r, n := binary.Uvarint(b[off:])
+		if n <= 0 || r == 0 || r > uint64(len(dst)-i) {
+			return 0, ErrCorrupt
+		}
+		off += n
+		for j := uint64(0); j < r; j++ {
+			dst[i] = v
+			i++
+		}
+	}
+	return off, nil
+}
+
+func decodeDict(b []byte, dst []float64) (int, error) {
+	if len(b) < 1 {
+		return 0, ErrCorrupt
+	}
+	d := int(b[0])
+	if d == 0 || d > maxDict || len(b) < 1+8*d {
+		return 0, ErrCorrupt
+	}
+	var dict [maxDict]float64
+	off := 1
+	for k := 0; k < d; k++ {
+		dict[k] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	w := uint(bits.Len(uint(d - 1)))
+	if w == 0 {
+		for i := range dst {
+			dst[i] = dict[0]
+		}
+		return off, nil
+	}
+	br := bitReader{b: b[off:]}
+	for i := range dst {
+		u, err := br.read(w)
+		if err != nil {
+			return 0, err
+		}
+		if u >= uint64(d) {
+			return 0, ErrCorrupt
+		}
+		dst[i] = dict[u]
+	}
+	return off + br.consumed(), nil
 }
 
 // AppendTimestamps appends the delta-of-delta + run-length encoding of

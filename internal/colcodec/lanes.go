@@ -1,0 +1,77 @@
+package colcodec
+
+import "math"
+
+// LaneSummary is the per-hour reduction of one block on the implicit
+// hourly grid, plus the structural facts the segment layer turns into
+// block flags. Lanes exist so compressed-domain kernels can consume
+// whole blocks without decoding them; the bit-identity rules below are
+// what make that safe.
+type LaneSummary struct {
+	// Sums[h] accumulates the block's values whose global row index is
+	// congruent to h mod 24, in row order. The first value in a lane
+	// assigns rather than adds, so a lane holding exactly one value
+	// carries that value's bit pattern exactly (negative zero and NaN
+	// payload bits included) — the property the PAR fast path uses to
+	// reconstruct short blocks from lanes alone.
+	Sums [24]float64
+	// Counts[h] is the number of rows in lane h. It is derivable from
+	// the block's start and count on the implicit grid; it is carried
+	// here so callers and tests can check the reduction directly.
+	Counts [24]int32
+	// Constant reports that every value in the block shares one bit
+	// pattern (so the block reconstructs as fill of its first value,
+	// which equals the summary Min).
+	Constant bool
+	// Periodic reports that the block is day-aligned (start and count
+	// both ≡ 0 mod 24) and each hour-of-day's values share one bit
+	// pattern, so the block reconstructs as a tiling of Pattern.
+	Periodic bool
+	// Pattern is the 24-value tile when Periodic; zero otherwise.
+	Pattern [24]float64
+}
+
+// SummarizeHours fills ls with the per-hour reduction of a block whose
+// first row sits at global hour index start. It returns false — and
+// leaves ls zeroed past the point of failure — when the block is empty
+// or contains NaNs: NaN-bearing blocks carry no lanes and always take
+// the decode path in the compressed-domain kernels.
+func SummarizeHours(start int, vals []float64, ls *LaneSummary) bool {
+	*ls = LaneSummary{}
+	if len(vals) == 0 {
+		return false
+	}
+	first := math.Float64bits(vals[0])
+	constant := true
+	periodic := start%24 == 0 && len(vals)%24 == 0
+	var seen [24]bool
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			*ls = LaneSummary{}
+			return false
+		}
+		b := math.Float64bits(v)
+		if b != first {
+			constant = false
+		}
+		if i < 24 {
+			ls.Pattern[i] = v
+		} else if periodic && b != math.Float64bits(ls.Pattern[i%24]) {
+			periodic = false
+		}
+		h := (start + i) % 24
+		if !seen[h] {
+			ls.Sums[h] = v
+			seen[h] = true
+		} else {
+			ls.Sums[h] += v
+		}
+		ls.Counts[h]++
+	}
+	ls.Constant = constant
+	ls.Periodic = periodic
+	if !periodic {
+		ls.Pattern = [24]float64{}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package colcodec
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// payloadMode returns the mode byte a payload from AppendValues chose.
+func payloadMode(t *testing.T, payload []byte) byte {
+	t.Helper()
+	cnt, n := binary.Uvarint(payload)
+	if n <= 0 || cnt == 0 || n >= len(payload) {
+		t.Fatalf("malformed payload header (count %d, varint %d bytes)", cnt, n)
+	}
+	return payload[n]
+}
+
+func TestRepeatModesRoundTrip(t *testing.T) {
+	nan := math.NaN()
+	hostileNaN := math.Float64frombits(0x7ff0123456789abc)
+	level := 1.2345678901234567 // not decimal-representable: XOR territory
+	constant := make([]float64, 1008)
+	for i := range constant {
+		constant[i] = level
+	}
+	alternating := make([]float64, 1008)
+	for i := range alternating {
+		alternating[i] = level + float64(i%2)
+	}
+	runs := make([]float64, 1008)
+	for i := range runs {
+		runs[i] = []float64{nan, hostileNaN, math.Inf(1), math.Copysign(0, -1), 5e-324}[i/202%5]
+	}
+	dicty := make([]float64, 2016)
+	for i := range dicty {
+		dicty[i] = float64(i%48) + 0.1234567890123456
+	}
+	cases := map[string]struct {
+		vals []float64
+		mode byte
+	}{
+		// A pure constant is one dictionary entry with zero index bits:
+		// 10 bytes, one under its RLE form.
+		"constant":    {constant, modeDict},
+		"alternating": {alternating, modeDict},
+		"hostile-run": {runs, modeRLE},
+		"dict48":      {dicty, modeDict},
+	}
+	for name, tc := range cases {
+		payload := roundTripValues(t, tc.vals)
+		if m := payloadMode(t, payload); m != tc.mode {
+			t.Errorf("%s: chose mode %d, want %d", name, m, tc.mode)
+		}
+		t.Logf("%s: %d values -> %d bytes", name, len(tc.vals), len(payload))
+	}
+}
+
+// TestRepeatModeBeatsXOR pins the acceptance criterion: near-constant
+// series must encode smaller under the repeat modes than under the XOR
+// fallback they previously landed in.
+func TestRepeatModeBeatsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	vals := make([]float64, 1008)
+	level := rng.NormFloat64() // non-decimal: fixed mode can't take it
+	for i := range vals {
+		vals[i] = level
+		if i%100 == 50 {
+			vals[i] = level + rng.NormFloat64() // occasional spike
+		}
+	}
+	var enc Encoder
+	chosen := enc.AppendValues(nil, vals)
+	xor := appendXOR(binary.AppendUvarint(nil, uint64(len(vals))), vals)
+	if len(chosen) >= len(xor) {
+		t.Fatalf("repeat mode %d bytes, XOR %d bytes: repeat mode must win on near-constant series",
+			len(chosen), len(xor))
+	}
+	if m := payloadMode(t, chosen); m != modeRLE && m != modeDict {
+		t.Fatalf("near-constant series chose mode %d, want a repeat mode", m)
+	}
+	t.Logf("near-constant 1008 values: repeat %d bytes vs XOR %d bytes", len(chosen), len(xor))
+}
+
+// TestRepeatModeStaysOut pins the heuristic's other side: dense
+// decimal and Gaussian blocks keep their historical modes.
+func TestRepeatModeStaysOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	quant := make([]float64, 1008)
+	gauss := make([]float64, 1008)
+	for i := range quant {
+		quant[i] = math.Round(math.Abs(rng.NormFloat64())*1000) / 1000
+		gauss[i] = rng.NormFloat64()
+	}
+	var enc Encoder
+	if m := payloadMode(t, enc.AppendValues(nil, quant)); m != modeFixed {
+		t.Errorf("quantized Gaussians chose mode %d, want fixed", m)
+	}
+	if m := payloadMode(t, enc.AppendValues(nil, gauss)); m != modeXOR {
+		t.Errorf("raw Gaussians chose mode %d, want XOR", m)
+	}
+}
+
+func TestRepeatModesZeroAllocDecode(t *testing.T) {
+	runs := make([]float64, 1024)
+	alternating := make([]float64, 1024)
+	for i := range runs {
+		runs[i] = 1.2345678901234567 + float64(i/128)
+		alternating[i] = 1.2345678901234567 + float64(i%2)
+	}
+	var enc Encoder
+	payloads := map[string][]byte{
+		"rle":  enc.AppendValues(nil, runs),
+		"dict": enc.AppendValues(nil, alternating),
+	}
+	if m := payloadMode(t, payloads["rle"]); m != modeRLE {
+		t.Fatalf("rle fixture chose mode %d", m)
+	}
+	if m := payloadMode(t, payloads["dict"]); m != modeDict {
+		t.Fatalf("dict fixture chose mode %d", m)
+	}
+	dst := make([]float64, 1024)
+	for name, payload := range payloads {
+		allocs := testing.AllocsPerRun(100, func() {
+			var err error
+			dst, _, err = DecodeValues(payload, dst)
+			if err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s decode: %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestRepeatModesTruncated(t *testing.T) {
+	constant := make([]float64, 300)
+	alternating := make([]float64, 300)
+	for i := range constant {
+		constant[i] = 1.2345678901234567
+		alternating[i] = 1.2345678901234567 + float64(i%3)
+	}
+	var enc Encoder
+	for name, vals := range map[string][]float64{"rle": constant, "dict": alternating} {
+		payload := enc.AppendValues(nil, vals)
+		for cut := 0; cut < len(payload); cut++ {
+			if _, _, err := DecodeValues(payload[:cut], nil); err == nil {
+				t.Fatalf("%s: truncation at %d/%d bytes decoded without error", name, cut, len(payload))
+			}
+		}
+	}
+}
+
+func TestRepeatModeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(2200)
+		vals := make([]float64, n)
+		levels := make([]float64, 1+rng.Intn(80))
+		for i := range levels {
+			levels[i] = rng.NormFloat64()
+		}
+		i := 0
+		for i < n {
+			run := 1 + rng.Intn(40)
+			if run > n-i {
+				run = n - i
+			}
+			v := levels[rng.Intn(len(levels))]
+			for j := 0; j < run; j++ {
+				vals[i] = v
+				i++
+			}
+		}
+		roundTripValues(t, vals)
+	}
+}

@@ -38,6 +38,14 @@ type Phases struct {
 	T1Quantiles  time.Duration
 	T2Regression time.Duration
 	T3Adjust     time.Duration
+
+	// SummaryBlocks and DecodedBlocks count stored blocks consumed by a
+	// compressed-domain fast path: SummaryBlocks were satisfied from
+	// header summaries/lanes alone, DecodedBlocks needed the full float
+	// decode. Both stay zero when no fast path ran; their ratio is the
+	// summary-only fraction the scale experiments report.
+	SummaryBlocks int64
+	DecodedBlocks int64
 }
 
 // Total returns the summed busy time of all three stages. On the

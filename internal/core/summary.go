@@ -22,6 +22,38 @@ type BlockStats struct {
 	Max  float64
 	Sum  float64
 	SumSq float64
+	// Flags carries the block-structure facts recorded at encode time.
+	Flags BlockFlags
+}
+
+// BlockFlags describe structural properties of a stored block that
+// compressed-domain kernels exploit. They are facts about the stored
+// bit patterns, set by the encoder, never inferred at read time.
+type BlockFlags uint32
+
+const (
+	// BlockHourLanes: the block stores per-hour sum lanes (and, when
+	// BlockHourPeriodic, a 24-value pattern) retrievable via
+	// SummaryCursor.HourLanes. Never set on a block with NaNs.
+	BlockHourLanes BlockFlags = 1 << iota
+	// BlockConstant: every value in the block shares one bit pattern,
+	// equal to the summary Min — the block reconstructs as a fill.
+	BlockConstant
+	// BlockHourPeriodic: the block is day-aligned and each hour-of-day
+	// holds one bit pattern — the block reconstructs by tiling the
+	// stored 24-value pattern.
+	BlockHourPeriodic
+)
+
+// HourLanes is the per-hour reduction of one block on the implicit
+// hourly grid. Sums accumulate in row order with first-assignment
+// semantics (a lane holding one value carries its exact bit pattern);
+// Counts are the lane populations; Pattern is the 24-value tile of a
+// BlockHourPeriodic block and nil/unused otherwise.
+type HourLanes struct {
+	Sums    [24]float64
+	Counts  [24]int32
+	Pattern [24]float64
 }
 
 // SummarySource is implemented by engines whose storage keeps per-block
@@ -51,6 +83,11 @@ type SummaryCursor interface {
 	// must hold at least the block's Count values. The decoded floats
 	// are bit-identical to what the row cursors produce.
 	DecodeBlock(b int, dst []float64) error
+	// HourLanes loads the per-hour lanes of block b of the current
+	// consumer into dst and reports whether the block stores them
+	// (i.e. its stats carry BlockHourLanes). When false, dst is left
+	// unspecified and the caller must decode instead.
+	HourLanes(b int, dst *HourLanes) (bool, error)
 	// Close releases the cursor. It is idempotent.
 	Close() error
 }

@@ -233,6 +233,7 @@ func (s *summaryCursor) NextSummary() (timeseries.ID, []core.BlockStats, error) 
 			Max:   h.max,
 			Sum:   h.sum,
 			SumSq: h.sumSq,
+			Flags: core.BlockFlags(h.flags),
 		}
 	}
 	s.i++
@@ -254,6 +255,29 @@ func (s *summaryCursor) DecodeBlock(b int, dst []float64) error {
 	var err error
 	s.scratch, err = s.st.readBlockVals(c, b, s.scratch, dst[:h.count])
 	return err
+}
+
+func (s *summaryCursor) HourLanes(b int, dst *core.HourLanes) (bool, error) {
+	if s.closed {
+		return false, fmt.Errorf("colstore: HourLanes on closed summary cursor")
+	}
+	c := s.i - 1
+	if c < 0 || c >= s.st.consumers {
+		return false, fmt.Errorf("colstore: HourLanes before NextSummary")
+	}
+	if b < 0 || b >= s.st.blockCount {
+		return false, fmt.Errorf("colstore: HourLanes: block %d out of range", b)
+	}
+	h := s.st.hdr(c, b)
+	if core.BlockFlags(h.flags)&core.BlockHourLanes == 0 {
+		return false, nil
+	}
+	var err error
+	s.scratch, err = s.st.readBlockLanes(c, b, s.scratch, dst)
+	if err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 func (s *summaryCursor) Close() error {

@@ -1,0 +1,368 @@
+package colstore
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/seed"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// encodeTestSeries builds a consumer mix that exercises every block
+// shape: smooth Gaussians, bit-constant series, day-periodic tilings,
+// NaN/Inf carriers, and short-tail blocks when blockRows doesn't
+// divide the series length.
+func encodeTestSeries(t *testing.T, consumers, n int) [][]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	out := make([][]float64, consumers)
+	for c := range out {
+		s := make([]float64, n)
+		switch c % 5 {
+		case 0: // smooth
+			for i := range s {
+				s[i] = math.Abs(rng.NormFloat64()) * 2
+			}
+		case 1: // bit-constant at a non-decimal level
+			level := rng.NormFloat64()
+			for i := range s {
+				s[i] = level
+			}
+		case 2: // day-periodic tiling
+			var tile [24]float64
+			for h := range tile {
+				tile[h] = rng.NormFloat64()
+			}
+			for i := range s {
+				s[i] = tile[i%24]
+			}
+		case 3: // NaN/Inf carrier
+			for i := range s {
+				s[i] = rng.NormFloat64()
+			}
+			s[n/3] = math.NaN()
+			s[2*n/3] = math.Inf(1)
+		case 4: // near-constant with spikes
+			for i := range s {
+				s[i] = 0.5
+				if i%97 == 13 {
+					s[i] = rng.NormFloat64()
+				}
+			}
+		}
+		out[c] = s
+	}
+	return out
+}
+
+func writeSegmentWith(t *testing.T, path string, temp []float64, series [][]float64, opts ...WriterOption) {
+	t.Helper()
+	w, err := NewSegmentWriter(path, temp, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, s := range series {
+		if err := w.Append(timeseries.ID(c+1), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelEncodeByteIdentical pins the tentpole guarantee: the
+// segment file is byte-for-byte identical whatever the encoder count,
+// across quantized and unquantized writes and ragged tail blocks.
+func TestParallelEncodeByteIdentical(t *testing.T) {
+	n := 24 * 10
+	temp := make([]float64, n)
+	for i := range temp {
+		temp[i] = 10 + 5*math.Sin(float64(i)/24)
+	}
+	series := encodeTestSeries(t, 23, n)
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		opts []WriterOption
+	}{
+		{"default", nil},
+		{"quantized", []WriterOption{WithQuantize(3)}},
+		{"smallblocks", []WriterOption{WithBlockRows(7)}},
+	} {
+		serialPath := filepath.Join(dir, tc.name+"-serial")
+		writeSegmentWith(t, serialPath, temp, series, tc.opts...)
+		want, err := os.ReadFile(serialPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, encoders := range []int{2, 3, 8} {
+			p := filepath.Join(dir, tc.name+"-par")
+			writeSegmentWith(t, p, temp, series, append(append([]WriterOption{}, tc.opts...), WithEncoders(encoders))...)
+			got, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s encoders=%d: %d bytes, serial %d", tc.name, encoders, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s encoders=%d: byte %d differs (%#x vs %#x)", tc.name, encoders, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEncodeMatchesDecode checks a pool-encoded store decodes
+// back to the exact appended values (quantization applied).
+func TestParallelEncodeMatchesDecode(t *testing.T) {
+	n := 24 * 6
+	temp := make([]float64, n)
+	series := encodeTestSeries(t, 11, n)
+	path := filepath.Join(t.TempDir(), "seg")
+	writeSegmentWith(t, path, temp, series, WithQuantize(3), WithEncoders(4))
+	st, err := openStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	dst := make([]float64, n)
+	var scratch []byte
+	for c := range series {
+		if scratch, err = st.decodeConsumerInto(c, dst, scratch); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range series[c] {
+			want := math.Round(v*1000) / 1000
+			if math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("consumer %d row %d: %v want %v", c, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestSummaryLanesMatchDecodedReduction is the lane-correctness
+// property test: for every stored block, across block sizes that are
+// sub-day, day-aligned and misaligned, quantized and not, the lanes
+// the cursor returns must equal the first-assignment per-hour
+// reduction of the decoded block — and blocks without lanes must be
+// exactly the NaN-bearing ones.
+func TestSummaryLanesMatchDecodedReduction(t *testing.T) {
+	n := 24*7 + 5 // ragged tail so the last block straddles
+	temp := make([]float64, n)
+	series := encodeTestSeries(t, 15, n)
+	for _, blockRows := range []int{1, 7, 24, 64, DefaultBlockRows} {
+		for _, quant := range []bool{false, true} {
+			opts := []WriterOption{WithBlockRows(blockRows)}
+			if quant {
+				opts = append(opts, WithQuantize(3))
+			}
+			dir := t.TempDir()
+			writeSegmentWith(t, filepath.Join(dir, SegmentFileName), temp, series, opts...)
+			e := New(dir)
+			if _, err := e.OpenExisting(); err != nil {
+				t.Fatal(err)
+			}
+			cur, err := e.NewSummaryCursor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]float64, blockRows)
+			var lanes core.HourLanes
+			for {
+				_, blocks, err := cur.NextSummary()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for b, bs := range blocks {
+					ok, err := cur.HourLanes(b, &lanes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok != (bs.NaNs == 0) {
+						t.Fatalf("blockRows=%d quant=%v block %d: lanes=%v with %d NaNs", blockRows, quant, b, ok, bs.NaNs)
+					}
+					if ok != (bs.Flags&core.BlockHourLanes != 0) {
+						t.Fatalf("blockRows=%d block %d: lane flag/result mismatch", blockRows, b)
+					}
+					if err := cur.DecodeBlock(b, dst[:bs.Count]); err != nil {
+						t.Fatal(err)
+					}
+					blk := dst[:bs.Count]
+					if !ok {
+						continue
+					}
+					var sums [24]float64
+					var counts [24]int32
+					var seen [24]bool
+					for i, v := range blk {
+						h := (bs.Start + i) % 24
+						if !seen[h] {
+							sums[h], seen[h] = v, true
+						} else {
+							sums[h] += v
+						}
+						counts[h]++
+					}
+					for h := 0; h < 24; h++ {
+						if math.Float64bits(lanes.Sums[h]) != math.Float64bits(sums[h]) {
+							t.Fatalf("blockRows=%d quant=%v block %d lane %d: sum bits %016x want %016x",
+								blockRows, quant, b, h,
+								math.Float64bits(lanes.Sums[h]), math.Float64bits(sums[h]))
+						}
+						if lanes.Counts[h] != counts[h] {
+							t.Fatalf("blockRows=%d block %d lane %d: count %d want %d",
+								blockRows, b, h, lanes.Counts[h], counts[h])
+						}
+					}
+					if bs.Flags&core.BlockConstant != 0 {
+						for i, v := range blk {
+							if math.Float64bits(v) != math.Float64bits(blk[0]) {
+								t.Fatalf("blockRows=%d block %d: constant flag on varying block (row %d)", blockRows, b, i)
+							}
+						}
+					}
+					if bs.Flags&core.BlockHourPeriodic != 0 {
+						if bs.Start%24 != 0 || bs.Count%24 != 0 || bs.Count <= 24 {
+							t.Fatalf("blockRows=%d block %d: periodic flag on non-aligned block", blockRows, b)
+						}
+						for i, v := range blk {
+							if math.Float64bits(v) != math.Float64bits(lanes.Pattern[i%24]) {
+								t.Fatalf("blockRows=%d block %d: pattern mismatch at row %d", blockRows, b, i)
+							}
+						}
+					}
+				}
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Release(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestEncodePoolErrorSticky checks a mid-stream write failure surfaces
+// on a later Append or on Close instead of hanging the pool.
+func TestEncodePoolErrorSticky(t *testing.T) {
+	n := 24 * 4
+	temp := make([]float64, n)
+	series := encodeTestSeries(t, 8, n)
+	path := filepath.Join(t.TempDir(), "seg")
+	w, err := NewSegmentWriter(path, temp, WithEncoders(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the file out from under the pool's writer goroutine: the
+	// buffered writes only hit the descriptor once the 1MB buffer
+	// fills or Close flushes, so appends keep succeeding and the
+	// failure must surface at Close.
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for c, s := range series {
+		if err := w.Append(timeseries.ID(c+1), s); err != nil {
+			break // acceptable: sticky error surfaced early
+		}
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close on a failed writer returned nil")
+	}
+}
+
+// TestPARFastPathMatchesReference is the end-to-end check for the
+// compressed-domain PAR path: a real segment file with day-aligned
+// blocks, the engine's Run (which routes through the exec fast path),
+// compared bit-for-bit against the decoded reference oracle — and the
+// phase counters must show every block was consumed summary-only.
+func TestPARFastPathMatchesReference(t *testing.T) {
+	dir := t.TempDir()
+	ds := buildSegments(t, dir, 6, 30, 24)
+	e := New(dir)
+	if _, err := e.OpenExisting(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Release() }()
+	got, err := e.Run(core.Spec{Task: core.TaskPAR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.RunReference(ds, core.Spec{Task: core.TaskPAR}.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Profiles) != len(want.Profiles) {
+		t.Fatalf("%d profiles, want %d", len(got.Profiles), len(want.Profiles))
+	}
+	for i, w := range want.Profiles {
+		g := got.Profiles[i]
+		if g.ID != w.ID {
+			t.Fatalf("profile %d: ID %d vs %d", i, g.ID, w.ID)
+		}
+		for h := range w.Profile {
+			if math.Float64bits(g.Profile[h]) != math.Float64bits(w.Profile[h]) {
+				t.Fatalf("consumer %d hour %d: %v want %v", g.ID, h, g.Profile[h], w.Profile[h])
+			}
+		}
+	}
+	ph := got.Phases
+	blocks := int64(6 * 30) // 24-row blocks over NaN-free data: all lane-reconstructed
+	if ph.SummaryBlocks != blocks || ph.DecodedBlocks != 0 {
+		t.Fatalf("summary/decoded blocks = %d/%d, want %d/0", ph.SummaryBlocks, ph.DecodedBlocks, blocks)
+	}
+}
+
+// TestEncodersMatchSeedDataset cross-checks the pool against the
+// colstore Load path used everywhere else in the suite.
+func TestEncodersMatchSeedDataset(t *testing.T) {
+	ds, err := seed.Generate(seed.Config{Consumers: 9, Days: 5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for name, opts := range map[string][]WriterOption{
+		"serial": nil,
+		"pool":   {WithEncoders(3)},
+	} {
+		w, err := NewSegmentWriter(filepath.Join(dir, name), ds.Temperature.Values, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range ds.Series {
+			if err := w.Append(s.ID, s.Readings); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial, err := os.ReadFile(filepath.Join(dir, "serial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := os.ReadFile(filepath.Join(dir, "pool"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(pool) {
+		t.Fatalf("sizes differ: %d vs %d", len(serial), len(pool))
+	}
+	for i := range serial {
+		if serial[i] != pool[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}

@@ -8,12 +8,13 @@ import (
 	"os"
 
 	"github.com/smartmeter/smartbench/internal/colcodec"
+	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/timeseries"
 )
 
-// Segment file layout v2 ("SMCOL2", little endian):
+// Segment file layout v3 ("SMCOL3", little endian):
 //
-//	magic "SMCOL2\n" (7 bytes) + 1 pad byte
+//	magic "SMCOL3\n" (7 bytes) + 1 pad byte
 //	u32 consumers   (patched at Close)
 //	u32 seriesLen
 //	u32 blockRows
@@ -23,44 +24,62 @@ import (
 //	u64 fileSize    (patched at Close)
 //	temperature column: seriesLen x f64 (raw — one column per file)
 //	per consumer, in ascending household order:
-//	    blockCount x 56-byte block header:
+//	    blockCount x 64-byte block header:
 //	        u32 start, u32 count, u32 nans,
 //	        u32 payloadOff (relative to this consumer's payload area),
-//	        u32 tsLen, u32 valLen,
+//	        u32 tsLen, u32 valLen, u32 laneLen, u32 flags,
 //	        f64 min, f64 max, f64 sum, f64 sumSq
-//	    payload area: per block, colcodec timestamps then values
+//	    payload area: per block, colcodec timestamps, then values, then
+//	        the lane section (laneLen bytes): the 24 per-hour sums as a
+//	        colcodec value payload, followed — when flags carry
+//	        BlockHourPeriodic — by the 24-value tile pattern. Lane
+//	        counts are not stored: they are derived from (start, count)
+//	        on the implicit hourly grid. NaN-bearing blocks store no
+//	        lane section (laneLen 0, no BlockHourLanes flag).
 //	directory at dirOffset: consumers x 24-byte entry:
 //	    u64 household id, u64 segOffset, u32 segLen, u32 blockCount
 //
 // The header fields a streaming writer cannot know up front are patched
 // in place at Close, so a million-consumer file is written
 // consumer-by-consumer without ever holding the raw matrix.
+//
+// v3 over v2: block headers grew lane length + structure flags (+8
+// bytes), the default block size became day-aligned, and encoding can
+// fan out over a worker pool — the file bytes are identical whichever
+// encoder count produced them, because every consumer's bytes come
+// from the same pure encodeConsumer function and land in appended
+// order.
 
-var magic2 = [8]byte{'S', 'M', 'C', 'O', 'L', '2', '\n', 0}
+var magic3 = [8]byte{'S', 'M', 'C', 'O', 'L', '3', '\n', 0}
 
 const (
 	headerSize2  = 48
-	blockHdrSize = 56
+	blockHdrSize = 64
 	dirEntSize   = 24
 
-	// DefaultBlockRows is the row count per compressed block: 8 KiB of
-	// raw float64s, large enough to amortize per-block headers to <1%
-	// and small enough that summary-driven block skipping has
-	// resolution.
-	DefaultBlockRows = 1024
+	// DefaultBlockRows is the row count per compressed block: 42 days
+	// of hourly readings, ~8 KiB raw — large enough to amortize
+	// per-block headers to ~1% and small enough that summary-driven
+	// block skipping has resolution. Day-aligned (a multiple of 24) so
+	// whole blocks sit on the hour grid and compressed-domain kernels
+	// can consume their per-hour lanes without decoding.
+	DefaultBlockRows = 1008
 )
 
 // blockHdr is the in-memory mirror of an on-disk block header.
 type blockHdr struct {
-	start, count, nans     uint32
-	payloadOff             uint32
-	tsLen, valLen          uint32
-	min, max, sum, sumSq   float64
+	start, count, nans   uint32
+	payloadOff           uint32
+	tsLen, valLen        uint32
+	laneLen, flags       uint32
+	min, max, sum, sumSq float64
 }
 
-// SegmentWriter streams consumers into a v2 segment file in ascending
-// household order. It holds one consumer's encoded blocks at a time —
-// never the dataset — so generation and load run out-of-core.
+// SegmentWriter streams consumers into a v3 segment file in ascending
+// household order. It holds a bounded number of consumers' encoded
+// blocks at a time — never the dataset — so generation and load run
+// out-of-core. With WithEncoders(n>1) block encoding fans out over a
+// worker pool while file writes stay in append order.
 type SegmentWriter struct {
 	path       string
 	f          *os.File
@@ -75,11 +94,14 @@ type SegmentWriter struct {
 	rawBytes   int64
 	dir        []byte
 	enc        colcodec.Encoder
-	hdrBuf     []byte
-	payload    []byte
+	ls         colcodec.LaneSummary
+	buf        []byte
 	qbuf       []float64
-	ts         []int64
+	tsPayloads [][]byte
 	closed     bool
+
+	encoders int
+	pool     *encodePool
 }
 
 // WriterOption configures a SegmentWriter.
@@ -109,6 +131,17 @@ func WithQuantize(digits int) WriterOption {
 	}
 }
 
+// WithEncoders sets the number of concurrent block encoders. n <= 1
+// keeps the historical serial path. The segment file is byte-identical
+// whichever count is used; only wall-clock changes.
+func WithEncoders(n int) WriterOption {
+	return func(w *SegmentWriter) {
+		if n > 1 {
+			w.encoders = n
+		}
+	}
+}
+
 // NewSegmentWriter creates path (truncating any previous file) and
 // writes the header and temperature column. Callers must Append every
 // consumer in ascending ID order and then Close.
@@ -128,7 +161,7 @@ func NewSegmentWriter(path string, temp []float64, opts ...WriterOption) (*Segme
 	w.f = f
 	w.w = bufio.NewWriterSize(f, 1<<20)
 	hdr := make([]byte, headerSize2)
-	copy(hdr, magic2[:])
+	copy(hdr, magic3[:])
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(w.n))
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(w.blockRows))
 	if _, err := w.w.Write(hdr); err != nil {
@@ -142,6 +175,26 @@ func NewSegmentWriter(path string, temp []float64, opts ...WriterOption) (*Segme
 		return nil, w.fail(err)
 	}
 	w.off = int64(headerSize2 + len(col))
+	// Block timestamps are the implicit hour grid — identical for every
+	// consumer — so their payloads are encoded once and shared by all
+	// encode paths (and, read-only, by all pool workers).
+	w.tsPayloads = make([][]byte, w.blockCount)
+	ts := make([]int64, w.blockRows)
+	for b := 0; b < w.blockCount; b++ {
+		start := b * w.blockRows
+		end := start + w.blockRows
+		if end > w.n {
+			end = w.n
+		}
+		blkTs := ts[:end-start]
+		for i := range blkTs {
+			blkTs[i] = int64(start + i)
+		}
+		w.tsPayloads[b] = colcodec.AppendTimestamps(nil, blkTs)
+	}
+	if w.encoders > 1 {
+		w.pool = newEncodePool(w)
+	}
 	return w, nil
 }
 
@@ -149,6 +202,73 @@ func (w *SegmentWriter) fail(err error) error {
 	w.closed = true
 	_ = w.f.Close()
 	return fmt.Errorf("colstore: write segments: %w", err)
+}
+
+// quantizeInPlace rounds vals to the writer's decimal resolution.
+func quantizeInPlace(vals []float64, quantPow float64) {
+	for i, v := range vals {
+		vals[i] = math.Round(v*quantPow) / quantPow
+	}
+}
+
+// encodeConsumer encodes one consumer's (already quantized) readings
+// into buf: blockCount fixed-size block headers followed by the payload
+// area, exactly the bytes Append writes for that consumer. It is a pure
+// function of vals and the writer geometry — the serial path and every
+// pool worker produce identical bytes — reusing buf and the caller's
+// encoder/lane scratch. This is a per-reading hot path: no allocations
+// beyond amortized buffer growth.
+func encodeConsumer(enc *colcodec.Encoder, ls *colcodec.LaneSummary, buf []byte, vals []float64, blockRows, blockCount int, tsPayloads [][]byte) []byte {
+	hdrLen := blockCount * blockHdrSize
+	if cap(buf) < hdrLen {
+		buf = make([]byte, hdrLen, hdrLen+2*len(vals))
+	}
+	buf = buf[:hdrLen]
+	for b := 0; b < blockCount; b++ {
+		start := b * blockRows
+		end := start + blockRows
+		if end > len(vals) {
+			end = len(vals)
+		}
+		blk := vals[start:end]
+		sum := colcodec.Summarize(blk)
+		payloadOff := len(buf) - hdrLen
+		buf = append(buf, tsPayloads[b]...)
+		tsLen := len(buf) - hdrLen - payloadOff
+		buf = enc.AppendValues(buf, blk)
+		valLen := len(buf) - hdrLen - payloadOff - tsLen
+		var flags core.BlockFlags
+		laneLen := 0
+		if colcodec.SummarizeHours(start, blk, ls) {
+			flags |= core.BlockHourLanes
+			mark := len(buf)
+			buf = enc.AppendValues(buf, ls.Sums[:])
+			if ls.Constant {
+				flags |= core.BlockConstant
+			} else if ls.Periodic && len(blk) > 24 {
+				// The tile is stored explicitly: dividing lane sums by
+				// counts would not reproduce the values bit-exactly.
+				flags |= core.BlockHourPeriodic
+				buf = enc.AppendValues(buf, ls.Pattern[:])
+			}
+			laneLen = len(buf) - mark
+		}
+		putBlockHdr(buf[b*blockHdrSize:], blockHdr{
+			start:      uint32(start),
+			count:      uint32(end - start),
+			nans:       uint32(sum.NaNs),
+			payloadOff: uint32(payloadOff),
+			tsLen:      uint32(tsLen),
+			valLen:     uint32(valLen),
+			laneLen:    uint32(laneLen),
+			flags:      uint32(flags),
+			min:        sum.Min,
+			max:        sum.Max,
+			sum:        sum.Sum,
+			sumSq:      sum.SumSq,
+		})
+	}
+	return buf
 }
 
 // Append encodes one consumer's readings. IDs must arrive in strictly
@@ -163,85 +283,60 @@ func (w *SegmentWriter) Append(id timeseries.ID, readings []float64) error {
 	if w.consumers > 0 && id <= w.lastID {
 		return fmt.Errorf("colstore: appends must arrive in ascending household order: %d after %d", id, w.lastID)
 	}
+	w.rawBytes += int64(8 * len(readings))
+	w.lastID = id
+	w.consumers++
+	if w.pool != nil {
+		return w.pool.append(id, readings)
+	}
 	vals := readings
 	if w.quantPow > 0 {
 		if cap(w.qbuf) < len(readings) {
 			w.qbuf = make([]float64, len(readings))
 		}
 		w.qbuf = w.qbuf[:len(readings)]
-		for i, v := range readings {
-			w.qbuf[i] = math.Round(v*w.quantPow) / w.quantPow
-		}
+		copy(w.qbuf, readings)
+		quantizeInPlace(w.qbuf, w.quantPow)
 		vals = w.qbuf
 	}
-	w.rawBytes += int64(8 * len(readings))
-	w.hdrBuf = w.hdrBuf[:0]
-	w.payload = w.payload[:0]
-	if cap(w.ts) < w.blockRows {
-		w.ts = make([]int64, w.blockRows)
-	}
-	for b := 0; b < w.blockCount; b++ {
-		start := b * w.blockRows
-		end := start + w.blockRows
-		if end > w.n {
-			end = w.n
-		}
-		blk := vals[start:end]
-		sum := colcodec.Summarize(blk)
-		ts := w.ts[:end-start]
-		for i := range ts {
-			ts[i] = int64(start + i)
-		}
-		payloadOff := len(w.payload)
-		w.payload = colcodec.AppendTimestamps(w.payload, ts)
-		tsLen := len(w.payload) - payloadOff
-		w.payload = w.enc.AppendValues(w.payload, blk)
-		valLen := len(w.payload) - payloadOff - tsLen
-		w.hdrBuf = appendBlockHdr(w.hdrBuf, blockHdr{
-			start:      uint32(start),
-			count:      uint32(end - start),
-			nans:       uint32(sum.NaNs),
-			payloadOff: uint32(payloadOff),
-			tsLen:      uint32(tsLen),
-			valLen:     uint32(valLen),
-			min:        sum.Min,
-			max:        sum.Max,
-			sum:        sum.Sum,
-			sumSq:      sum.SumSq,
-		})
-	}
-	if _, err := w.w.Write(w.hdrBuf); err != nil {
+	w.buf = encodeConsumer(&w.enc, &w.ls, w.buf, vals, w.blockRows, w.blockCount, w.tsPayloads)
+	if err := w.writeConsumer(id, w.buf); err != nil {
 		return w.fail(err)
 	}
-	if _, err := w.w.Write(w.payload); err != nil {
-		return w.fail(err)
-	}
-	segLen := len(w.hdrBuf) + len(w.payload)
-	var ent [dirEntSize]byte
-	binary.LittleEndian.PutUint64(ent[0:], uint64(id))
-	binary.LittleEndian.PutUint64(ent[8:], uint64(w.off))
-	binary.LittleEndian.PutUint32(ent[16:], uint32(segLen))
-	binary.LittleEndian.PutUint32(ent[20:], uint32(w.blockCount))
-	w.dir = append(w.dir, ent[:]...)
-	w.off += int64(segLen)
-	w.lastID = id
-	w.consumers++
 	return nil
 }
 
-func appendBlockHdr(dst []byte, h blockHdr) []byte {
-	var buf [blockHdrSize]byte
-	binary.LittleEndian.PutUint32(buf[0:], h.start)
-	binary.LittleEndian.PutUint32(buf[4:], h.count)
-	binary.LittleEndian.PutUint32(buf[8:], h.nans)
-	binary.LittleEndian.PutUint32(buf[12:], h.payloadOff)
-	binary.LittleEndian.PutUint32(buf[16:], h.tsLen)
-	binary.LittleEndian.PutUint32(buf[20:], h.valLen)
-	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(h.min))
-	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(h.max))
-	binary.LittleEndian.PutUint64(buf[40:], math.Float64bits(h.sum))
-	binary.LittleEndian.PutUint64(buf[48:], math.Float64bits(h.sumSq))
-	return append(dst, buf[:]...)
+// writeConsumer appends one consumer's encoded bytes and directory
+// entry. In pool mode it runs only on the pool's writer goroutine, in
+// appended order; it must not touch the writer's closed/file state
+// (the pool records its error and Close cleans up).
+func (w *SegmentWriter) writeConsumer(id timeseries.ID, buf []byte) error {
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	var ent [dirEntSize]byte
+	binary.LittleEndian.PutUint64(ent[0:], uint64(id))
+	binary.LittleEndian.PutUint64(ent[8:], uint64(w.off))
+	binary.LittleEndian.PutUint32(ent[16:], uint32(len(buf)))
+	binary.LittleEndian.PutUint32(ent[20:], uint32(w.blockCount))
+	w.dir = append(w.dir, ent[:]...)
+	w.off += int64(len(buf))
+	return nil
+}
+
+func putBlockHdr(dst []byte, h blockHdr) {
+	binary.LittleEndian.PutUint32(dst[0:], h.start)
+	binary.LittleEndian.PutUint32(dst[4:], h.count)
+	binary.LittleEndian.PutUint32(dst[8:], h.nans)
+	binary.LittleEndian.PutUint32(dst[12:], h.payloadOff)
+	binary.LittleEndian.PutUint32(dst[16:], h.tsLen)
+	binary.LittleEndian.PutUint32(dst[20:], h.valLen)
+	binary.LittleEndian.PutUint32(dst[24:], h.laneLen)
+	binary.LittleEndian.PutUint32(dst[28:], h.flags)
+	binary.LittleEndian.PutUint64(dst[32:], math.Float64bits(h.min))
+	binary.LittleEndian.PutUint64(dst[40:], math.Float64bits(h.max))
+	binary.LittleEndian.PutUint64(dst[48:], math.Float64bits(h.sum))
+	binary.LittleEndian.PutUint64(dst[56:], math.Float64bits(h.sumSq))
 }
 
 func parseBlockHdr(b []byte) blockHdr {
@@ -252,10 +347,12 @@ func parseBlockHdr(b []byte) blockHdr {
 		payloadOff: binary.LittleEndian.Uint32(b[12:]),
 		tsLen:      binary.LittleEndian.Uint32(b[16:]),
 		valLen:     binary.LittleEndian.Uint32(b[20:]),
-		min:        math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
-		max:        math.Float64frombits(binary.LittleEndian.Uint64(b[32:])),
-		sum:        math.Float64frombits(binary.LittleEndian.Uint64(b[40:])),
-		sumSq:      math.Float64frombits(binary.LittleEndian.Uint64(b[48:])),
+		laneLen:    binary.LittleEndian.Uint32(b[24:]),
+		flags:      binary.LittleEndian.Uint32(b[28:]),
+		min:        math.Float64frombits(binary.LittleEndian.Uint64(b[32:])),
+		max:        math.Float64frombits(binary.LittleEndian.Uint64(b[40:])),
+		sum:        math.Float64frombits(binary.LittleEndian.Uint64(b[48:])),
+		sumSq:      math.Float64frombits(binary.LittleEndian.Uint64(b[56:])),
 	}
 }
 
@@ -265,10 +362,18 @@ func (w *SegmentWriter) RawBytes() int64 { return w.rawBytes }
 // Consumers returns the number of consumers appended so far.
 func (w *SegmentWriter) Consumers() int { return w.consumers }
 
-// Close writes the directory, patches the header, and closes the file.
+// Close drains any encode pool, writes the directory, patches the
+// header, and closes the file.
 func (w *SegmentWriter) Close() error {
 	if w.closed {
 		return nil
+	}
+	if w.pool != nil {
+		if err := w.pool.drain(); err != nil {
+			w.closed = true
+			_ = w.f.Close()
+			return err
+		}
 	}
 	w.closed = true
 	if w.consumers == 0 {
@@ -303,7 +408,7 @@ func (w *SegmentWriter) Close() error {
 	return nil
 }
 
-// segStore is an attached v2 segment file: resident metadata (directory
+// segStore is an attached v3 segment file: resident metadata (directory
 // and block headers) plus either a fully resident image (in-core mode)
 // or an open file handle for on-demand block reads (paged mode).
 type segStore struct {
@@ -358,7 +463,7 @@ func openStore(path string, inMemory bool) (*segStore, error) {
 }
 
 func (st *segStore) parseMeta(hdr [headerSize2]byte) error {
-	for i, b := range magic2 {
+	for i, b := range magic3 {
 		if hdr[i] != b {
 			return fmt.Errorf("%w: bad magic", errCorrupt)
 		}
@@ -516,6 +621,44 @@ func (st *segStore) readBlockTs(c, b int, scratch []byte, dst []int64) ([]int64,
 		return nil, scratch, fmt.Errorf("colstore: consumer %d block %d: %w", st.ids[c], b, err)
 	}
 	return out, scratch, nil
+}
+
+// readBlockLanes loads block b of consumer c's per-hour lane section
+// into dst, deriving the lane counts from the block geometry. The
+// caller must have checked the header carries BlockHourLanes.
+func (st *segStore) readBlockLanes(c, b int, scratch []byte, dst *core.HourLanes) ([]byte, error) {
+	h := st.hdr(c, b)
+	off := st.payloadBase(c) + int64(h.payloadOff) + int64(h.tsLen) + int64(h.valLen)
+	raw, err := st.read(off, int(h.laneLen), scratch)
+	if err != nil {
+		return scratch, err
+	}
+	if st.img == nil {
+		scratch = raw
+	}
+	sums, used, err := colcodec.DecodeValues(raw, dst.Sums[:0])
+	if err != nil || len(sums) != 24 {
+		return scratch, fmt.Errorf("%w: lane sums (consumer %d block %d)", errCorrupt, st.ids[c], b)
+	}
+	if core.BlockFlags(h.flags)&core.BlockHourPeriodic != 0 {
+		pat, _, err := colcodec.DecodeValues(raw[used:], dst.Pattern[:0])
+		if err != nil || len(pat) != 24 {
+			return scratch, fmt.Errorf("%w: lane pattern (consumer %d block %d)", errCorrupt, st.ids[c], b)
+		}
+	} else {
+		dst.Pattern = [24]float64{}
+	}
+	// Counts are implicit in (start, count) on the hourly grid: every
+	// lane holds count/24 rows, and the first count%24 hours after
+	// start hold one more.
+	base := int32(h.count / 24)
+	for hh := range dst.Counts {
+		dst.Counts[hh] = base
+	}
+	for i := 0; i < int(h.count%24); i++ {
+		dst.Counts[(int(h.start)+i)%24]++
+	}
+	return scratch, nil
 }
 
 // decodeConsumerInto decodes consumer c's full series into dst (length

@@ -332,6 +332,18 @@ func RunContext(ctx context.Context, src Source, spec core.Spec) (*core.Results,
 		return out, nil
 	}
 
+	// Compressed-domain PAR fast path: assemble series from block
+	// headers (constant fills, single-day lane sums, periodic tiles),
+	// decoding only the blocks the headers cannot reconstruct, and run
+	// the unchanged PAR kernel over them (see summary_par.go).
+	if ss, ok := summaryPARApplies(src, spec); ok {
+		if err := runPARSummaries(ctx, ss, temp, spec, workers, out, cn); err != nil {
+			return nil, err
+		}
+		cn.finish(out)
+		return out, nil
+	}
+
 	// Overlapped extraction: streaming task + >1 worker + engine exposes
 	// disjoint partitions + the spec didn't pin the serial path. A
 	// single-partition answer falls back to the serial loop over that

@@ -90,6 +90,7 @@ func runHistogramSummaries(ctx context.Context, ss core.SummarySource, spec core
 				if err := sc.DecodeBlock(b, full[bs.Start:bs.Start+bs.Count]); err != nil {
 					return err
 				}
+				ph.DecodedBlocks++
 			}
 			ph.Extract.Wall += time.Since(start)
 			ph.Extract.Bytes += int64(8 * n)
@@ -135,6 +136,7 @@ func runHistogramSummaries(ctx context.Context, ss core.SummarySource, spec core
 				// Bucket is monotone in its argument, so min and max
 				// sharing a bucket pins every value of the block there.
 				h.AddN(bs.Min, int64(bs.Count))
+				ph.SummaryBlocks++
 				continue
 			}
 			if cap(decodeBuf) < bs.Count {
@@ -144,6 +146,7 @@ func runHistogramSummaries(ctx context.Context, ss core.SummarySource, spec core
 			if err := sc.DecodeBlock(b, blk); err != nil {
 				return err
 			}
+			ph.DecodedBlocks++
 			ph.Extract.Bytes += int64(8 * bs.Count)
 			for _, v := range blk {
 				h.Add(v)

@@ -1,0 +1,184 @@
+package exec
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// parDataset builds a PAR-shaped dataset (whole days, temperature
+// aligned) exercising every assembly branch: smooth consumers (decode),
+// a bit-constant consumer (BlockConstant fills), a day-periodic
+// consumer (pattern tiles), a NaN carrier (no lanes, full decode), and
+// a near-constant consumer whose blocks mix branches.
+func parDataset(t *testing.T) *timeseries.Dataset {
+	t.Helper()
+	ds := makeDataset(t, 4, 30)
+	n := len(ds.Series[0].Readings)
+
+	konst := make([]float64, n)
+	for i := range konst {
+		konst[i] = 1.25
+	}
+
+	tile := make([]float64, n)
+	for i := range tile {
+		tile[i] = 0.2 + 0.05*float64(i%24)
+	}
+
+	nan := make([]float64, n)
+	copy(nan, ds.Series[1].Readings)
+	nan[13] = math.NaN()
+	nan[n-2] = math.NaN()
+
+	mixed := make([]float64, n)
+	for i := range mixed {
+		mixed[i] = 0.5
+	}
+	copy(mixed[n/2:], ds.Series[2].Readings[n/2:])
+
+	ds.Series = append(ds.Series,
+		&timeseries.Series{ID: 900, Readings: konst},
+		&timeseries.Series{ID: 901, Readings: tile},
+		&timeseries.Series{ID: 902, Readings: nan},
+		&timeseries.Series{ID: 903, Readings: mixed},
+	)
+	return ds
+}
+
+// TestSummaryPARBitIdentical proves the assembled-series fast path
+// returns profiles and hourly models bit-identical to the generic
+// cursor pipeline across sub-day, day-aligned, misaligned and
+// whole-series block sizes, serial and fanned out.
+func TestSummaryPARBitIdentical(t *testing.T) {
+	ds := parDataset(t)
+	want, err := Run(NewDatasetSource(ds), core.Spec{Task: core.TaskPAR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blockRows := range []int{1, 7, 24, 64, 1 << 20} {
+		for _, workers := range []int{1, 3} {
+			src := summarySource{datasetSource{ds: ds}, blockRows}
+			got, err := Run(src, core.Spec{Task: core.TaskPAR, Workers: workers})
+			if err != nil {
+				t.Fatalf("blockRows=%d workers=%d: %v", blockRows, workers, err)
+			}
+			if len(got.Profiles) != len(ds.Series) {
+				t.Fatalf("blockRows=%d: %d results, want %d", blockRows, len(got.Profiles), len(ds.Series))
+			}
+			compareProfiles(t, blockRows, workers, got, want)
+		}
+	}
+}
+
+// compareProfiles is a bit-level CompareResults for the PAR task: the
+// NaN carrier legitimately produces NaN profile entries, which the
+// shared helper's == comparison cannot accept, so this one compares
+// float bits — a strictly stronger check.
+func compareProfiles(t *testing.T, blockRows, workers int, got, want *core.Results) {
+	t.Helper()
+	if len(got.Profiles) != len(want.Profiles) {
+		t.Fatalf("blockRows=%d: %d profiles, want %d", blockRows, len(got.Profiles), len(want.Profiles))
+	}
+	for i, w := range want.Profiles {
+		g := got.Profiles[i]
+		if g.ID != w.ID {
+			t.Fatalf("blockRows=%d profile %d: ID %d vs %d", blockRows, i, g.ID, w.ID)
+		}
+		for h := range w.Profile {
+			if math.Float64bits(g.Profile[h]) != math.Float64bits(w.Profile[h]) {
+				t.Fatalf("blockRows=%d workers=%d consumer %d hour %d: profile %v want %v",
+					blockRows, workers, g.ID, h, g.Profile[h], w.Profile[h])
+			}
+			gm, wm := g.Hours[h], w.Hours[h]
+			if gm.Fallback != wm.Fallback ||
+				math.Float64bits(gm.TempCoef) != math.Float64bits(wm.TempCoef) ||
+				math.Float64bits(gm.Intercept) != math.Float64bits(wm.Intercept) ||
+				math.Float64bits(gm.R2) != math.Float64bits(wm.R2) {
+				t.Fatalf("blockRows=%d workers=%d consumer %d hour %d: model %+v want %+v",
+					blockRows, workers, g.ID, h, gm, wm)
+			}
+			for j := range wm.ARCoef {
+				if math.Float64bits(gm.ARCoef[j]) != math.Float64bits(wm.ARCoef[j]) {
+					t.Fatalf("blockRows=%d consumer %d hour %d lag %d: AR coef %v want %v",
+						blockRows, g.ID, h, j, gm.ARCoef[j], wm.ARCoef[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSummaryPARErrorIdentical checks the fast path preserves the
+// kernel's error contract: a ragged series (not whole days) aborts a
+// FailFast run with the same error the generic path reports.
+func TestSummaryPARErrorIdentical(t *testing.T) {
+	ds := makeDataset(t, 2, 10)
+	ragged := make([]float64, len(ds.Series[0].Readings)-5)
+	copy(ragged, ds.Series[0].Readings)
+	ds.Series = append(ds.Series, &timeseries.Series{ID: 950, Readings: ragged})
+	src := summarySource{datasetSource{ds: ds}, 16}
+	_, gotErr := Run(src, core.Spec{Task: core.TaskPAR})
+	_, wantErr := Run(NewDatasetSource(ds), core.Spec{Task: core.TaskPAR})
+	if gotErr == nil || wantErr == nil {
+		t.Fatalf("errors: fast=%v generic=%v, want both non-nil", gotErr, wantErr)
+	}
+	if gotErr.Error() != wantErr.Error() {
+		t.Fatalf("fast path error %q, generic %q", gotErr, wantErr)
+	}
+}
+
+// TestSummaryPARGateScope checks the fast path stays off for other
+// tasks, non-FailFast policies and summary-less sources.
+func TestSummaryPARGateScope(t *testing.T) {
+	src := summarySource{datasetSource{ds: makeDataset(t, 2, 10)}, 16}
+	if _, ok := summaryPARApplies(src, core.Spec{Task: core.TaskHistogram, FailPolicy: core.FailFast}.WithDefaults()); ok {
+		t.Fatal("fast path claimed a histogram run")
+	}
+	if _, ok := summaryPARApplies(src, core.Spec{Task: core.TaskPAR, FailPolicy: core.Repair}.WithDefaults()); ok {
+		t.Fatal("fast path claimed a Repair run")
+	}
+	if _, ok := summaryPARApplies(NewDatasetSource(makeDataset(t, 2, 10)), core.Spec{Task: core.TaskPAR}.WithDefaults()); ok {
+		t.Fatal("fast path claimed a source without summaries")
+	}
+	if _, ok := summaryPARApplies(src, core.Spec{Task: core.TaskPAR}.WithDefaults()); !ok {
+		t.Fatal("fast path declined an eligible run")
+	}
+}
+
+// TestSummaryPARPhases checks the three-stage counters and the new
+// block-provenance counters: with day-sized blocks every NaN-free
+// block reconstructs from lanes, so exactly the two NaN-bearing
+// blocks decode.
+func TestSummaryPARPhases(t *testing.T) {
+	ds := parDataset(t)
+	src := summarySource{datasetSource{ds: ds}, 24}
+	res, err := Run(src, core.Spec{Task: core.TaskPAR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := res.Phases
+	n := int64(len(ds.Series))
+	if ph.Extract.Rows != n || ph.Compute.Rows != n || ph.Emit.Rows != n {
+		t.Fatalf("phase rows = %d/%d/%d, want %d each",
+			ph.Extract.Rows, ph.Compute.Rows, ph.Emit.Rows, n)
+	}
+	days := int64(len(ds.Series[0].Readings) / 24)
+	wantSummary := n*days - 2 // the NaN carrier holds two dirty blocks
+	if ph.SummaryBlocks != wantSummary || ph.DecodedBlocks != 2 {
+		t.Fatalf("blocks: summary=%d decoded=%d, want %d/2",
+			ph.SummaryBlocks, ph.DecodedBlocks, wantSummary)
+	}
+}
+
+// TestSummaryPARCancel checks a cancelled context aborts the scan.
+func TestSummaryPARCancel(t *testing.T) {
+	src := summarySource{datasetSource{ds: makeDataset(t, 4, 20)}, 64}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, src, core.Spec{Task: core.TaskPAR}); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}

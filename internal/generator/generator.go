@@ -49,6 +49,13 @@ type Config struct {
 	HeatingRef, CoolingRef float64
 	// Seed seeds the deterministic PRNG used for consumer synthesis.
 	Seed int64
+	// FlatRate is the probability in [0, 1] that a synthesized consumer
+	// is a flat load: a bit-constant series at its cluster's mean
+	// hourly level, no thermal response, no noise — the unoccupied or
+	// flat-tariff baseline households real feeds carry. Default 0, and
+	// a zero rate draws nothing from the PRNG, so existing seeds
+	// reproduce their exact historical series.
+	FlatRate float64
 }
 
 // DefaultConfig returns the default generation parameters.
@@ -101,6 +108,9 @@ func New(seedData *timeseries.Dataset, cfg Config) (*Generator, error) {
 	if cfg.CoolingRef < cfg.HeatingRef {
 		return nil, fmt.Errorf("generator: cooling ref %g below heating ref %g",
 			cfg.CoolingRef, cfg.HeatingRef)
+	}
+	if cfg.FlatRate < 0 || cfg.FlatRate > 1 {
+		return nil, fmt.Errorf("generator: flat rate %g outside [0, 1]", cfg.FlatRate)
 	}
 
 	// Step 1: PAR daily profiles for every seed consumer.
@@ -194,6 +204,24 @@ func (g *Generator) SeriesInto(dst []float64, temp *timeseries.Temperature) erro
 		c = g.rng.Intn(len(g.members))
 	}
 	centroid := g.clusters.Centroids[c]
+	// Flat consumers carry their cluster's mean hourly level in every
+	// slot: bit-constant, no thermal or noise terms. The extra PRNG
+	// draw happens only when FlatRate is set, so a zero rate consumes
+	// the stream exactly as before.
+	if g.cfg.FlatRate > 0 && g.rng.Float64() < g.cfg.FlatRate {
+		level := 0.0
+		for _, v := range centroid {
+			level += v
+		}
+		level /= float64(len(centroid))
+		if level < 0 {
+			level = 0
+		}
+		for i := range dst {
+			dst[i] = level
+		}
+		return nil
+	}
 	member := g.members[c][g.rng.Intn(len(g.members[c]))]
 	grad := g.gradients[member]
 

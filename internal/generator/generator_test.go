@@ -234,3 +234,68 @@ func TestSeriesIntoBadLength(t *testing.T) {
 		t.Fatal("short dst accepted")
 	}
 }
+
+// TestFlatRateZeroPreservesStream pins the compatibility contract: a
+// generator with FlatRate left at zero consumes the PRNG exactly as
+// before, so historical seeds keep reproducing their series bit-exactly.
+func TestFlatRateZeroPreservesStream(t *testing.T) {
+	seedDS := seedDataset(t, 8, 60)
+	plain, err := New(seedDS, Config{Clusters: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := New(seedDS, Config{Clusters: 3, Seed: 11, FlatRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := plain.Dataset(6, seedDS.Temperature)
+	b, _ := explicit.Dataset(6, seedDS.Temperature)
+	for i := range a.Series {
+		for j, v := range a.Series[i].Readings {
+			if v != b.Series[i].Readings[j] {
+				t.Fatal("FlatRate: 0 changed the synthesis stream")
+			}
+		}
+	}
+}
+
+// TestFlatRateProducesConstants checks flat consumers are bit-constant
+// (block-constant on disk) and appear at roughly the requested rate.
+func TestFlatRateProducesConstants(t *testing.T) {
+	seedDS := seedDataset(t, 8, 60)
+	g, err := New(seedDS, Config{Clusters: 3, Seed: 5, FlatRate: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	flat := 0
+	buf := make([]float64, len(seedDS.Temperature.Values))
+	for i := 0; i < n; i++ {
+		if err := g.SeriesInto(buf, seedDS.Temperature); err != nil {
+			t.Fatal(err)
+		}
+		constant := true
+		for _, v := range buf[1:] {
+			if v != buf[0] {
+				constant = false
+				break
+			}
+		}
+		if constant {
+			flat++
+		}
+	}
+	if flat < n/5 || flat > 3*n/5 {
+		t.Fatalf("%d/%d flat consumers at rate 0.4", flat, n)
+	}
+}
+
+// TestFlatRateValidation checks out-of-range rates are rejected.
+func TestFlatRateValidation(t *testing.T) {
+	seedDS := seedDataset(t, 6, 30)
+	for _, rate := range []float64{-0.1, 1.5} {
+		if _, err := New(seedDS, Config{Clusters: 3, FlatRate: rate}); err == nil {
+			t.Fatalf("rate %g accepted", rate)
+		}
+	}
+}

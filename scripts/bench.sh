@@ -26,16 +26,21 @@
 #      zero-rate-over-baseline overhead ratio. Containment that nobody
 #      triggers should be nearly free: the no-fault overhead target is
 #      <3% (ratio <= 1.03).
-#   5. BenchmarkScaleupPaged{ThreeLine,Histogram} (tasks over the
+#   5. BenchmarkScaleupPaged{ThreeLine,Histogram,PAR} (tasks over the
 #      compressed, paged column store under a quarter-of-raw memory
-#      budget) -> BENCH_scale.json with the storage compression ratio,
-#      resident raw/stored MB and sustained rows/s per task. The ratio
-#      target is >= 4x on Wh-quantized synthetic data. Set
-#      SCALE_CONSUMERS (and optionally SCALE_DAYS, default 365) to add
-#      a single-shot large run — e.g. SCALE_CONSUMERS=100000 streams a
-#      100k-consumer x 365-day year through the same paged path and
-#      records it as a "large_run" object alongside the CI-scale
-#      numbers.
+#      budget) plus BenchmarkScaleupEncode{Serial,Parallel} (the
+#      segment-encode pool A/B) -> BENCH_scale.json. The "ci_run" and
+#      optional "large_run" objects share one schema: consumers, days,
+#      cpus, encoders, raw/stored/budget MB, compression ratio, encode
+#      throughput (generate+encode consumers/s and readings/s) and
+#      ns_per_op + rows_per_s per task (threeline, histogram, par).
+#      The ratio target is >= 4x on Wh-quantized synthetic data; the
+#      encode pool's speedup target is >= 1.8x at 4 cores (on a 1-CPU
+#      host expect parity — read "cpus" alongside it). Set
+#      SCALE_CONSUMERS (and optionally SCALE_DAYS, default 365, and
+#      SCALE_ENCODERS, default nproc) to add a single-shot large run —
+#      e.g. SCALE_CONSUMERS=1000000 streams a 1M-consumer x 365-day
+#      year through the same paged path and records it as "large_run".
 #   6. BenchmarkIngest{Colstore,Rowstore} (4 sharded writers appending
 #      3 live days onto the loaded base through the core.Appender
 #      contract) -> BENCH_ingest.json with sustained append records/s
@@ -51,8 +56,9 @@
 #   EXTRACT_OUT=BENCH_extract.json    # extraction output path override
 #   FAULT_OUT=BENCH_fault.json        # fault output path override
 #   SCALE_OUT=BENCH_scale.json        # scale-up output path override
-#   SCALE_CONSUMERS=100000            # add a paper-scale single-shot run
+#   SCALE_CONSUMERS=1000000           # add a paper-scale single-shot run
 #   SCALE_DAYS=365                    # days for the large run (default 365)
+#   SCALE_ENCODERS=4                  # encode workers for the large run (default nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -204,77 +210,107 @@ awk -v out="$FAULT_OUT" '
 
 echo "== wrote $FAULT_OUT"
 cat "$FAULT_OUT"
-echo "== go test -bench 'BenchmarkScaleupPaged(ThreeLine|Histogram)' -count $COUNT"
-go test -run '^$' -bench 'BenchmarkScaleupPaged(ThreeLine|Histogram)$' \
+echo "== go test -bench 'BenchmarkScaleup(Paged(ThreeLine|Histogram|PAR)|Encode(Serial|Parallel))' -count $COUNT"
+go test -run '^$' -bench 'BenchmarkScaleup(Paged(ThreeLine|Histogram|PAR)|Encode(Serial|Parallel))$' \
   -count "$COUNT" -timeout 20m . | tee "$RAW"
 
 # Optional paper-scale pass: one shot at SCALE_CONSUMERS x SCALE_DAYS
-# through the same benchmarks. Streaming generation means the raw
-# matrix (8 bytes/reading) never materializes; only the compressed
-# segment file and the quarter-of-raw page cache are resident.
+# through the same paged benchmarks (encode throughput rides along in
+# the ThreeLine build phase, so the big population is encoded once, not
+# re-benchmarked). Streaming generation means the raw matrix (8
+# bytes/reading) never materializes; only the compressed segment file
+# and the quarter-of-raw page cache are resident.
 RAW_BIG=""
+CPUS="$(nproc 2>/dev/null || echo 1)"
 if [ -n "${SCALE_CONSUMERS:-}" ]; then
   RAW_BIG="$(mktemp)"
   trap 'rm -f "$RAW" "$RAW_BIG"' EXIT
-  echo "== large run: $SCALE_CONSUMERS consumers x ${SCALE_DAYS:-365} days (single shot)"
+  echo "== large run: $SCALE_CONSUMERS consumers x ${SCALE_DAYS:-365} days, ${SCALE_ENCODERS:-$CPUS} encoders (single shot)"
   SMARTBENCH_SCALE_CONSUMERS="$SCALE_CONSUMERS" SMARTBENCH_SCALE_DAYS="${SCALE_DAYS:-365}" \
-    go test -run '^$' -bench 'BenchmarkScaleupPaged(ThreeLine|Histogram)$' \
-    -benchtime 1x -count 1 -timeout 120m . | tee "$RAW_BIG"
+    SMARTBENCH_SCALE_ENCODERS="${SCALE_ENCODERS:-$CPUS}" \
+    go test -run '^$' -bench 'BenchmarkScaleupPaged(ThreeLine|Histogram|PAR)$' \
+    -benchtime 1x -count 1 -timeout 600m . | tee "$RAW_BIG"
 fi
 
-awk -v out="$SCALE_OUT" -v bigc="${SCALE_CONSUMERS:-0}" -v bigd="${SCALE_DAYS:-365}" '
-  /^BenchmarkScaleupPaged(ThreeLine|Histogram)/ {
+awk -v out="$SCALE_OUT" -v cpus="$CPUS" -v bigc="${SCALE_CONSUMERS:-0}" -v bigd="${SCALE_DAYS:-365}" '
+  # taskline emits one task sub-object of a run block.
+  function taskline(ind, label, key, tail) {
+    printf "%s\"%s\": {\"ns_per_op\": %.1f, \"rows_per_s\": %.1f}%s\n", \
+      ind, label, ns[key] / runs[key], rows[key] / runs[key], tail >> out
+  }
+  # runblock emits the uniform per-run schema shared by the CI-scale
+  # block and the optional large run: population, host, storage and
+  # encode-throughput fields, then one sub-object per task. pfx keys
+  # into the arrays ("" for the CI file, "Big" for the large run).
+  function runblock(pfx, c, d, ind,   t) {
+    t = pfx "ThreeLine"
+    printf "%s\"consumers\": %d,\n", ind, c >> out
+    printf "%s\"days\": %d,\n", ind, d >> out
+    printf "%s\"cpus\": %d,\n", ind, cpus >> out
+    printf "%s\"encoders\": %d,\n", ind, enc[t] / runs[t] >> out
+    printf "%s\"raw_mb\": %.3f,\n", ind, raw[t] / runs[t] >> out
+    printf "%s\"stored_mb\": %.3f,\n", ind, stored[t] / runs[t] >> out
+    printf "%s\"budget_mb\": %.3f,\n", ind, budget[t] / runs[t] >> out
+    printf "%s\"compression_ratio\": %.2f,\n", ind, ratio[t] / runs[t] >> out
+    printf "%s\"encode\": {\"consumers_per_s\": %.1f, \"readings_per_s\": %.0f},\n", \
+      ind, encrows[t] / runs[t], encread[t] / runs[t] >> out
+    taskline(ind, "threeline", t, ",")
+    taskline(ind, "histogram", pfx "Histogram", ",")
+    taskline(ind, "par", pfx "PAR", "")
+  }
+  /^BenchmarkScaleup(Paged(ThreeLine|Histogram|PAR)|Encode(Serial|Parallel))/ {
     name = $1
     sub(/^BenchmarkScaleupPaged/, "", name)
+    sub(/^BenchmarkScaleup/, "", name)
     sub(/-[0-9]+$/, "", name)
     # Records from the second input file (the large run) land in their
     # own arrays, keyed the same way.
     if (ARGC > 2 && FILENAME == ARGV[2]) { name = "Big" name }
     ns[name] += $3; runs[name]++
-    # Custom metrics follow ns/op as value-unit pairs (budgetMB, ratio,
-    # rawMB, storedMB, rows/s), alphabetically ordered by go test.
+    # Custom metrics follow ns/op as value-unit pairs (budgetMB,
+    # enc-readings/s, enc-rows/s, encoders, ratio, rawMB, readings/s,
+    # rows/s, storedMB), alphabetically ordered by go test.
     for (i = 4; i < NF; i += 2) {
       v = $(i + 1); u = $(i + 2)
-      if (u == "ratio")    { ratio[name] += v; }
-      if (u == "rawMB")    { raw[name] += v; }
-      if (u == "storedMB") { stored[name] += v; }
-      if (u == "budgetMB") { budget[name] += v; }
-      if (u == "rows/s")   { rows[name] += v; }
+      if (u == "ratio")          { ratio[name] += v; }
+      if (u == "rawMB")          { raw[name] += v; }
+      if (u == "storedMB")       { stored[name] += v; }
+      if (u == "budgetMB")       { budget[name] += v; }
+      if (u == "rows/s")         { rows[name] += v; }
+      if (u == "enc-rows/s")     { encrows[name] += v; }
+      if (u == "enc-readings/s") { encread[name] += v; }
+      if (u == "encoders")       { enc[name] += v; }
     }
   }
   END {
-    if (runs["ThreeLine"] == 0 || runs["Histogram"] == 0) {
+    if (runs["ThreeLine"] == 0 || runs["Histogram"] == 0 || runs["PAR"] == 0 ||
+        runs["EncodeSerial"] == 0 || runs["EncodeParallel"] == 0) {
       print "bench.sh: missing scaleup benchmark output" > "/dev/stderr"
       exit 1
     }
-    tr = runs["ThreeLine"]; hr = runs["Histogram"]
+    es = ns["EncodeSerial"] / runs["EncodeSerial"]
+    ep = ns["EncodeParallel"] / runs["EncodeParallel"]
     printf "{\n" > out
-    printf "  \"benchmark\": \"BenchmarkScaleupPaged\",\n" >> out
-    printf "  \"consumers\": 64,\n" >> out
+    printf "  \"benchmark\": \"BenchmarkScaleup\",\n" >> out
     printf "  \"budget_fraction_of_raw\": 0.25,\n" >> out
-    printf "  \"count\": %d,\n", tr >> out
-    printf "  \"raw_mb\": %.3f,\n", raw["ThreeLine"] / tr >> out
-    printf "  \"stored_mb\": %.3f,\n", stored["ThreeLine"] / tr >> out
-    printf "  \"compression_ratio\": %.2f,\n", ratio["ThreeLine"] / tr >> out
     printf "  \"compression_ratio_target\": 4.0,\n" >> out
-    printf "  \"threeline\": {\"ns_per_op\": %.1f, \"rows_per_s\": %.1f},\n", \
-      ns["ThreeLine"] / tr, rows["ThreeLine"] / tr >> out
+    printf "  \"count\": %d,\n", runs["ThreeLine"] >> out
+    printf "  \"ci_run\": {\n" >> out
+    runblock("", 64, 60, "    ")
+    printf "  },\n" >> out
+    printf "  \"encode_parallel\": {\n" >> out
+    printf "    \"consumers\": 32,\n" >> out
+    printf "    \"workers\": 4,\n" >> out
+    printf "    \"cpus\": %d,\n", cpus >> out
+    printf "    \"serial_ns_per_op\": %.1f,\n", es >> out
+    printf "    \"parallel_ns_per_op\": %.1f,\n", ep >> out
+    printf "    \"speedup\": %.2f,\n", es / ep >> out
+    printf "    \"expected_speedup_at_4_cores\": 1.8\n" >> out
     sep = (runs["BigThreeLine"] > 0) ? "," : ""
-    printf "  \"histogram\": {\"ns_per_op\": %.1f, \"rows_per_s\": %.1f}%s\n", \
-      ns["Histogram"] / hr, rows["Histogram"] / hr, sep >> out
+    printf "  }%s\n", sep >> out
     if (runs["BigThreeLine"] > 0) {
-      btr = runs["BigThreeLine"]; bhr = runs["BigHistogram"]
       printf "  \"large_run\": {\n" >> out
-      printf "    \"consumers\": %d,\n", bigc >> out
-      printf "    \"days\": %d,\n", bigd >> out
-      printf "    \"raw_mb\": %.1f,\n", raw["BigThreeLine"] / btr >> out
-      printf "    \"stored_mb\": %.1f,\n", stored["BigThreeLine"] / btr >> out
-      printf "    \"budget_mb\": %.1f,\n", budget["BigThreeLine"] / btr >> out
-      printf "    \"compression_ratio\": %.2f,\n", ratio["BigThreeLine"] / btr >> out
-      printf "    \"threeline\": {\"ns_per_op\": %.0f, \"rows_per_s\": %.1f},\n", \
-        ns["BigThreeLine"] / btr, rows["BigThreeLine"] / btr >> out
-      printf "    \"histogram\": {\"ns_per_op\": %.0f, \"rows_per_s\": %.1f}\n", \
-        ns["BigHistogram"] / bhr, rows["BigHistogram"] / bhr >> out
+      runblock("Big", bigc, bigd, "    ")
       printf "  }\n" >> out
     }
     printf "}\n" >> out
