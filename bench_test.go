@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -36,6 +37,7 @@ import (
 	"github.com/smartmeter/smartbench/internal/stream"
 	"github.com/smartmeter/smartbench/internal/threeline"
 	"github.com/smartmeter/smartbench/internal/timeseries"
+	"github.com/smartmeter/smartbench/internal/wal"
 )
 
 const (
@@ -1027,4 +1029,163 @@ func BenchmarkIngestRowstore(b *testing.B) {
 		eng := rowstore.New(b.TempDir())
 		return eng, func() { _ = eng.Close() }
 	})
+}
+
+// WAL variants of the ingest pair: the same workload acked through the
+// CRC-framed write-ahead log, so BENCH_ingest.json records the
+// durability cost next to the in-memory baseline. batch fsyncs at
+// group commit (the durable default; overhead target <=15% vs the
+// no-wal baseline), always fsyncs every append.
+
+func BenchmarkIngestColstoreWALBatch(b *testing.B) {
+	benchIngest(b, func(b *testing.B) (liveBenchEngine, func()) {
+		eng := colstore.New(b.TempDir(), colstore.WithWAL(wal.SyncBatch))
+		return eng, func() { _ = eng.Release() }
+	})
+}
+
+func BenchmarkIngestColstoreWALAlways(b *testing.B) {
+	benchIngest(b, func(b *testing.B) (liveBenchEngine, func()) {
+		eng := colstore.New(b.TempDir(), colstore.WithWAL(wal.SyncAlways))
+		return eng, func() { _ = eng.Release() }
+	})
+}
+
+func BenchmarkIngestRowstoreWALBatch(b *testing.B) {
+	benchIngest(b, func(b *testing.B) (liveBenchEngine, func()) {
+		eng := rowstore.New(b.TempDir(), rowstore.WithWAL(wal.SyncBatch))
+		return eng, func() { _ = eng.Close() }
+	})
+}
+
+func BenchmarkIngestRowstoreWALAlways(b *testing.B) {
+	benchIngest(b, func(b *testing.B) (liveBenchEngine, func()) {
+		eng := rowstore.New(b.TempDir(), rowstore.WithWAL(wal.SyncAlways))
+		return eng, func() { _ = eng.Close() }
+	})
+}
+
+// crashBenchEngine is an appender that can simulate process death.
+type crashBenchEngine interface {
+	liveBenchEngine
+	Crash()
+}
+
+// benchRecovery measures crash-to-first-answer: each iteration loads
+// the base, acks a live tail into the write-ahead log, drops every
+// handle without flushing, then times reopen + log replay + the first
+// histogram over a verified snapshot. replay-records/s is the live tail
+// replayed per second of recovery.
+func benchRecovery(b *testing.B,
+	mk func(dir string) crashBenchEngine,
+	reopen func(dir string) (liveBenchEngine, func(), error)) {
+	src := writeSources(b, meterdata.FormatReadingPerLine, false)
+	live, err := seed.Generate(seed.Config{Consumers: benchConsumers, Days: ingestLiveDays, Seed: 78})
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseHours := benchDays * timeseries.HoursPerDay
+	liveHours := ingestLiveDays * timeseries.HoursPerDay
+
+	var replayTime time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		eng := mk(dir)
+		if _, err := eng.Load(src); err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]core.Reading, len(live.Series))
+		for h := 0; h < liveHours; h++ {
+			for j, s := range live.Series {
+				batch[j] = core.Reading{
+					ID: s.ID, Hour: baseHours + h,
+					Consumption: s.Readings[h],
+					Temperature: live.Temperature.Values[h],
+				}
+			}
+			if err := eng.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Crash()
+		b.StartTimer()
+
+		start := time.Now()
+		re, done, err := reopen(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, _, err := exec.RunSnapshot(context.Background(), re,
+			core.Spec{Task: core.TaskHistogram, Workers: ingestWorkers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replayTime += time.Since(start)
+		if len(res.Histograms) != benchConsumers {
+			b.Fatalf("recovered snapshot saw %d consumers, want %d", len(res.Histograms), benchConsumers)
+		}
+		wantTotal := int64(baseHours + liveHours)
+		for _, h := range res.Histograms {
+			if h.Histogram.Total() != wantTotal {
+				b.Fatalf("consumer %d recovered %d readings, want %d", h.ID, h.Histogram.Total(), wantTotal)
+			}
+		}
+		b.StopTimer()
+		done()
+		b.StartTimer()
+	}
+	records := float64(liveHours) * float64(benchConsumers) * float64(b.N)
+	b.ReportMetric(records/replayTime.Seconds(), "replay-records/s")
+}
+
+func BenchmarkRecoveryColstore(b *testing.B) {
+	benchRecovery(b,
+		func(dir string) crashBenchEngine {
+			return colstore.New(dir, colstore.WithWAL(wal.SyncBatch))
+		},
+		func(dir string) (liveBenchEngine, func(), error) {
+			eng := colstore.New(dir, colstore.WithWAL(wal.SyncBatch))
+			if _, err := eng.OpenExisting(); err != nil {
+				return nil, nil, err
+			}
+			return eng, func() { _ = eng.Release() }, nil
+		})
+}
+
+func BenchmarkRecoveryRowstore(b *testing.B) {
+	benchRecovery(b,
+		func(dir string) crashBenchEngine {
+			return rowstore.New(dir, rowstore.WithWAL(wal.SyncBatch))
+		},
+		func(dir string) (liveBenchEngine, func(), error) {
+			eng := rowstore.New(dir, rowstore.WithWAL(wal.SyncBatch))
+			if err := eng.Open(); err != nil {
+				return nil, nil, err
+			}
+			return eng, func() { _ = eng.Close() }, nil
+		})
+}
+
+// BenchmarkFsync measures one small write + fsync on the benchmark
+// filesystem. The durable wal modes pay at least one of these per acked
+// hour batch, so this number is the floor under their ingest overhead —
+// bench.sh records it next to wal_batch_overhead in BENCH_ingest.json.
+func BenchmarkFsync(b *testing.B) {
+	f, err := os.Create(filepath.Join(b.TempDir(), "fsync-probe"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

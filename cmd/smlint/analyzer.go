@@ -68,6 +68,7 @@ var analyzers = []*Analyzer{
 	globalrandAnalyzer,
 	goroutinecaptureAnalyzer,
 	errdropAnalyzer,
+	synccloseAnalyzer,
 	enginelayeringAnalyzer,
 	timenowAnalyzer,
 	ctxpollAnalyzer,

@@ -71,6 +71,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{globalrandAnalyzer, "globalrand", true},
 		{goroutinecaptureAnalyzer, "goroutinecapture", true},
 		{errdropAnalyzer, "errdrop", true},
+		{synccloseAnalyzer, "syncclose", true},
 		{enginelayeringAnalyzer, "enginelayering/internal/engine/badengine", true},
 		{timenowAnalyzer, "timenow", true},
 		{ctxpollAnalyzer, "ctxpoll/internal/exec", true},

@@ -1,0 +1,299 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// synccloseAnalyzer flags unchecked Close and Sync results on files
+// opened for writing. On a write path the error surfaces at Close or
+// Sync: the kernel may accept buffered writes and fail them at flush
+// time, so dropping those results acks durability the disk never
+// delivered — precisely the bug class the crash-injection suite exists
+// to catch. Read-opened files are exempt (their Close errors carry no
+// data-loss signal), and the repo's error-path idiom stays legal: a
+// blank discard (`_ = f.Close()`) is allowed when the same function
+// also checks a Close on the success path, because the discard only
+// releases the descriptor after a failure that is already being
+// returned.
+var synccloseAnalyzer = &Analyzer{
+	Name: "syncclose",
+	Doc:  "flags unchecked Close/Sync on write-opened files",
+	Run:  runSyncclose,
+}
+
+// synccloseWriteFlags are the os.OpenFile flag names that make a file
+// writable; an OpenFile whose flag expression mentions none of them is
+// treated as read-only.
+var synccloseWriteFlags = map[string]bool{
+	"O_WRONLY": true,
+	"O_RDWR":   true,
+	"O_APPEND": true,
+	"O_CREATE": true,
+	"O_TRUNC":  true,
+}
+
+func runSyncclose(p *Pass) {
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			synccloseFunc(p, fn.Body)
+		}
+	}
+}
+
+// synccloseSite is one Close/Sync call on a tracked file, classified by
+// how its error result is consumed.
+type synccloseSite struct {
+	pos     token.Pos
+	method  string
+	kind    string // "checked", "stmt", "defer", "blank"
+	varName string
+	obj     *types.Var
+}
+
+// synccloseFunc analyzes one top-level function body, including nested
+// function literals — the error-path closure idiom captures the file
+// var, so sites inside closures count toward (and against) the same
+// file.
+func synccloseFunc(p *Pass, body *ast.BlockStmt) {
+	// Pass 1: find vars bound to a write-opened file.
+	tracked := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !synccloseOpensForWrite(p.Info, call) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if v, ok := synccloseVarOf(p.Info, id); ok {
+			tracked[v] = true
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: collect every Close/Sync site on a tracked var, with the
+	// parent chain deciding whether the error is consumed. Along the
+	// way, note vars that escape the function — returned, stored into a
+	// composite literal or assigned away — because their checked Close
+	// lives with the new owner (the open-and-store constructor idiom).
+	var sites []synccloseSite
+	escapes := map[*types.Var]bool{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := synccloseVarOf(p.Info, id); ok && tracked[v] && synccloseEscapeUse(id, stack) {
+				escapes[v] = true
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := synccloseVarOf(p.Info, recv)
+		if !ok || !tracked[v] {
+			return true
+		}
+		sites = append(sites, synccloseSite{
+			pos:     call.Pos(),
+			method:  sel.Sel.Name,
+			kind:    synccloseKind(stack),
+			varName: recv.Name,
+			obj:     v,
+		})
+		return true
+	})
+
+	// A blank discard is the error-path idiom only when some other site
+	// checks the same method on the same success path.
+	checked := map[string]bool{} // varName+method
+	for _, s := range sites {
+		if s.kind == "checked" {
+			checked[s.varName+"."+s.method] = true
+		}
+	}
+	for _, s := range sites {
+		switch s.kind {
+		case "checked":
+		case "stmt":
+			p.Reportf(s.pos, "error from %s.%s() on a write-opened file is silently dropped; a failed %s loses acked writes",
+				s.varName, s.method, s.method)
+		case "defer":
+			p.Reportf(s.pos, "deferred %s.%s() on a write-opened file drops its error; %s explicitly on the success path and check the result",
+				s.varName, s.method, s.method)
+		case "blank":
+			if !checked[s.varName+"."+s.method] && !escapes[s.obj] {
+				p.Reportf(s.pos, "_ = %s.%s() discards the only %s of a write-opened file; blank discards are for error paths that pair with a checked %s",
+					s.varName, s.method, s.method, s.method)
+			}
+		}
+	}
+}
+
+// synccloseKind classifies how the call at the top of the stack
+// consumes its result, from the enclosing nodes.
+func synccloseKind(stack []ast.Node) string {
+	if len(stack) < 2 {
+		return "checked"
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.ExprStmt:
+		return "stmt"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.GoStmt:
+		return "stmt"
+	case *ast.AssignStmt:
+		if len(parent.Rhs) == 1 {
+			allBlank := true
+			for _, l := range parent.Lhs {
+				if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+				}
+			}
+			if allBlank {
+				return "blank"
+			}
+		}
+		return "checked"
+	default:
+		// Condition, return value, call argument: the error is consumed.
+		return "checked"
+	}
+}
+
+// synccloseEscapeUse reports whether this occurrence of the tracked
+// var hands the handle to someone else: any use that is neither the
+// receiver of a method call nor a plain assignment target. Receiver
+// uses (f.Write, f.Close) keep ownership here; everything else —
+// return values, composite literal fields, call arguments, assignments
+// into fields — transfers the duty to close to the new owner.
+func synccloseEscapeUse(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		if parent.X == id && len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == parent {
+				return false // method receiver
+			}
+		}
+		if parent.Sel == id {
+			return false // field name, not the var
+		}
+		return true
+	case *ast.AssignStmt:
+		for _, l := range parent.Lhs {
+			if l == id {
+				return false // being (re)bound, not consumed
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// synccloseVarOf resolves an identifier to its variable object.
+func synccloseVarOf(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	return v, ok
+}
+
+// synccloseOpensForWrite reports whether the call opens a file for
+// writing: os.Create, os.OpenFile with a write flag, or any Create /
+// OpenAppend method whose result exposes both Close and Sync (the
+// repo's wal.FS factories).
+func synccloseOpensForWrite(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Create", "OpenAppend":
+	case "OpenFile":
+		if len(call.Args) < 2 || !synccloseMentionsWriteFlag(call.Args[1]) {
+			return false
+		}
+	default:
+		return false
+	}
+	// The opened value must be syncable and closable — *os.File,
+	// wal.File and friends; this screens out unrelated Create methods.
+	t := info.TypeOf(call)
+	if tup, ok := t.(*types.Tuple); ok && tup.Len() > 0 {
+		t = tup.At(0).Type()
+	}
+	if t == nil {
+		return false
+	}
+	return synccloseHasMethod(t, "Close") && synccloseHasMethod(t, "Sync")
+}
+
+// synccloseMentionsWriteFlag walks a flag expression for any writable
+// open flag; unknown expressions conservatively read as read-only.
+func synccloseMentionsWriteFlag(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && synccloseWriteFlags[id.Name] {
+			found = true
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && synccloseWriteFlags[sel.Sel.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// synccloseHasMethod reports whether t (or *t) has a niladic method
+// with the given name returning error.
+func synccloseHasMethod(t types.Type, name string) bool {
+	if _, ok := t.(*types.Pointer); !ok {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			t = types.NewPointer(t)
+		}
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

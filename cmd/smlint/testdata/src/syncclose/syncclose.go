@@ -1,0 +1,125 @@
+// Package syncclose exercises the unchecked-Close/Sync checks on
+// write-opened files: statement and deferred discards are findings, a
+// blank discard is a finding unless a checked call of the same method
+// pairs with it (the error-path idiom), and read-opened files are
+// exempt.
+package syncclose
+
+import "os"
+
+// statementClose drops the close error of a file it just wrote.
+func statementClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	f.Close() // want `silently dropped`
+	return nil
+}
+
+// deferClose defers the only close of a written file.
+func deferClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred f.Close\(\)`
+	_, err = f.Write([]byte("y"))
+	return err
+}
+
+// blankClose blank-discards the only close, with no checked partner.
+func blankClose(path string) {
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	_ = f.Close() // want `discards the only Close`
+}
+
+// uncheckedSync checks the close but throws the sync result away.
+func uncheckedSync(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_ = f.Sync() // want `discards the only Sync`
+	return f.Close()
+}
+
+// errorPathIdiom is clean: blank discards release the descriptor on
+// failure paths whose error is already being returned, and the success
+// path checks Sync and Close.
+func errorPathIdiom(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("z")); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// closureIdiom is clean: the error-path closure captures the file, and
+// the success path checks the close.
+func closureIdiom(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		_ = f.Close()
+		return err
+	}
+	if _, err := f.Write([]byte("w")); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+type sink struct{ f *os.File }
+
+// constructorIdiom is clean: the handle escapes into the returned
+// struct, whose owner carries the checked Close; the blank close only
+// releases the descriptor on an error path.
+func constructorIdiom(path string) (*sink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte("h")); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return &sink{f: f}, nil
+}
+
+// readOnly is clean: a read-opened file may defer its close.
+func readOnly(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var buf [8]byte
+	return f.Read(buf[:])
+}
+
+// readOnlyFlags is clean: OpenFile without a write flag reads.
+func readOnlyFlags(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}

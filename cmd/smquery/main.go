@@ -11,7 +11,11 @@
 // When -engine colstore is given a directory that already holds a
 // sealed segment file (segments.col), it is opened in place with
 // OpenExisting — optionally under a -membudget page-cache cap — rather
-// than re-loaded from raw meter files.
+// than re-loaded from raw meter files. With -fsync batch or always the
+// write-ahead log is armed on that open, so a log left behind by a
+// crashed writer is replayed before the query answers:
+//
+//	smquery -data SEGDIR -engine colstore -fsync batch -task histogram
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"github.com/smartmeter/smartbench/internal/engine/rowstore"
 	"github.com/smartmeter/smartbench/internal/impute"
 	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/wal"
 
 	"github.com/smartmeter/smartbench/internal/stats"
 )
@@ -54,6 +59,7 @@ func run(args []string) error {
 	policyName := fs.String("failpolicy", "failfast", "per-consumer failure policy: failfast, quarantine or repair")
 	timeout := fs.Duration("timeout", 0, "per-run deadline (0 = none), e.g. 30s")
 	memBudgetStr := fs.String("membudget", "", "column-store decoded-block cache cap, e.g. 64MiB (colstore only; default: unbudgeted in-core)")
+	fsyncName := fs.String("fsync", "off", "write-ahead-log policy when opening engine-native colstore storage: off, batch or always; batch/always replay any log a crashed writer left behind before answering (colstore only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,6 +80,13 @@ func run(args []string) error {
 	}
 	if memBudget > 0 && *engineName != "colstore" {
 		return fmt.Errorf("-membudget applies only to -engine colstore")
+	}
+	walPolicy, walOn, err := parseFsync(*fsyncName)
+	if err != nil {
+		return err
+	}
+	if walOn && *engineName != "colstore" {
+		return fmt.Errorf("-fsync applies only to -engine colstore")
 	}
 
 	var task core.Task
@@ -105,6 +118,9 @@ func run(args []string) error {
 		if memBudget > 0 {
 			opts = append(opts, colstore.WithMemBudget(memBudget))
 		}
+		if walOn {
+			opts = append(opts, colstore.WithWAL(walPolicy))
+		}
 		e := colstore.New(*dataDir, opts...)
 		eng, cleanup = e, func() { _ = e.Release() }
 		st, err = e.OpenExisting()
@@ -123,7 +139,7 @@ func run(args []string) error {
 				return err
 			}
 		}
-		eng, cleanup, err = makeEngine(*engineName, memBudget)
+		eng, cleanup, err = makeEngine(*engineName, memBudget, walOn, walPolicy)
 		if err != nil {
 			return err
 		}
@@ -184,7 +200,21 @@ func cleanSource(src *meterdata.Source) error {
 	return err
 }
 
-func makeEngine(name string, memBudget int64) (core.Engine, func(), error) {
+// parseFsync maps the -fsync flag to a wal policy. "off" leaves the
+// log unarmed (the historical behavior); batch/always arm it, which
+// also replays any log a crashed writer left in the data directory.
+func parseFsync(s string) (wal.SyncPolicy, bool, error) {
+	if s == "off" {
+		return wal.SyncBatch, false, nil
+	}
+	p, err := wal.ParsePolicy(s)
+	if err != nil {
+		return p, false, fmt.Errorf("bad -fsync %q (want off, batch or always)", s)
+	}
+	return p, true, nil
+}
+
+func makeEngine(name string, memBudget int64, walOn bool, walPolicy wal.SyncPolicy) (core.Engine, func(), error) {
 	noop := func() {}
 	switch name {
 	case "filestore":
@@ -208,6 +238,9 @@ func makeEngine(name string, memBudget int64) (core.Engine, func(), error) {
 		var opts []colstore.Option
 		if memBudget > 0 {
 			opts = append(opts, colstore.WithMemBudget(memBudget))
+		}
+		if walOn {
+			opts = append(opts, colstore.WithWAL(walPolicy))
 		}
 		e := colstore.New(dir, opts...)
 		return e, func() { _ = e.Release(); _ = os.RemoveAll(dir) }, nil

@@ -5,8 +5,11 @@ import (
 	"path/filepath"
 	"testing"
 
+	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/engine/colstore"
 	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+	"github.com/smartmeter/smartbench/internal/wal"
 )
 
 // writeTestData shells through smgen's sibling logic by writing a tiny
@@ -74,6 +77,8 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-data", dir, "-timeout", "-3s"},
 		{"-data", dir, "-membudget", "lots"},
 		{"-data", dir, "-engine", "rowstore", "-membudget", "64KiB"},
+		{"-data", dir, "-fsync", "sometimes"},
+		{"-data", dir, "-engine", "rowstore", "-fsync", "batch"},
 	}
 	for i, args := range cases {
 		if err := run(args); err == nil {
@@ -115,5 +120,41 @@ func TestRunOpensSealedSegmentDir(t *testing.T) {
 	// Imputation needs the raw files; a sealed dir must refuse it.
 	if err := run([]string{"-data", segDir, "-impute"}); err == nil {
 		t.Error("impute over sealed segment dir: want error")
+	}
+}
+
+// TestRunFsyncRecoversCrashedDir crashes a wal-backed column store with
+// a live tail only in the log, then queries the directory with -fsync
+// batch: smquery must replay the log before answering.
+func TestRunFsyncRecoversCrashedDir(t *testing.T) {
+	raw := writeTestData(t)
+	src, err := meterdata.DiscoverSource(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segDir := t.TempDir()
+	e := colstore.New(segDir, colstore.WithWAL(wal.SyncBatch))
+	st, err := e.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hours := int(st.Readings) / st.Consumers
+	batch := make([]core.Reading, 0, st.Consumers)
+	for id := 1; id <= st.Consumers; id++ {
+		batch = append(batch, core.Reading{
+			ID: timeseries.ID(id), Hour: hours, Consumption: 1.5, Temperature: 12,
+		})
+	}
+	if err := e.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	e.Crash()
+	// The tail lives only in the log; -fsync batch must replay it.
+	if err := run([]string{"-data", segDir, "-fsync", "batch", "-task", "histogram", "-limit", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Without the flag the sealed base still answers (tail forfeited).
+	if err := run([]string{"-data", segDir, "-task", "histogram", "-limit", "1"}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -49,6 +49,7 @@ func init() {
 	register("tasksweep", "reduce-task count sweep (footnote 8)", TaskSweep)
 	register("faults", "throughput vs injected fault rate per engine (containment cost)", Faults)
 	register("scaleup", "out-of-core scale-up: compressed segments under a memory budget (extends figs 7/8)", Scaleup)
+	register("recovery", "crash recovery: write-ahead log replay to first verified answer", Recovery)
 }
 
 // Lookup returns the experiment registered under id.
@@ -87,6 +88,8 @@ func experimentOrder(id string) int {
 		return 102
 	case "scaleup":
 		return 103
+	case "recovery":
+		return 104
 	case "phases":
 		return 97
 	}

@@ -37,6 +37,7 @@ import (
 	"github.com/smartmeter/smartbench/internal/exec"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/timeseries"
+	"github.com/smartmeter/smartbench/internal/wal"
 )
 
 // Engine is the System C analogue.
@@ -47,6 +48,23 @@ type Engine struct {
 	store   *segStore
 	pager   *pager
 	decoded *timeseries.Dataset
+
+	// Durability (see live.go). walOn arms the write-ahead log under
+	// walPolicy/walFS; tailBudget (in tail readings) arms the
+	// background-checkpoint trigger on ckptC.
+	walOn      bool
+	walPolicy  wal.SyncPolicy
+	walFS      wal.FS
+	tailBudget int64
+	ckptC      chan struct{}
+
+	// retired holds segment stores replaced by Checkpoint but kept
+	// open so outstanding snapshot cursors stay readable; detach
+	// closes them.
+	retired []*segStore
+
+	ckptErrMu sync.Mutex
+	ckptErr   error
 
 	// liveMu guards lazy creation of the live tail; the tail has its
 	// own internal locking (see live.go).
@@ -69,6 +87,36 @@ func WithMemBudget(bytes int64) Option {
 	}
 }
 
+// WithWAL arms the write-ahead log: every Append is framed into a
+// per-shard log under <dir>/wal before it is acked, with the given
+// fsync policy, and replayed through the idempotent append path on
+// reopen. See internal/wal for the format and policy semantics.
+func WithWAL(policy wal.SyncPolicy) Option {
+	return func(e *Engine) {
+		e.walOn = true
+		e.walPolicy = policy
+	}
+}
+
+// WithWALFS substitutes the filesystem under the write-ahead log — the
+// crash-injection hook (fault.Disk). Implies nothing by itself; pair
+// it with WithWAL.
+func WithWALFS(fs wal.FS) Option {
+	return func(e *Engine) { e.walFS = fs }
+}
+
+// WithTailBudget arms automatic background checkpointing: once the
+// live tail holds at least this many readings, the engine signals the
+// checkpointer goroutine (StartCheckpointer) to fold the tail into a
+// fresh segment file. Zero disables the trigger.
+func WithTailBudget(readings int64) Option {
+	return func(e *Engine) {
+		if readings > 0 {
+			e.tailBudget = readings
+		}
+	}
+}
+
 // SegmentFileName is the segment file's name under the engine
 // directory. Out-of-band writers (smgen's segments format, the scaleup
 // experiment) create it directly with NewSegmentWriter and attach via
@@ -77,7 +125,11 @@ const SegmentFileName = "segments.col"
 
 // New returns a column-store engine whose segment file lives under dir.
 func New(dir string, opts ...Option) *Engine {
-	e := &Engine{dir: dir, path: filepath.Join(dir, SegmentFileName)}
+	e := &Engine{
+		dir:   dir,
+		path:  filepath.Join(dir, SegmentFileName),
+		ckptC: make(chan struct{}, 1),
+	}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -112,6 +164,13 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 		return nil, err
 	}
 	e.detach()
+	if e.walOn {
+		// The fresh base replaces whatever state an old log belonged
+		// to; replaying it would corrupt the new dataset.
+		if err := wal.Clear(e.walDir(), liveShards, e.walFS); err != nil {
+			return nil, fmt.Errorf("colstore: %w", err)
+		}
+	}
 	if err := e.attach(); err != nil {
 		return nil, err
 	}
@@ -161,12 +220,34 @@ func writeDataset(path string, ds *timeseries.Dataset) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("colstore: rename segments: %w", err)
 	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a rename into it survives a power
+// failure — the second half of the temp-file-then-rename protocol.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("colstore: sync dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return fmt.Errorf("colstore: sync dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("colstore: sync dir: %w", err)
+	}
 	return nil
 }
 
+// walDir is where the engine's write-ahead log lives.
+func (e *Engine) walDir() string { return filepath.Join(e.dir, "wal") }
+
 // OpenExisting attaches an engine to a segment file that was written
 // out-of-band (by a SegmentWriter — e.g. smgen's streaming generator)
-// without re-ingesting any source, and reports its load stats.
+// without re-ingesting any source, and reports its load stats. With
+// the write-ahead log armed, any surviving log replays here: the
+// reported readings include the recovered tail.
 func (e *Engine) OpenExisting() (*core.LoadStats, error) {
 	e.detach()
 	if _, err := os.Stat(e.path); err != nil {
@@ -175,12 +256,20 @@ func (e *Engine) OpenExisting() (*core.LoadStats, error) {
 	if err := e.attach(); err != nil {
 		return nil, err
 	}
-	return &core.LoadStats{
+	stats := &core.LoadStats{
 		Consumers:    e.store.consumers,
 		Readings:     int64(e.store.consumers) * int64(e.store.n),
 		StorageBytes: e.store.fileSize,
 		RawBytes:     e.store.rawBytes,
-	}, nil
+	}
+	if e.walOn {
+		lt, err := e.ensureLive()
+		if err != nil {
+			return nil, err
+		}
+		stats.Readings += lt.applied.Load()
+	}
+	return stats, nil
 }
 
 // Remap re-attaches the segment file — the cold-start path after a
@@ -207,12 +296,23 @@ func (e *Engine) detach() {
 	if e.store != nil {
 		e.store.close()
 	}
+	for _, st := range e.retired {
+		st.close()
+	}
+	e.retired = nil
 	e.store = nil
 	e.pager = nil
 	e.decoded = nil
 	e.liveMu.Lock()
+	lt := e.live
 	e.live = nil
 	e.liveMu.Unlock()
+	if lt != nil && lt.wlog != nil {
+		// Clean shutdown: a final sync-and-close; errors are
+		// best-effort here because detach has no error path, and the
+		// log's contents survive for the next open regardless.
+		_ = lt.wlog.Close()
+	}
 }
 
 // Warm readies the engine for hot runs. In-core mode decodes every
@@ -471,11 +571,83 @@ func (e *Engine) AppendDelta(delta *timeseries.Dataset) error {
 	if err := os.Rename(tmp, e.path); err != nil {
 		return fmt.Errorf("colstore: rewrite segments: %w", err)
 	}
+	if err := syncDir(e.dir); err != nil {
+		return err
+	}
 	e.detach()
 	return e.attach()
 }
 
 var _ core.DeltaAppender = (*Engine)(nil)
+
+// StartCheckpointer runs background checkpointing until ctx is
+// cancelled: whenever the live tail crosses the WithTailBudget
+// threshold, the tail is folded into a fresh segment file and the
+// write-ahead log is rewritten down to the remainders. The returned
+// channel closes when the goroutine has exited (leak-free tests wait
+// on it). Checkpoint errors are recorded for CheckpointErr — the
+// ingestion path keeps running, bounded-loss, until the next trigger
+// retries.
+func (e *Engine) StartCheckpointer(ctx context.Context) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-e.ckptC:
+				if err := e.Checkpoint(); err != nil {
+					e.ckptErrMu.Lock()
+					e.ckptErr = err
+					e.ckptErrMu.Unlock()
+				}
+			}
+		}
+	}()
+	return done
+}
+
+// CheckpointErr returns the most recent background-checkpoint failure,
+// nil if none.
+func (e *Engine) CheckpointErr() error {
+	e.ckptErrMu.Lock()
+	defer e.ckptErrMu.Unlock()
+	return e.ckptErr
+}
+
+// triggerCheckpoint signals the checkpointer without blocking; a
+// pending signal already covers the crossing.
+func (e *Engine) triggerCheckpoint() {
+	select {
+	case e.ckptC <- struct{}{}:
+	default:
+	}
+}
+
+// Crash simulates a process death for recovery tests: every file
+// handle drops with no flush, sync or checkpoint. The engine object is
+// dead afterwards — recovery happens by opening a fresh engine over
+// the same directory.
+func (e *Engine) Crash() {
+	e.liveMu.Lock()
+	lt := e.live
+	e.live = nil
+	e.liveMu.Unlock()
+	if lt != nil && lt.wlog != nil {
+		lt.wlog.Drop()
+	}
+	if e.store != nil {
+		e.store.close()
+	}
+	for _, st := range e.retired {
+		st.close()
+	}
+	e.retired = nil
+	e.store = nil
+	e.pager = nil
+	e.decoded = nil
+}
 
 // StorageBytes returns the size of the segment file on disk.
 func (e *Engine) StorageBytes() (int64, error) {

@@ -12,6 +12,7 @@ import (
 	"github.com/smartmeter/smartbench/internal/colcodec"
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/timeseries"
+	"github.com/smartmeter/smartbench/internal/wal"
 )
 
 // Live ingestion (core.Appender). The read-optimized segment file never
@@ -32,8 +33,17 @@ import (
 // reallocates), and sealing a day swaps in a fresh open slice rather
 // than truncating the captured one.
 //
-// Durability. The tail lives in memory only: Release, Load and
-// OpenExisting drop it. Call Checkpoint first to keep appended data.
+// Durability. Without WithWAL the tail lives in memory only: Release,
+// Load and OpenExisting drop it, and Checkpoint is the only way to
+// keep appended data. With WithWAL armed, every batch is framed into a
+// per-shard write-ahead log (internal/wal) before Append acks — under
+// the shard lock, so log order equals apply order — and replayed
+// through this same idempotent apply path on reopen. Duplicates in the
+// log (retried batches are re-logged whole) fall into the r.Hour <
+// expected no-op, so recovery is bit-exact with a no-crash run over
+// the acked prefix. Checkpoint folds the common prefix of every
+// household into a fresh segment file (temp file + fsync + rename +
+// dir fsync) and rewrites the log down to the unfolded remainders.
 
 // liveShards is the number of independently locked tail maps. Sixteen
 // comfortably exceeds the writer counts the ingest benchmark drives
@@ -66,9 +76,10 @@ func (ls *liveSeries) hours() int {
 }
 
 type liveShard struct {
-	mu  sync.Mutex
-	m   map[timeseries.ID]*liveSeries
-	enc colcodec.Encoder
+	mu     sync.Mutex
+	m      map[timeseries.ID]*liveSeries
+	enc    colcodec.Encoder
+	logBuf []core.Reading // WAL framing scratch, reused per batch
 }
 
 // liveTail is the engine's live-ingestion state.
@@ -83,6 +94,10 @@ type liveTail struct {
 	baseIDs map[timeseries.ID]int // base household -> consumer index
 
 	shards [liveShards]liveShard
+
+	// wlog, when non-nil, is the armed write-ahead log. Shard si's
+	// batches frame into log shard si under the shard lock.
+	wlog *wal.Log
 
 	tempMu   sync.Mutex
 	tempTail []float64 // temperature beyond the base column; append-only
@@ -115,6 +130,34 @@ func (e *Engine) ensureLive() (*liveTail, error) {
 	for i := range lt.shards {
 		lt.shards[i].m = make(map[timeseries.ID]*liveSeries)
 	}
+	if e.walOn {
+		lg, err := wal.Open(wal.Options{
+			Dir:    e.walDir(),
+			Shards: liveShards,
+			Policy: e.walPolicy,
+			FS:     e.walFS,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("colstore: %w", err)
+		}
+		// Recovery: replay the acked batches through the same
+		// idempotent apply path live writes take. Readings already in
+		// the base (a checkpoint outran the log rewrite) fall into the
+		// duplicate no-op; the epoch is untouched — it restarts at the
+		// reopened state's zero, per the core.Appender contract.
+		err = lg.Replay(func(shard int, batch []core.Reading) error {
+			if err := lt.extendTemp(batch); err != nil {
+				return err
+			}
+			_, _, err := lt.applyShard(shard, batch, false)
+			return err
+		})
+		if err != nil {
+			_ = lg.Close()
+			return nil, fmt.Errorf("colstore: wal replay: %w", err)
+		}
+		lt.wlog = lg
+	}
 	e.live = lt
 	return lt, nil
 }
@@ -131,30 +174,56 @@ func (e *Engine) liveHours() int64 {
 
 // Append implements core.Appender. It is safe for concurrent use with
 // itself and Snapshot; writers whose batches touch disjoint shards
-// (pre-split with core.ShardFor) proceed in parallel.
+// (pre-split with core.ShardFor) proceed in parallel. With the WAL
+// armed, the batch is framed into the per-shard log before Append
+// returns, and — under SyncBatch/SyncAlways — group-committed to disk,
+// so a nil return means the batch survives a crash.
 func (e *Engine) Append(batch []core.Reading) error {
 	lt, err := e.ensureLive()
 	if err != nil {
 		return err
 	}
 	lt.ingestMu.RLock()
-	defer lt.ingestMu.RUnlock()
 	if err := lt.extendTemp(batch); err != nil {
+		lt.ingestMu.RUnlock()
 		return err
 	}
 	var present [liveShards]bool
 	for i := range batch {
 		present[core.ShardFor(batch[i].ID, liveShards)] = true
 	}
+	var seqs [liveShards]uint64
+	var logged [liveShards]bool
 	for s := range present {
 		if !present[s] {
 			continue
 		}
-		if err := lt.applyShard(s, batch); err != nil {
+		seq, lg, err := lt.applyShard(s, batch, true)
+		if err != nil {
+			lt.ingestMu.RUnlock()
 			return err
+		}
+		seqs[s], logged[s] = seq, lg
+	}
+	// Group commit outside the shard locks: concurrent writers on one
+	// shard share the leader's fsync instead of serializing on it.
+	if lt.wlog != nil {
+		for s := range logged {
+			if !logged[s] {
+				continue
+			}
+			if err := lt.wlog.Commit(s, seqs[s]); err != nil {
+				lt.ingestMu.RUnlock()
+				return err
+			}
 		}
 	}
 	lt.epoch.Add(1)
+	applied := lt.applied.Load()
+	lt.ingestMu.RUnlock()
+	if e.tailBudget > 0 && applied >= e.tailBudget {
+		e.triggerCheckpoint()
+	}
 	return nil
 }
 
@@ -187,20 +256,34 @@ func (lt *liveTail) extendTemp(batch []core.Reading) error {
 // applyShard applies the batch's readings belonging to shard si, in
 // batch order. Redelivered hours (below the household's next expected
 // hour) are skipped, making retried batches apply exactly once.
-func (lt *liveTail) applyShard(si int, batch []core.Reading) error {
+//
+// With logIt set and the WAL armed, the shard's slice of the batch is
+// framed into log shard si before the lock is released — including
+// redelivered readings, deliberately: a batch whose first attempt
+// applied in memory but failed to reach the log must still land in the
+// log when the caller retries and gets its ack, or the ack would
+// promise durability the log cannot deliver. Replay skips the
+// duplicates just like this loop does. The returned seq is meaningful
+// only when logged is true; the caller must Commit it before acking.
+func (lt *liveTail) applyShard(si int, batch []core.Reading, logIt bool) (seq uint64, logged bool, err error) {
 	sh := &lt.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	logIt = logIt && lt.wlog != nil
+	sh.logBuf = sh.logBuf[:0]
 	var applied int64
 	for i := range batch {
 		r := &batch[i]
 		if core.ShardFor(r.ID, liveShards) != si {
 			continue
 		}
+		if logIt {
+			sh.logBuf = append(sh.logBuf, *r)
+		}
 		ls := sh.m[r.ID]
 		if ls == nil {
 			if r.ID <= 0 {
-				return fmt.Errorf("colstore: household id must be positive, got %d", r.ID)
+				return 0, false, fmt.Errorf("colstore: household id must be positive, got %d", r.ID)
 			}
 			ls = &liveSeries{id: r.ID}
 			if _, ok := lt.baseIDs[r.ID]; ok {
@@ -213,7 +296,7 @@ func (lt *liveTail) applyShard(si int, batch []core.Reading) error {
 			continue // duplicate redelivery: already committed
 		}
 		if r.Hour > expected {
-			return fmt.Errorf("colstore: household %d: gap at hour %d, expected %d", r.ID, r.Hour, expected)
+			return 0, false, fmt.Errorf("colstore: household %d: gap at hour %d, expected %d", r.ID, r.Hour, expected)
 		}
 		ls.open = append(ls.open, r.Consumption)
 		applied++
@@ -225,7 +308,16 @@ func (lt *liveTail) applyShard(si int, batch []core.Reading) error {
 		}
 	}
 	lt.applied.Add(applied)
-	return nil
+	if logIt && len(sh.logBuf) > 0 {
+		// Under the shard lock: the log's record order is exactly the
+		// in-memory apply order for this shard.
+		seq, err = lt.wlog.Append(si, sh.logBuf)
+		if err != nil {
+			return 0, false, err
+		}
+		logged = true
+	}
+	return seq, logged, nil
 }
 
 // snapItem is one household's captured state: an optional base segment
@@ -248,9 +340,11 @@ func (e *Engine) Snapshot() (core.Cursor, core.Epoch, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	st, pg := e.store, e.pager
-
 	lt.ingestMu.Lock()
+	// Read the store reference inside the exclusive section: a
+	// concurrent Checkpoint swaps it under the same lock, and the
+	// captured tail state must pair with the base it grew on.
+	st, pg := e.store, e.pager
 	ep := core.Epoch(lt.epoch.Load())
 	tails := make(map[timeseries.ID]*snapItem)
 	for si := range lt.shards {
@@ -381,55 +475,121 @@ func (c *snapCursor) SnapshotTemp() *timeseries.Temperature {
 	return &timeseries.Temperature{Values: c.temp}
 }
 
-// Checkpoint folds the live tail into a fresh segment file through
-// SegmentWriter and re-attaches it, making appended data durable and
-// resetting the tail. Every household must be aligned to the
-// temperature column (equal total hours) — ingest to a day boundary
-// shared by all households first. Checkpoint follows the base Engine
-// contract: it must not run concurrently with Append or Snapshot.
+// Checkpoint folds the live tail into a fresh segment file and
+// re-attaches it, making appended data durable in the read-optimized
+// format and shrinking (or emptying) the tail. It is safe to run
+// concurrently with Append and Snapshot: it takes the ingest lock
+// exclusively, waits out in-flight batches, and stops the world for
+// the fold. The fold cut is the minimum total hours over all
+// households — everything below it moves into the new base, the
+// remainders stay in the tail — so households need not be aligned. The
+// segment rewrite is crash-safe (temp file, fsync, rename, directory
+// fsync): a crash mid-checkpoint leaves the old segment intact and,
+// with the WAL armed, the full log to replay over it. Epochs keep
+// counting across a checkpoint, and snapshot cursors taken before it
+// stay readable — the replaced store is retired, not closed, until
+// Release.
 func (e *Engine) Checkpoint() error {
-	cur, _, err := e.Snapshot()
+	lt, err := e.ensureLive()
 	if err != nil {
 		return err
 	}
-	defer func() { _ = cur.Close() }()
-	snap := cur.(*snapCursor)
-	if len(snap.items) == 0 {
+	lt.ingestMu.Lock()
+	defer lt.ingestMu.Unlock()
+	return e.checkpointLocked(lt)
+}
+
+// ckptSeries is one household's fold state during a checkpoint.
+type ckptSeries struct {
+	id  timeseries.ID
+	ls  *liveSeries // nil for base households with no tail
+	rem []float64   // readings above the cut, kept in the new tail
+}
+
+// checkpointLocked is Checkpoint's body; the caller holds ingestMu
+// exclusively, so shard maps, the temperature tail and e.store are all
+// frozen.
+func (e *Engine) checkpointLocked(lt *liveTail) error {
+	st := e.store
+	// Collect every household and its total hours; the fold cut is
+	// the minimum, so the new base stays rectangular.
+	var items []ckptSeries
+	byID := make(map[timeseries.ID]*liveSeries)
+	for si := range lt.shards {
+		for id, ls := range lt.shards[si].m {
+			byID[id] = ls
+		}
+	}
+	cut := -1
+	if st != nil {
+		items = make([]ckptSeries, 0, st.consumers+len(byID))
+		for _, id := range st.ids {
+			ls := byID[id]
+			delete(byID, id)
+			h := st.n
+			if ls != nil {
+				h = ls.hours()
+			}
+			items = append(items, ckptSeries{id: id, ls: ls})
+			if cut < 0 || h < cut {
+				cut = h
+			}
+		}
+	}
+	for id, ls := range byID {
+		items = append(items, ckptSeries{id: id, ls: ls})
+		if h := ls.hours(); cut < 0 || h < cut {
+			cut = h
+		}
+	}
+	if len(items) == 0 {
 		return fmt.Errorf("colstore: nothing to checkpoint")
 	}
-	n := len(snap.temp)
+	if st != nil && cut <= st.n {
+		// A laggard household pins the cut at (or below) the current
+		// base: nothing can fold without truncating stored data.
+		return nil
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].id < items[j].id })
+
+	fullTemp := make([]float64, 0, lt.baseN+len(lt.tempTail))
+	if st != nil {
+		fullTemp = append(fullTemp, st.temp...)
+	}
+	fullTemp = append(fullTemp, lt.tempTail...)
+	if cut > len(fullTemp) {
+		return fmt.Errorf("colstore: checkpoint: households cover %d hours, temperature only %d", cut, len(fullTemp))
+	}
+
 	var opts []WriterOption
-	if e.store != nil {
-		opts = append(opts, WithBlockRows(e.store.blockRows))
+	if st != nil {
+		opts = append(opts, WithBlockRows(st.blockRows))
 	}
 	if err := os.MkdirAll(e.dir, 0o755); err != nil {
 		return fmt.Errorf("colstore: %w", err)
 	}
 	tmp := e.path + ".tmp"
-	w, err := NewSegmentWriter(tmp, snap.temp, opts...)
+	w, err := NewSegmentWriter(tmp, fullTemp[:cut], opts...)
 	if err != nil {
 		return err
 	}
-	for {
-		s, err := cur.Next()
-		if err == io.EOF {
-			break
-		}
+	var row []float64
+	var scratch []byte
+	for i := range items {
+		it := &items[i]
+		row, scratch, err = lt.assembleRow(st, it, row, scratch)
 		if err != nil {
 			_ = w.Close()
 			_ = os.Remove(tmp)
 			return err
 		}
-		if len(s.Readings) != n {
-			_ = w.Close()
-			_ = os.Remove(tmp)
-			return fmt.Errorf("colstore: checkpoint: household %d has %d hours, temperature has %d (ingest to a shared day boundary first)",
-				s.ID, len(s.Readings), n)
-		}
-		if err := w.Append(s.ID, s.Readings); err != nil {
+		if err := w.Append(it.id, row[:cut]); err != nil {
 			_ = w.Close()
 			_ = os.Remove(tmp)
 			return err
+		}
+		if len(row) > cut {
+			it.rem = append([]float64(nil), row[cut:]...)
 		}
 	}
 	if err := w.Close(); err != nil {
@@ -439,6 +599,127 @@ func (e *Engine) Checkpoint() error {
 	if err := os.Rename(tmp, e.path); err != nil {
 		return fmt.Errorf("colstore: checkpoint rename: %w", err)
 	}
-	e.detach()
-	return e.attach()
+	if err := syncDir(e.dir); err != nil {
+		return err
+	}
+
+	// Swap in the new base. The old store is retired, not closed:
+	// snapshot cursors taken before this checkpoint keep decoding it.
+	if e.store != nil {
+		e.retired = append(e.retired, e.store)
+	}
+	e.decoded = nil
+	e.pager = nil
+	if err := e.attach(); err != nil {
+		return err
+	}
+
+	// Rebuild the tail in place (writers blocked on ingestMu resume
+	// against the same liveTail): fresh shard maps hold only the
+	// remainders, re-sealed at day granularity. The epoch keeps
+	// counting — snapshots stay monotonic across the fold.
+	lt.baseN = cut
+	lt.baseIDs = make(map[timeseries.ID]int, e.store.consumers)
+	for i, id := range e.store.ids {
+		lt.baseIDs[id] = i
+	}
+	var remReadings int64
+	for i := range lt.shards {
+		lt.shards[i].m = make(map[timeseries.ID]*liveSeries)
+	}
+	for i := range items {
+		it := &items[i]
+		if len(it.rem) == 0 {
+			continue
+		}
+		sh := &lt.shards[core.ShardFor(it.id, liveShards)]
+		ls := &liveSeries{id: it.id, base: cut}
+		rem := it.rem
+		for len(rem) >= dayHours {
+			ls.sealed = append(ls.sealed, sealedDay{payload: sh.enc.AppendValues(nil, rem[:dayHours])})
+			rem = rem[dayHours:]
+		}
+		if len(rem) > 0 {
+			ls.open = append([]float64(nil), rem...)
+		}
+		sh.m[it.id] = ls
+		remReadings += int64(len(it.rem))
+	}
+	lt.tempTail = append([]float64(nil), fullTemp[cut:]...)
+	lt.applied.Store(remReadings)
+
+	// Shrink the log to the remainders. A crash between the segment
+	// rename above and this rewrite is safe: the stale log replays
+	// over the new base and every folded reading lands in the
+	// duplicate no-op.
+	if lt.wlog != nil {
+		var batches [liveShards][][]core.Reading
+		for i := range items {
+			it := &items[i]
+			if len(it.rem) == 0 {
+				continue
+			}
+			b := make([]core.Reading, len(it.rem))
+			for j, v := range it.rem {
+				b[j] = core.Reading{
+					ID:          it.id,
+					Hour:        cut + j,
+					Consumption: v,
+					Temperature: fullTemp[cut+j],
+				}
+			}
+			si := core.ShardFor(it.id, liveShards)
+			batches[si] = append(batches[si], b)
+		}
+		for si := range batches {
+			if err := lt.wlog.Rewrite(si, batches[si]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// assembleRow decodes one household's full series — base column,
+// sealed tail days, open tail — into row, reusing the buffers.
+func (lt *liveTail) assembleRow(st *segStore, it *ckptSeries, row []float64, scratch []byte) ([]float64, []byte, error) {
+	baseH := 0
+	cons := -1
+	if st != nil {
+		if c, ok := lt.baseIDs[it.id]; ok {
+			baseH, cons = st.n, c
+		}
+	}
+	total := baseH
+	if it.ls != nil {
+		total = it.ls.hours()
+	}
+	if cap(row) < total {
+		row = make([]float64, total)
+	}
+	row = row[:total]
+	if baseH > 0 {
+		var err error
+		scratch, err = st.decodeConsumerInto(cons, row[:baseH], scratch)
+		if err != nil {
+			return row, scratch, err
+		}
+	}
+	if it.ls == nil {
+		return row, scratch, nil
+	}
+	off := baseH
+	for b := range it.ls.sealed {
+		vals, _, err := colcodec.DecodeValues(it.ls.sealed[b].payload, row[off:off:off+dayHours])
+		if err != nil {
+			return row, scratch, err
+		}
+		if len(vals) != dayHours {
+			return row, scratch, fmt.Errorf("colstore: sealed day decoded to %d values", len(vals))
+		}
+		copy(row[off:off+dayHours], vals)
+		off += dayHours
+	}
+	copy(row[off:], it.ls.open)
+	return row, scratch, nil
 }

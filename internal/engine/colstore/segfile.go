@@ -363,7 +363,7 @@ func (w *SegmentWriter) RawBytes() int64 { return w.rawBytes }
 func (w *SegmentWriter) Consumers() int { return w.consumers }
 
 // Close drains any encode pool, writes the directory, patches the
-// header, and closes the file.
+// header, fsyncs, and closes the file.
 func (w *SegmentWriter) Close() error {
 	if w.closed {
 		return nil
@@ -401,6 +401,12 @@ func (w *SegmentWriter) Close() error {
 	if _, err := w.f.WriteAt(patch[:], 8); err != nil {
 		_ = w.f.Close()
 		return fmt.Errorf("colstore: patch header: %w", err)
+	}
+	// Fsync before close: callers rename this file over the live
+	// segment, and the rename must never be able to outrun the data.
+	if err := w.f.Sync(); err != nil {
+		_ = w.f.Close()
+		return fmt.Errorf("colstore: sync segments: %w", err)
 	}
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("colstore: close segments: %w", err)

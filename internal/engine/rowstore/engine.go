@@ -11,6 +11,7 @@ import (
 	"github.com/smartmeter/smartbench/internal/exec"
 	"github.com/smartmeter/smartbench/internal/meterdata"
 	"github.com/smartmeter/smartbench/internal/timeseries"
+	"github.com/smartmeter/smartbench/internal/wal"
 )
 
 // DefaultPoolPages is the default buffer pool capacity (3072 pages =
@@ -23,6 +24,25 @@ type Engine struct {
 	dir       string
 	layout    Layout
 	poolPages int
+
+	// Durability (see durable.go). walOn arms a single-shard
+	// write-ahead log under walPolicy/walFS — one shard because this
+	// engine's writers already serialize on readMu — and switches the
+	// buffer pool to no-steal so the table file changes only at
+	// checkpoints. tailBudget (in live readings) arms the
+	// background-checkpoint trigger on ckptC.
+	walOn      bool
+	walPolicy  wal.SyncPolicy
+	walFS      wal.FS
+	wlog       *wal.Log
+	tailBudget int64
+	ckptC      chan struct{}
+	// ckptAppended is ls.appended at the last checkpoint; the trigger
+	// fires on the difference. Guarded by readMu.
+	ckptAppended int64
+
+	ckptErrMu sync.Mutex
+	ckptErr   error
 
 	pf    *pagedFile
 	bp    *bufferPool
@@ -55,9 +75,44 @@ func WithLayout(l Layout) Option { return func(e *Engine) { e.layout = l } }
 // WithPoolPages sets the buffer pool capacity in pages.
 func WithPoolPages(n int) Option { return func(e *Engine) { e.poolPages = n } }
 
+// WithWAL arms the write-ahead log: every Append is framed into a log
+// under <dir>/wal before it is acked, with the given fsync policy, and
+// replayed through the idempotent append path on reopen. See
+// internal/wal for the format and policy semantics.
+func WithWAL(policy wal.SyncPolicy) Option {
+	return func(e *Engine) {
+		e.walOn = true
+		e.walPolicy = policy
+	}
+}
+
+// WithWALFS substitutes the filesystem under the write-ahead log — the
+// crash-injection hook (fault.Disk). Pair it with WithWAL.
+func WithWALFS(fs wal.FS) Option {
+	return func(e *Engine) { e.walFS = fs }
+}
+
+// WithTailBudget arms automatic background checkpointing: once at
+// least this many readings have been appended since the last
+// checkpoint, the engine signals the checkpointer goroutine
+// (StartCheckpointer) to fold them into the table file. Zero disables
+// the trigger.
+func WithTailBudget(readings int64) Option {
+	return func(e *Engine) {
+		if readings > 0 {
+			e.tailBudget = readings
+		}
+	}
+}
+
 // New returns a row-store engine whose storage lives under dir.
 func New(dir string, opts ...Option) *Engine {
-	e := &Engine{dir: dir, layout: LayoutRows, poolPages: DefaultPoolPages}
+	e := &Engine{
+		dir:       dir,
+		layout:    LayoutRows,
+		poolPages: DefaultPoolPages,
+		ckptC:     make(chan struct{}, 1),
+	}
 	for _, o := range opts {
 		o(e)
 	}
@@ -98,6 +153,7 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 		return nil, err
 	}
 	bp := newBufferPool(pf, e.poolPages)
+	bp.noSteal = e.walOn
 	// Page 0 is reserved for the meta page.
 	metaFr, err := bp.allocate()
 	if err != nil {
@@ -146,6 +202,23 @@ func (e *Engine) Load(src *meterdata.Source) (*core.LoadStats, error) {
 		_ = pf.close()
 		return nil, err
 	}
+	if e.walOn {
+		// The fresh base is a durability point: everything on disk and
+		// fsynced, and any old log — which belonged to replaced state —
+		// cleared so it cannot replay into the new table.
+		if err := bp.flush(); err != nil {
+			_ = pf.close()
+			return nil, err
+		}
+		if err := pf.sync(); err != nil {
+			_ = pf.close()
+			return nil, err
+		}
+		if err := wal.Clear(e.walDir(), 1, e.walFS); err != nil {
+			_ = pf.close()
+			return nil, fmt.Errorf("rowstore: %w", err)
+		}
+	}
 	e.pf, e.bp, e.table = pf, bp, tb
 	e.ids = nil
 	for _, s := range ds.Series {
@@ -176,6 +249,7 @@ func (e *Engine) Open() error {
 		return fmt.Errorf("rowstore: %s holds no data", e.dir)
 	}
 	bp := newBufferPool(pf, e.poolPages)
+	bp.noSteal = e.walOn
 	m, err := readMeta(bp)
 	if err != nil {
 		_ = pf.close()
@@ -219,14 +293,21 @@ func (e *Engine) Warm() error {
 }
 
 // Release implements core.Engine: drops the tuple cache and empties the
-// buffer pool, so the next Run pays cold-start I/O again.
+// buffer pool, so the next Run pays cold-start I/O again. With the
+// write-ahead log armed, the pool's dirty pages cannot be written back
+// in place (no-steal), so a checkpoint folds them atomically first.
 func (e *Engine) Release() error {
 	e.cache = nil
 	e.temp = nil
-	if e.bp != nil {
-		return e.bp.reset()
+	if e.bp == nil {
+		return nil
 	}
-	return nil
+	if e.walOn && e.wlog != nil {
+		if err := e.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return e.bp.reset()
 }
 
 // Close flushes and closes the underlying file.
@@ -236,18 +317,34 @@ func (e *Engine) closeStorage() error {
 	if e.pf == nil {
 		return nil
 	}
-	if err := e.bp.flush(); err != nil {
-		_ = e.pf.close()
-		e.pf, e.bp, e.table = nil, nil, nil
-		e.live = nil
-		return err
+	var first error
+	if e.walOn && e.wlog != nil {
+		// Clean shutdown with a log open: fold the pool's dirty pages
+		// atomically (no-steal pools must not flush in place) and
+		// truncate the log. On failure fall through to the plain flush —
+		// the log survives on disk and replays next open.
+		e.readMu.Lock()
+		first = e.checkpointLocked()
+		e.readMu.Unlock()
 	}
-	err := e.pf.close()
+	if err := e.bp.flush(); err != nil && first == nil {
+		first = err
+	}
+	if e.wlog != nil {
+		if err := e.wlog.Close(); err != nil && first == nil {
+			first = err
+		}
+		e.wlog = nil
+	}
+	if err := e.pf.close(); err != nil && first == nil {
+		first = err
+	}
 	e.pf, e.bp, e.table = nil, nil, nil
 	e.cache = nil
 	e.temp = nil
 	e.live = nil
-	return err
+	e.ckptAppended = 0
+	return first
 }
 
 // materialize extracts the full dataset from stored tuples.
@@ -390,6 +487,17 @@ func (e *Engine) AppendDelta(delta *timeseries.Dataset) error {
 	if e.table == nil {
 		return fmt.Errorf("rowstore: %w", core.ErrNotLoaded)
 	}
+	if e.walOn {
+		// An unreplayed log may hold live tuples the length checks below
+		// cannot see; materialize the live state (replaying the log)
+		// before deciding the delta is collision-free.
+		e.readMu.Lock()
+		_, err := e.ensureLive()
+		e.readMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
 	if e.live != nil && e.live.appended > 0 {
 		return fmt.Errorf("rowstore: live tuples present; AppendDelta is unsupported after live Append")
 	}
@@ -412,7 +520,7 @@ func (e *Engine) AppendDelta(delta *timeseries.Dataset) error {
 	e.cache = nil
 	e.temp = nil
 	e.live = nil // series lengths changed; rebuild lazily
-	return writeMeta(e.bp, metaPage{
+	if err := writeMeta(e.bp, metaPage{
 		layout:    e.table.layout,
 		heapFirst: e.table.heap.first,
 		heapLast:  e.table.heap.last,
@@ -421,7 +529,18 @@ func (e *Engine) AppendDelta(delta *timeseries.Dataset) error {
 		height:    e.table.index.height,
 		seriesLen: e.table.seriesLen,
 		consumers: e.table.consumers,
-	})
+	}); err != nil {
+		return err
+	}
+	if e.walOn && e.wlog != nil {
+		// Bulk deltas never ride the log; a checkpoint makes them
+		// durable with the same atomic rewrite an Append fold uses.
+		e.readMu.Lock()
+		defer e.readMu.Unlock()
+		e.ckptAppended = 0
+		return e.checkpointLocked()
+	}
+	return nil
 }
 
 var _ core.DeltaAppender = (*Engine)(nil)

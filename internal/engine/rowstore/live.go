@@ -8,6 +8,7 @@ import (
 
 	"github.com/smartmeter/smartbench/internal/core"
 	"github.com/smartmeter/smartbench/internal/timeseries"
+	"github.com/smartmeter/smartbench/internal/wal"
 )
 
 // Live ingestion (core.Appender). New readings become ordinary tuple
@@ -30,13 +31,21 @@ import (
 // meta page, and the buffer pool flushes on Close/Release, so a
 // reopened engine rebuilds its live lengths from the index (ensureLive
 // scans lazily — the cold-start path pays nothing until the first
-// Append or Snapshot).
+// Append or Snapshot). That baseline loses whatever a crash catches in
+// the pool; WithWAL closes the hole: the batch is framed into a
+// single-shard write-ahead log before Append acks — the whole batch,
+// duplicates included, because a batch applied in memory whose log
+// write failed must re-log entirely on retry or the retry's ack would
+// promise durability the log cannot deliver — the pool switches to
+// no-steal so the table file only changes at checkpoints, and reopen
+// replays the log through applyBatch, which skips duplicates exactly
+// like live delivery. See durable.go for the checkpoint protocol.
 
 // liveState tracks per-household committed lengths beyond the
 // published seriesLen. Guarded by Engine.readMu.
 type liveState struct {
 	epoch    uint64
-	appended int64 // tuples inserted through live Append this session
+	appended int64                    // tuples inserted through live Append this session
 	lens     map[timeseries.ID]int    // household -> total committed hours
 	seqs     map[timeseries.ID]uint64 // next index sequence (LayoutArrays chunk seq)
 	ids      []timeseries.ID          // ascending, base + live-only households
@@ -75,6 +84,45 @@ func (e *Engine) ensureLive() (*liveState, error) {
 			return nil, err
 		}
 		ls.temp = temp
+	}
+	if e.walOn && e.wlog == nil {
+		// First touch after open: replay whatever the log holds on top
+		// of the checkpointed base. Batches apply through the same
+		// duplicate-skipping path as live delivery, so a log that
+		// overlaps the base (clean shutdown mid-ingest) is harmless.
+		lg, err := wal.Open(wal.Options{
+			Dir:    e.walDir(),
+			Shards: 1,
+			Policy: e.walPolicy,
+			FS:     e.walFS,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rowstore: %w", err)
+		}
+		replayed := false
+		if err := lg.Replay(func(shard int, batch []core.Reading) error {
+			replayed = true
+			return e.applyBatch(ls, batch)
+		}); err != nil {
+			_ = lg.Close()
+			return nil, fmt.Errorf("rowstore: wal replay: %w", err)
+		}
+		e.wlog = lg
+		if replayed {
+			tb := e.table
+			if err := writeMeta(e.bp, metaPage{
+				layout:    tb.layout,
+				heapFirst: tb.heap.first,
+				heapLast:  tb.heap.last,
+				tuples:    tb.heap.tuples,
+				root:      tb.index.root,
+				height:    tb.index.height,
+				seriesLen: tb.seriesLen,
+				consumers: tb.consumers,
+			}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	e.live = ls
 	return ls, nil
@@ -127,6 +175,21 @@ func (e *Engine) Append(batch []core.Reading) error {
 	}
 	if err := e.applyBatch(ls, batch); err != nil {
 		return err
+	}
+	if e.wlog != nil && len(batch) > 0 {
+		// Log the batch verbatim before acking. A failed write or sync
+		// surfaces here and the ack never happens; the producer's retry
+		// re-applies (duplicates skip) and re-logs the whole batch.
+		seq, err := e.wlog.Append(0, batch)
+		if err != nil {
+			return fmt.Errorf("rowstore: %w", err)
+		}
+		if err := e.wlog.Commit(0, seq); err != nil {
+			return fmt.Errorf("rowstore: %w", err)
+		}
+	}
+	if e.tailBudget > 0 && ls.appended-e.ckptAppended >= e.tailBudget {
+		e.triggerCheckpoint()
 	}
 	ls.epoch++
 	tb := e.table

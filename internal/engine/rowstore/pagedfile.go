@@ -88,6 +88,15 @@ func (pf *pagedFile) write(id PageID, buf []byte) error {
 
 func (pf *pagedFile) close() error { return pf.f.Close() }
 
+// sync fsyncs the underlying file — the durability point after a bulk
+// load or checkpoint flush.
+func (pf *pagedFile) sync() error {
+	if err := pf.f.Sync(); err != nil {
+		return fmt.Errorf("rowstore: sync table file: %w", err)
+	}
+	return nil
+}
+
 // sizeBytes returns the current file size.
 func (pf *pagedFile) sizeBytes() int64 { return int64(pf.nPages) * PageSize }
 
@@ -107,6 +116,12 @@ type bufferPool struct {
 	pf     *pagedFile
 	frames map[PageID]*frame
 	cap    int
+	// noSteal forbids evicting dirty frames (the pool grows past cap
+	// instead). With the write-ahead log armed, the table file may only
+	// change at a checkpoint: an evicted dirty page would overwrite
+	// checkpointed state in place, and a crash mid-write would leave a
+	// torn page the log cannot repair.
+	noSteal bool
 	// lruHead is the most recently used frame; lruTail the least.
 	lruHead, lruTail *frame
 	// Misses and Hits count page lookups for diagnostics.
@@ -209,6 +224,9 @@ func (bp *bufferPool) victim() (*frame, error) {
 			continue
 		}
 		if fr.dirty {
+			if bp.noSteal {
+				continue
+			}
 			if err := bp.pf.write(fr.id, fr.data[:]); err != nil {
 				return nil, err
 			}
@@ -216,6 +234,11 @@ func (bp *bufferPool) victim() (*frame, error) {
 		bp.lruRemove(fr)
 		delete(bp.frames, fr.id)
 		return fr, nil
+	}
+	if bp.noSteal {
+		// Every unpinned frame is dirty: grow past cap and let the next
+		// checkpoint clean the pool back down.
+		return &frame{}, nil
 	}
 	return nil, errPoolFull
 }

@@ -1,0 +1,76 @@
+package rowstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/exec"
+	"github.com/smartmeter/smartbench/internal/exec/cursortest"
+	"github.com/smartmeter/smartbench/internal/fault"
+	"github.com/smartmeter/smartbench/internal/meterdata"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+	"github.com/smartmeter/smartbench/internal/wal"
+)
+
+// TestRecoverySweep runs the crash-injection conformance suite against
+// the row store: every trial bulk-loads a base day, then a
+// deterministic append script (with a mid-script copy-on-write
+// checkpoint) is killed at an injected disk operation. The reopened
+// engine must recover the checkpointed table plus every acked log
+// batch, bit-exact, with analytics matching the no-crash reference.
+func TestRecoverySweep(t *testing.T) {
+	const base = 24
+	ids := []timeseries.ID{1, 2, 3, 4, 5, 6}
+	ds := &timeseries.Dataset{Temperature: &timeseries.Temperature{}}
+	for h := 0; h < base; h++ {
+		ds.Temperature.Values = append(ds.Temperature.Values, cursortest.IsolationTemp(h))
+	}
+	for _, id := range ids {
+		s := &timeseries.Series{ID: id}
+		for h := 0; h < base; h++ {
+			s.Readings = append(s.Readings, cursortest.IsolationValue(id, h))
+		}
+		ds.Series = append(ds.Series, s)
+	}
+	src, err := meterdata.WriteUnpartitioned(t.TempDir(), ds, meterdata.FormatReadingPerLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range []Layout{LayoutRows, LayoutArrays} {
+		t.Run(layout.String(), func(t *testing.T) {
+			h := cursortest.RecoveryHarness{
+				Open: func(t *testing.T, dir string, disk *fault.Disk) cursortest.RecoveryEngine {
+					e := New(dir, WithLayout(layout), WithWAL(wal.SyncBatch), WithWALFS(disk))
+					// Fresh trial dirs have no table yet; Seed installs
+					// it. After a crash the checkpointed table must be
+					// opened before the log replays onto it.
+					if _, err := os.Stat(filepath.Join(dir, "table.db")); err == nil {
+						if err := e.Open(); err != nil {
+							t.Fatalf("reopen after crash: %v", err)
+						}
+					}
+					return e
+				},
+				Seed: func(t *testing.T, eng cursortest.RecoveryEngine) {
+					if _, err := eng.(*Engine).Load(src); err != nil {
+						t.Fatal(err)
+					}
+				},
+				Checkpoint: func(eng cursortest.RecoveryEngine) error {
+					return eng.(*Engine).Checkpoint()
+				},
+				Close: func(eng cursortest.RecoveryEngine) {
+					if err := eng.(*Engine).Close(); err != nil {
+						t.Errorf("close: %v", err)
+					}
+				},
+				Run:     exec.RunSnapshot,
+				Durable: true,
+				Base:    base,
+				Hours:   60,
+			}
+			cursortest.RunRecovery(t, h, ids)
+		})
+	}
+}

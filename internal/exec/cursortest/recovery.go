@@ -1,0 +1,256 @@
+package cursortest
+
+import (
+	"context"
+	"testing"
+
+	"github.com/smartmeter/smartbench/internal/core"
+	"github.com/smartmeter/smartbench/internal/fault"
+	"github.com/smartmeter/smartbench/internal/timeseries"
+)
+
+// Crash-recovery conformance suite for WAL-armed core.Appender
+// implementations. A probe run over a deterministic in-memory disk
+// (fault.Disk) counts every write/sync/rename the engine's log issues
+// for a fixed ingestion script; the suite then sweeps a crash across
+// those operations — every injected point kills the engine mid-flight,
+// reboots the disk (resolving unsynced suffixes to deterministically
+// torn, possibly bit-flipped tails), reopens the engine, and asserts:
+//
+//   - every household recovers a bit-exact, gap-free prefix of the
+//     offered stream (torn or corrupt log tails must be truncated,
+//     never decoded into readings);
+//   - under a durable fsync policy, every batch acked before the
+//     crash survives it (acked ⊆ recovered ⊆ offered);
+//   - analytics over the recovered snapshot are bit-identical to the
+//     reference implementation over the same logical data — the
+//     no-crash oracle.
+//
+// At least one sweep trial must observe a torn file, so the CRC
+// truncation path is provably exercised.
+
+// RecoveryEngine is the slice of an engine the recovery suite drives.
+type RecoveryEngine interface {
+	core.Appender
+	// Crash simulates process death: drop every handle, no flush.
+	Crash()
+}
+
+// RecoveryHarness wires one engine into the crash-injection sweep.
+type RecoveryHarness struct {
+	// Open opens a fresh engine over dir with its write-ahead log
+	// routed through disk. Called at trial start and again after each
+	// simulated crash; it must attach whatever state survives under
+	// dir and replay the log.
+	Open func(t *testing.T, dir string, disk *fault.Disk) RecoveryEngine
+	// Seed optionally installs Base hours of bulk-loaded state on a
+	// freshly opened engine, seeded with IsolationValue/IsolationTemp
+	// so recovered prefixes verify uniformly. Runs once per trial,
+	// before any swept crash point.
+	Seed func(t *testing.T, eng RecoveryEngine)
+	// Checkpoint optionally folds the live tail mid-script, so the
+	// sweep visits crash windows inside the checkpoint protocol.
+	// Errors after the crash point has been hit are expected.
+	Checkpoint func(eng RecoveryEngine) error
+	// Close cleanly shuts the recovered engine down at trial end.
+	Close func(eng RecoveryEngine)
+	// Run executes spec over a snapshot of the recovered engine for
+	// the no-crash oracle — pass exec.RunSnapshot. It is injected
+	// rather than imported because internal/exec's own tests import
+	// this package.
+	Run func(ctx context.Context, app core.Appender, spec core.Spec) (*core.Results, core.Epoch, error)
+	// Durable asserts acked-batch recovery (wal.SyncAlways and
+	// wal.SyncBatch; false for wal.SyncOff, which forfeits it).
+	Durable bool
+	// Base is the number of hours Seed installs (0 without Seed).
+	Base int
+	// Hours is how many live hours the script appends after Base.
+	Hours int
+}
+
+const (
+	// minCrashPoints is the floor on sweepable operations a harness
+	// script must generate; scripts shorter than this leave crash
+	// windows unvisited and fail loudly instead.
+	minCrashPoints = 100
+	// maxRecoveryTrials caps the sweep; wider ranges are sampled with
+	// an even stride.
+	maxRecoveryTrials = 160
+	// recoverySeed drives every deterministic disk decision.
+	recoverySeed = 0x5eed0c0de
+)
+
+// RunRecovery sweeps a deterministic crash across every write-ahead
+// log operation of a fixed ingestion script and asserts acked-prefix
+// recovery after each one. ids follow the IsolationValue constraints
+// (id ≤ 19 when Seed routes the base through the text format).
+func RunRecovery(t *testing.T, h RecoveryHarness, ids []timeseries.ID) {
+	t.Helper()
+	if h.Run == nil {
+		t.Fatal("RecoveryHarness.Run is required (pass exec.RunSnapshot)")
+	}
+
+	// Probe: same script, never-crashing disk, to bound the sweep.
+	probe := fault.NewDisk(fault.DiskConfig{Seed: recoverySeed})
+	eng := h.Open(t, t.TempDir(), probe)
+	if h.Seed != nil {
+		h.Seed(t, eng)
+	}
+	opsSeed := probe.Ops()
+	feedRecoveryScript(t, h, eng, probe, ids)
+	opsEnd := probe.Ops()
+	if h.Close != nil {
+		h.Close(eng)
+	}
+	points := opsEnd - opsSeed
+	if points < minCrashPoints {
+		t.Fatalf("script generates %d crash points, need at least %d: lengthen Hours", points, minCrashPoints)
+	}
+
+	trials := points
+	if trials > maxRecoveryTrials {
+		trials = maxRecoveryTrials
+	}
+	tornTotal := 0
+	for i := int64(0); i < trials; i++ {
+		// Evenly strided crash ops in (opsSeed, opsEnd].
+		op := opsSeed + ((i+1)*points)/trials
+		tornTotal += runRecoveryTrial(t, h, ids, op)
+		if t.Failed() {
+			t.Fatalf("crash at disk op %d: see failures above", op)
+		}
+	}
+	if tornTotal == 0 {
+		t.Errorf("no sweep trial observed a torn file; the CRC truncation path went unexercised")
+	}
+}
+
+// feedRecoveryScript drives the deterministic ingestion script: one
+// batch per hour across all ids, every 4th hour redelivered, one
+// checkpoint two-thirds through. It returns the count of fully acked
+// hours and the count of offered hours (acked plus the batch the
+// crash may have caught half-logged).
+func feedRecoveryScript(t *testing.T, h RecoveryHarness, eng RecoveryEngine, disk *fault.Disk, ids []timeseries.ID) (acked, offered int) {
+	t.Helper()
+	acked, offered = h.Base, h.Base
+	ckptAt := h.Base + (2*h.Hours)/3
+	for hr := h.Base; hr < h.Base+h.Hours; hr++ {
+		batch := make([]core.Reading, 0, len(ids))
+		for _, id := range ids {
+			batch = append(batch, core.Reading{
+				ID: id, Hour: hr,
+				Consumption: IsolationValue(id, hr),
+				Temperature: IsolationTemp(hr),
+			})
+		}
+		offered = hr + 1
+		if err := eng.Append(batch); err != nil {
+			if disk.Crashed() {
+				return acked, offered
+			}
+			t.Fatalf("append hour %d: %v", hr, err)
+		}
+		acked = hr + 1
+		if hr%4 == 0 {
+			// Deterministic redelivery: must ack as a no-op, and under
+			// a WAL it re-frames the duplicates — more crash windows.
+			if err := eng.Append(batch); err != nil {
+				if disk.Crashed() {
+					return acked, offered
+				}
+				t.Fatalf("redeliver hour %d: %v", hr, err)
+			}
+		}
+		if hr == ckptAt && h.Checkpoint != nil {
+			if err := h.Checkpoint(eng); err != nil && !disk.Crashed() {
+				t.Fatalf("checkpoint at hour %d: %v", hr, err)
+			}
+			if disk.Crashed() {
+				return acked, offered
+			}
+		}
+	}
+	return acked, offered
+}
+
+// runRecoveryTrial runs the script against a disk that crashes at op,
+// reboots, reopens, and verifies recovery. Returns the number of torn
+// files the reboot produced.
+func runRecoveryTrial(t *testing.T, h RecoveryHarness, ids []timeseries.ID, op int64) int {
+	t.Helper()
+	disk := fault.NewDisk(fault.DiskConfig{Seed: recoverySeed, CrashAtOp: op})
+	dir := t.TempDir()
+	eng := h.Open(t, dir, disk)
+	if h.Seed != nil {
+		h.Seed(t, eng)
+	}
+	acked, offered := feedRecoveryScript(t, h, eng, disk, ids)
+	if !disk.Crashed() {
+		t.Fatalf("crash at op %d never fired (script ended at %d acked hours)", op, acked)
+	}
+	eng.Crash()
+	disk.Reboot()
+	torn := disk.TornFiles()
+
+	re := h.Open(t, dir, disk)
+	cur, _, err := re.Snapshot()
+	if err != nil {
+		t.Fatalf("crash at op %d: snapshot after recovery: %v", op, err)
+	}
+	// drainIsolation asserts ascending order, bit-exact gap-free
+	// prefixes no longer than offered, and the temperature prefix — a
+	// decoded torn tail would fail the bit-exactness check here.
+	recovered := drainIsolation(t, cur, offered, nil)
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Durable {
+		for _, id := range ids {
+			if got := len(recovered[id]); got < acked {
+				t.Fatalf("crash at op %d: household %d recovered %d hours, %d were acked before the crash",
+					op, id, got, acked)
+			}
+		}
+	}
+
+	// No-crash oracle: analytics over the recovered snapshot must be
+	// bit-identical to the reference implementation over the same
+	// logical data.
+	total := 0
+	maxLen := 0
+	ds := &timeseries.Dataset{Temperature: &timeseries.Temperature{}}
+	for _, id := range ids {
+		n := len(recovered[id])
+		total += n
+		if n > maxLen {
+			maxLen = n
+		}
+		if n == 0 {
+			continue
+		}
+		s := &timeseries.Series{ID: id, Readings: make([]float64, n)}
+		for hr := 0; hr < n; hr++ {
+			s.Readings[hr] = IsolationValue(id, hr)
+		}
+		ds.Series = append(ds.Series, s)
+	}
+	if total > 0 {
+		for hr := 0; hr < maxLen; hr++ {
+			ds.Temperature.Values = append(ds.Temperature.Values, IsolationTemp(hr))
+		}
+		spec := core.Spec{Task: core.TaskHistogram, Workers: 2}
+		got, _, err := h.Run(context.Background(), re, spec)
+		if err != nil {
+			t.Fatalf("crash at op %d: analytics over recovered snapshot: %v", op, err)
+		}
+		want, err := core.RunReference(ds, spec)
+		if err != nil {
+			t.Fatalf("crash at op %d: reference: %v", op, err)
+		}
+		CompareResults(t, got, want)
+	}
+	if h.Close != nil {
+		h.Close(re)
+	}
+	return torn
+}

@@ -45,10 +45,27 @@ const isolationWriters = 4
 // CI chaos pattern so it executes under -race.
 func RunSnapshotIsolation(t *testing.T, app core.Appender, ids []timeseries.ID, base, extra int) {
 	t.Helper()
+	runSnapshotIsolation(t, app, nil, ids, base, extra)
+}
+
+// RunCheckpointChaos is RunSnapshotIsolation with a checkpointer
+// thrown into the race: ckpt is called back-to-back for the whole run,
+// so snapshots and appends land before, during and after base folds.
+// The invariants are the same — epochs never go backwards and every
+// snapshot is a bit-exact gap-free prefix — which is exactly what a
+// checkpoint could break by resetting the epoch or serving a torn
+// base/tail pair.
+func RunCheckpointChaos(t *testing.T, app core.Appender, ckpt func() error, ids []timeseries.ID, base, extra int) {
+	t.Helper()
+	runSnapshotIsolation(t, app, ckpt, ids, base, extra)
+}
+
+func runSnapshotIsolation(t *testing.T, app core.Appender, ckpt func() error, ids []timeseries.ID, base, extra int) {
+	t.Helper()
 
 	var wg sync.WaitGroup
 	done := make(chan struct{})
-	errs := make(chan error, isolationWriters)
+	errs := make(chan error, isolationWriters+1)
 	for w := 0; w < isolationWriters; w++ {
 		var own []timeseries.ID
 		for _, id := range ids {
@@ -84,6 +101,26 @@ func RunSnapshotIsolation(t *testing.T, app core.Appender, ids []timeseries.ID, 
 		}(own)
 	}
 	go func() { wg.Wait(); close(done) }()
+
+	ckptDone := make(chan struct{})
+	if ckpt != nil {
+		go func() {
+			defer close(ckptDone)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := ckpt(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	} else {
+		close(ckptDone)
+	}
 
 	seen := make(map[timeseries.ID]int, len(ids))
 	var lastEpoch core.Epoch
@@ -129,6 +166,7 @@ func RunSnapshotIsolation(t *testing.T, app core.Appender, ids []timeseries.ID, 
 		}
 	}
 
+	<-ckptDone
 	select {
 	case err := <-errs:
 		t.Fatal(err)

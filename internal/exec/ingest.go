@@ -18,6 +18,16 @@ import (
 // gap-free, redelivered hours skipped idempotently — which is what
 // makes the retry loop safe: a batch that failed half-way can be
 // re-offered in full and applies exactly once.
+//
+// When the store runs with a write-ahead log (colstore/rowstore
+// WithWAL), a nil Append return is a durability ack under the engine's
+// fsync policy: wal.SyncAlways and wal.SyncBatch guarantee the batch
+// survives a crash before the caller sees nil, wal.SyncOff only that
+// it was framed into the OS page cache. Redelivered batches are
+// re-logged in full before they re-ack — a retry's ack must never
+// promise durability the log cannot replay — and recovery feeds the
+// log back through the same idempotent append path, so the
+// exactly-once story holds across restarts too.
 
 // ReadingSink consumes committed reading batches. Implementations are
 // driven serially by the Ingestor that owns them.

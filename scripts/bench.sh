@@ -41,11 +41,20 @@
 #      SCALE_ENCODERS, default nproc) to add a single-shot large run —
 #      e.g. SCALE_CONSUMERS=1000000 streams a 1M-consumer x 365-day
 #      year through the same paged path and records it as "large_run".
-#   6. BenchmarkIngest{Colstore,Rowstore} (4 sharded writers appending
-#      3 live days onto the loaded base through the core.Appender
-#      contract) -> BENCH_ingest.json with sustained append records/s
-#      and the freshness lag (last append -> histogram over a
-#      read-isolated snapshot) per engine.
+#   6. BenchmarkIngest{Colstore,Rowstore}[WAL{Batch,Always}] (4 sharded
+#      writers appending 3 live days onto the loaded base through the
+#      core.Appender contract, swept over wal=off/batch/always)
+#      -> BENCH_ingest.json with sustained append records/s and the
+#      freshness lag (last append -> histogram over a read-isolated
+#      snapshot) per engine and wal mode, plus the batch-over-off
+#      wal_batch_overhead ratio. The durable modes fsync before acking,
+#      so the ratio is bounded below by the host's fsync latency times
+#      the hour-batch count — read it against "fsync_ns" in the JSON,
+#      not against an in-memory ideal.
+#   7. BenchmarkRecovery{Colstore,Rowstore} (kill the engine with the
+#      live tail only in the wal=batch log, then time reopen + replay +
+#      first verified histogram) -> BENCH_recovery.json with
+#      crash-to-first-answer ns/op and replay records/s per engine.
 #
 # For a statistical A/B over two checkouts, feed the raw output files
 # to benchstat (golang.org/x/perf) instead.
@@ -59,6 +68,8 @@
 #   SCALE_CONSUMERS=1000000           # add a paper-scale single-shot run
 #   SCALE_DAYS=365                    # days for the large run (default 365)
 #   SCALE_ENCODERS=4                  # encode workers for the large run (default nproc)
+#   INGEST_OUT=BENCH_ingest.json      # ingest output path override
+#   RECOVERY_OUT=BENCH_recovery.json  # recovery output path override
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,6 +80,7 @@ EXTRACT_OUT="${EXTRACT_OUT:-BENCH_extract.json}"
 FAULT_OUT="${FAULT_OUT:-BENCH_fault.json}"
 SCALE_OUT="${SCALE_OUT:-BENCH_scale.json}"
 INGEST_OUT="${INGEST_OUT:-BENCH_ingest.json}"
+RECOVERY_OUT="${RECOVERY_OUT:-BENCH_recovery.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -320,11 +332,28 @@ awk -v out="$SCALE_OUT" -v cpus="$CPUS" -v bigc="${SCALE_CONSUMERS:-0}" -v bigd=
 echo "== wrote $SCALE_OUT"
 cat "$SCALE_OUT"
 
-echo "== go test -bench 'BenchmarkIngest(Colstore|Rowstore)' -count $COUNT"
-go test -run '^$' -bench 'BenchmarkIngest(Colstore|Rowstore)$' \
+echo "== go test -bench 'BenchmarkIngest(Colstore|Rowstore)(WAL(Batch|Always))?|BenchmarkFsync' -count $COUNT"
+go test -run '^$' -bench '(BenchmarkIngest(Colstore|Rowstore)(WAL(Batch|Always))?|BenchmarkFsync)$' \
   -count "$COUNT" -timeout 20m . | tee "$RAW"
 
 awk -v out="$INGEST_OUT" '
+  # modeline emits one wal-mode sub-object of an engine block.
+  function modeline(ind, label, key, tail) {
+    printf "%s\"%s\": {\"ns_per_op\": %.1f, \"records_per_s\": %.0f, \"freshness_lag_ms\": %.3f}%s\n", \
+      ind, label, ns[key] / runs[key], rate[key] / runs[key], lag[key] / runs[key] / 1e6, tail >> out
+  }
+  # engineblock emits the off/batch/always sweep for one engine plus
+  # the batch-over-off overhead ratio.
+  function engineblock(pfx, ind) {
+    modeline(ind, "off", pfx, ",")
+    modeline(ind, "batch", pfx "WALBatch", ",")
+    modeline(ind, "always", pfx "WALAlways", ",")
+    printf "%s\"wal_batch_overhead\": %.2f\n", ind, \
+      (ns[pfx "WALBatch"] / runs[pfx "WALBatch"]) / (ns[pfx] / runs[pfx]) >> out
+  }
+  /^BenchmarkFsync/ {
+    fsns += $3; fsruns++
+  }
   /^BenchmarkIngest(Colstore|Rowstore)/ {
     name = $1
     sub(/^BenchmarkIngest/, "", name)
@@ -339,24 +368,69 @@ awk -v out="$INGEST_OUT" '
     }
   }
   END {
-    if (runs["Colstore"] == 0 || runs["Rowstore"] == 0) {
-      print "bench.sh: missing ingest benchmark output" > "/dev/stderr"
+    if (runs["Colstore"] == 0 || runs["Rowstore"] == 0 ||
+        runs["ColstoreWALBatch"] == 0 || runs["ColstoreWALAlways"] == 0 ||
+        runs["RowstoreWALBatch"] == 0 || runs["RowstoreWALAlways"] == 0 ||
+        fsruns == 0) {
+      print "bench.sh: missing ingest or fsync benchmark output" > "/dev/stderr"
       exit 1
     }
-    cr = runs["Colstore"]; rr = runs["Rowstore"]
     printf "{\n" > out
     printf "  \"benchmark\": \"BenchmarkIngest\",\n" >> out
     printf "  \"consumers\": 16,\n" >> out
     printf "  \"live_days\": 3,\n" >> out
     printf "  \"workers\": 4,\n" >> out
-    printf "  \"count\": %d,\n", cr >> out
-    printf "  \"colstore\": {\"ns_per_op\": %.1f, \"records_per_s\": %.0f, \"freshness_lag_ms\": %.3f},\n", \
-      ns["Colstore"] / cr, rate["Colstore"] / cr, lag["Colstore"] / cr / 1e6 >> out
-    printf "  \"rowstore\": {\"ns_per_op\": %.1f, \"records_per_s\": %.0f, \"freshness_lag_ms\": %.3f}\n", \
-      ns["Rowstore"] / rr, rate["Rowstore"] / rr, lag["Rowstore"] / rr / 1e6 >> out
+    printf "  \"count\": %d,\n", runs["Colstore"] >> out
+    printf "  \"fsync_ns\": %.0f,\n", fsns / fsruns >> out
+    printf "  \"colstore\": {\n" >> out
+    engineblock("Colstore", "    ")
+    printf "  },\n" >> out
+    printf "  \"rowstore\": {\n" >> out
+    engineblock("Rowstore", "    ")
+    printf "  },\n" >> out
+    printf "  \"wal_batch_overhead_note\": \"durable modes fsync before acking each hour batch; the floor is fsync_ns x 72 hour rounds against an in-memory baseline, so compare overhead against fsync_ns, not 1.0\"\n" >> out
     printf "}\n" >> out
   }
 ' "$RAW"
 
 echo "== wrote $INGEST_OUT"
 cat "$INGEST_OUT"
+
+echo "== go test -bench 'BenchmarkRecovery(Colstore|Rowstore)' -count $COUNT"
+go test -run '^$' -bench 'BenchmarkRecovery(Colstore|Rowstore)$' \
+  -count "$COUNT" -timeout 20m . | tee "$RAW"
+
+awk -v out="$RECOVERY_OUT" '
+  /^BenchmarkRecovery(Colstore|Rowstore)/ {
+    name = $1
+    sub(/^BenchmarkRecovery/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns[name] += $3; runs[name]++
+    # Custom metric follows ns/op as a value-unit pair: replay-records/s.
+    for (i = 4; i < NF; i += 2) {
+      v = $(i + 1); u = $(i + 2)
+      if (u == "replay-records/s") { rate[name] += v; }
+    }
+  }
+  END {
+    if (runs["Colstore"] == 0 || runs["Rowstore"] == 0) {
+      print "bench.sh: missing recovery benchmark output" > "/dev/stderr"
+      exit 1
+    }
+    cr = runs["Colstore"]; rr = runs["Rowstore"]
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkRecovery\",\n" >> out
+    printf "  \"consumers\": 16,\n" >> out
+    printf "  \"live_days\": 3,\n" >> out
+    printf "  \"wal\": \"batch\",\n" >> out
+    printf "  \"count\": %d,\n", cr >> out
+    printf "  \"colstore\": {\"ns_per_op\": %.1f, \"replay_records_per_s\": %.0f},\n", \
+      ns["Colstore"] / cr, rate["Colstore"] / cr >> out
+    printf "  \"rowstore\": {\"ns_per_op\": %.1f, \"replay_records_per_s\": %.0f}\n", \
+      ns["Rowstore"] / rr, rate["Rowstore"] / rr >> out
+    printf "}\n" >> out
+  }
+' "$RAW"
+
+echo "== wrote $RECOVERY_OUT"
+cat "$RECOVERY_OUT"

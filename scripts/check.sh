@@ -33,6 +33,14 @@ go test -race ./internal/exec/... ./internal/engine/...
 echo "== go test -race -run 'Chaos|Cancel|Fault' ./... (fault containment + cancellation)"
 go test -race -run 'Chaos|Cancel|Fault' ./...
 
+# Recovery conformance: the deterministic crash-injection sweep (kill
+# ingestion at every counted disk op, reopen, demand bit-exact acked
+# prefixes), torn-tail truncation and the wal unit suite, raced. Same
+# rationale as the chaos step: a durability regression fails under its
+# own name.
+echo "== go test -race -run 'Recovery|Crash|WAL' ./... (crash recovery + wal)"
+go test -race -run 'Recovery|Crash|WAL' ./...
+
 echo "== go test -race ./..."
 go test -race ./...
 
